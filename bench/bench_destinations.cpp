@@ -1,0 +1,51 @@
+// Destination-count microbenchmark (§V-B2: "we vary the number of groups
+// and the number of message destinations"): throughput and latency of
+// ByzCast as global messages address 2..8 of 8 target groups. Expected:
+// latency rises mildly with fanout (the auxiliary group performs more
+// relays; the client waits for f+1 replies from every destination) and
+// system throughput in *deliveries* stays roughly flat while throughput in
+// *messages* falls — each message costs |dst| deliveries.
+#include <cstdio>
+
+#include "workload/experiment.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace byzcast;
+  using namespace byzcast::workload;
+
+  print_header(
+      "Destination fanout: ByzCast 2-level, 8 target groups, 20 clients/group");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const int fanout : {1, 2, 4, 8}) {
+    ExperimentConfig cfg;
+    cfg.protocol = Protocol::kByzCast2Level;
+    cfg.num_groups = 8;
+    cfg.clients_per_group = 20;
+    cfg.workload.pattern =
+        fanout == 1 ? Pattern::kLocalOnly : Pattern::kGlobalFanout;
+    cfg.workload.global_fanout = fanout;
+    cfg.warmup = 1 * kSecond;
+    cfg.duration = 3 * kSecond;
+    cfg.seed = 43;
+    const ExperimentResult res = run_experiment(cfg);
+    const double deliveries_per_sec =
+        static_cast<double>(res.a_deliveries) / to_sec(cfg.duration) / 4.0;
+    rows.push_back({std::to_string(fanout), fmt(res.throughput, 0),
+                    fmt(deliveries_per_sec, 0),
+                    fmt(res.latency_all.median_ms()),
+                    fmt(res.latency_all.percentile_ms(95))});
+  }
+  print_table({"destinations", "msg/s", "a-deliveries/s (per replica)",
+               "median ms", "p95 ms"},
+              rows);
+
+  std::printf(
+      "\nfanout 1 = local messages (genuine path, no auxiliary). As the "
+      "fanout grows each message is ordered by the root plus every "
+      "destination group: message throughput falls roughly as the "
+      "per-group delivery work is multiplied, while latency grows "
+      "moderately (relays fan out in parallel).\n");
+  return 0;
+}

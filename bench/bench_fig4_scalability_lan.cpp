@@ -1,0 +1,67 @@
+// Figure 4: LAN throughput versus number of groups.
+// (a) local messages only — ByzCast scales ~linearly with groups, Baseline
+//     saturates at one group's capacity, BFT-SMaRt (single group) is the
+//     reference;
+// (b) global messages only — ByzCast and Baseline behave alike at roughly
+//     half of BFT-SMaRt's throughput.
+#include <cstdio>
+
+#include "workload/experiment.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using namespace byzcast;
+using namespace byzcast::workload;
+
+double run(Protocol protocol, Pattern pattern, int groups, int clients) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.num_groups = groups;
+  cfg.clients_per_group = clients;
+  cfg.workload.pattern = pattern;
+  cfg.warmup = 1 * kSecond;
+  cfg.duration = 3 * kSecond;
+  cfg.seed = 11;
+  return run_experiment(cfg).throughput;
+}
+
+void sweep(const char* title, Pattern pattern, const char* csv_name) {
+  print_header(title);
+  // Paper: 200 clients/group (100 at 8 groups). We scale client counts down
+  // with the calibrated simulator; saturation is what matters.
+  std::vector<std::vector<std::string>> rows;
+  for (const int groups : {2, 4, 8}) {
+    const int clients = groups == 8 ? 30 : 60;
+    const double byz = run(Protocol::kByzCast2Level, pattern, groups, clients);
+    const double base = run(Protocol::kBaseline, pattern, groups, clients);
+    const double bft = run(Protocol::kBftSmart, pattern, groups, clients);
+    rows.push_back({std::to_string(groups),
+                    std::to_string(clients * groups), fmt(byz, 0),
+                    fmt(base, 0), fmt(bft, 0)});
+  }
+  print_table({"groups", "clients", "ByzCast msg/s", "Baseline msg/s",
+               "BFT-SMaRt msg/s"},
+              rows);
+  write_series_csv(std::string("bench_csv/") + csv_name + ".csv",
+                   {"groups", "clients", "byzcast", "baseline", "bftsmart"},
+                   rows);
+}
+
+}  // namespace
+
+int main() {
+  sweep("Figure 4(a): local messages, throughput vs #groups",
+        Pattern::kLocalOnly, "fig4a_local");
+  std::printf(
+      "\nPaper: ByzCast scales linearly with groups (genuine for local "
+      "messages); Baseline saturates near one group's capacity.\n");
+
+  sweep("Figure 4(b): global messages, throughput vs #groups",
+        Pattern::kGlobalUniformPairs, "fig4b_global");
+  std::printf(
+      "\nPaper: ByzCast and Baseline behave alike, at most ~half of "
+      "BFT-SMaRt (9700 vs 19500 msg/s in the paper's testbed) — every "
+      "global message is ordered twice.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) of the building blocks: crypto, codec,
+// scheduler, tree operations and the optimizer search. These quantify the
+// per-message costs underlying the simulation's calibrated constants.
+#include <benchmark/benchmark.h>
+
+#include "common/auth.hpp"
+#include "common/hmac.hpp"
+#include "common/serde.hpp"
+#include "common/sha256.hpp"
+#include "core/tree.hpp"
+#include "optimizer/search.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  const Bytes data(64, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  const Bytes data(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HmacSha256_64B(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(64, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256_64B);
+
+void BM_AuthenticatorSignVerify(benchmark::State& state) {
+  const auto keys = std::make_shared<KeyStore>(1);
+  const Authenticator alice(keys, ProcessId{1});
+  const Authenticator bob(keys, ProcessId{2});
+  const Bytes data(100, 0x42);
+  for (auto _ : state) {
+    const Digest mac = alice.sign(ProcessId{2}, data);
+    benchmark::DoNotOptimize(bob.verify(ProcessId{1}, data, mac));
+  }
+}
+BENCHMARK(BM_AuthenticatorSignVerify);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    Writer w;
+    w.message_id(MessageId{ProcessId{7}, 42});
+    w.u64(123456789);
+    w.bytes(Bytes(64, 0xCD));
+    const Bytes encoded = w.take();
+    Reader r(encoded);
+    benchmark::DoNotOptimize(r.message_id());
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.bytes());
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (int i = 0; i < 1000; ++i) {
+      scheduler.schedule_at(i, [] {});
+    }
+    scheduler.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_TreeLca(benchmark::State& state) {
+  std::vector<GroupId> targets;
+  for (int i = 0; i < 8; ++i) targets.push_back(GroupId{i});
+  const core::OverlayTree tree = core::OverlayTree::three_level(
+      targets, GroupId{100}, GroupId{101}, GroupId{102});
+  const std::vector<GroupId> dst = {GroupId{0}, GroupId{7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.lca(dst));
+  }
+}
+BENCHMARK(BM_TreeLca);
+
+void BM_OptimizerSearch4Targets(benchmark::State& state) {
+  std::vector<GroupId> targets = {GroupId{1}, GroupId{2}, GroupId{3},
+                                  GroupId{4}};
+  std::vector<GroupId> aux = {GroupId{11}, GroupId{12}, GroupId{13}};
+  optimizer::WorkloadSpec spec =
+      optimizer::uniform_pairs_workload(targets, 1200.0);
+  for (const GroupId h : aux) spec.capacity[h] = 9500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer::optimize_tree(targets, aux, spec));
+  }
+}
+BENCHMARK(BM_OptimizerSearch4Targets);
+
+}  // namespace
+
+BENCHMARK_MAIN();

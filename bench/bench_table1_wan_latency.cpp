@@ -1,0 +1,103 @@
+// Table I: latencies within the Amazon EC2 infrastructure (ms, RTT).
+// Prints the latency matrix the WAN model is configured with, then verifies
+// it by measuring ping-pong RTTs between simulated processes pinned to each
+// region pair.
+#include <cstdio>
+
+#include "sim/actor.hpp"
+#include "sim/simulation.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+/// Replies to every ping with a pong.
+class Responder final : public sim::Actor {
+ public:
+  explicit Responder(sim::Simulation& sim) : Actor(sim, "responder") {}
+
+ protected:
+  void on_message(const sim::WireMessage& msg) override {
+    if (!verify(msg)) return;
+    send(msg.from, Bytes{1});
+  }
+};
+
+/// Sends pings and records RTTs.
+class Pinger final : public sim::Actor {
+ public:
+  explicit Pinger(sim::Simulation& sim) : Actor(sim, "pinger") {}
+
+  void ping(ProcessId to) {
+    sent_at_ = now();
+    send(to, Bytes{0});
+  }
+
+  Time last_rtt = -1;
+
+ protected:
+  void on_message(const sim::WireMessage& msg) override {
+    if (!verify(msg)) return;
+    last_rtt = now() - sent_at_;
+  }
+
+ private:
+  Time sent_at_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace byzcast;
+  workload::print_header("Table I: EC2 inter-region RTT (ms)");
+
+  sim::Profile profile = sim::Profile::wan();
+  profile.net_jitter_mean = 0;  // report the configured base latency
+  auto wan_model = std::make_unique<sim::WanLatency>(
+      sim::WanLatency::ec2_four_regions(profile));
+  auto* wan = wan_model.get();
+  sim::Simulation simulation(1, profile, std::move(wan_model));
+
+  const auto& names = sim::WanLatency::ec2_region_names();
+
+  std::printf("Configured matrix (paper Table I):\n");
+  std::vector<std::vector<std::string>> rows;
+  for (int a = 0; a < 4; ++a) {
+    std::vector<std::string> row = {names[static_cast<std::size_t>(a)]};
+    for (int b = 0; b < 4; ++b) {
+      row.push_back(a == b ? "-"
+                           : workload::fmt(to_ms(2 * wan->region_latency(
+                                               RegionId{a}, RegionId{b})),
+                                           0));
+    }
+    rows.push_back(row);
+  }
+  workload::print_table({"", "CA", "VA", "EU", "JP"}, rows);
+
+  // Measured check: one pinger/responder pair per region pair.
+  std::printf("\nMeasured ping-pong RTT in the simulator (ms):\n");
+  rows.clear();
+  for (int a = 0; a < 4; ++a) {
+    std::vector<std::string> row = {names[static_cast<std::size_t>(a)]};
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) {
+        row.push_back("-");
+        continue;
+      }
+      Pinger pinger(simulation);
+      Responder responder(simulation);
+      wan->assign(pinger.id(), RegionId{a});
+      wan->assign(responder.id(), RegionId{b});
+      pinger.ping(responder.id());
+      simulation.run_until(simulation.now() + 2 * kSecond);
+      row.push_back(workload::fmt(to_ms(pinger.last_rtt), 0));
+    }
+    rows.push_back(row);
+  }
+  workload::print_table({"", "CA", "VA", "EU", "JP"}, rows);
+  std::printf(
+      "\nPaper values: CA-VA 70, CA-EU 165, CA-JP 112, VA-EU 88, VA-JP 175, "
+      "EU-JP 239 ms.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Byzantine-fault demo: the auxiliary group contains one replica that
+// fabricates multicast messages and another deployment where the auxiliary
+// leader crashes mid-run. Shows (a) the f+1 copy rule filtering forged
+// messages and (b) the view change restoring progress.
+//
+//   $ ./examples/byzantine_demo
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+int run_fabrication_demo() {
+  std::printf("--- demo 1: fabricated relays are filtered by the f+1 rule ---\n");
+  sim::Simulation simulation(1, sim::Profile::lan());
+  const std::vector<GroupId> targets = {GroupId{0}, GroupId{1}};
+
+  core::FaultPlan plan;
+  std::vector<bft::FaultSpec> aux_faults(4);
+  aux_faults[2].fabricate_relay = true;  // one lying auxiliary replica
+  plan.by_group[GroupId{100}] = aux_faults;
+
+  core::ByzCastSystem system(
+      simulation, core::OverlayTree::two_level(targets, GroupId{100}),
+      /*f=*/1, plan);
+
+  auto client = system.make_client("honest-client");
+  int done = 0;
+  std::function<void()> next = [&] {
+    if (done == 10) return;
+    client->a_multicast({GroupId{0}, GroupId{1}},
+                        to_bytes("real-" + std::to_string(done)),
+                        [&](const core::MulticastMessage&, Time) {
+                          ++done;
+                          next();
+                        });
+  };
+  next();
+  simulation.run_until(30 * kSecond);
+
+  int forged_delivered = 0;
+  for (const auto& rec : system.delivery_log().records()) {
+    if (rec.msg.origin.value >= core::kFabricatedOriginBase) {
+      ++forged_delivered;
+    }
+  }
+  std::printf("  honest messages completed : %d/10\n", done);
+  std::printf("  forged messages delivered : %d (the Byzantine replica "
+              "injected one every 3 handled messages)\n",
+              forged_delivered);
+  std::printf("  => a single Byzantine relay cannot fake the f+1 distinct "
+              "copies a child group requires.\n\n");
+  return (done == 10 && forged_delivered == 0) ? 0 : 1;
+}
+
+int run_leader_crash_demo() {
+  std::printf("--- demo 2: auxiliary leader crashes; view change recovers ---\n");
+  sim::Simulation simulation(2, sim::Profile::lan());
+  const std::vector<GroupId> targets = {GroupId{0}, GroupId{1}};
+
+  core::FaultPlan plan;
+  std::vector<bft::FaultSpec> aux_faults(4);
+  aux_faults[0].silent_after = 2 * kSecond;  // leader of view 0 dies at t=2s
+  plan.by_group[GroupId{100}] = aux_faults;
+
+  core::ByzCastSystem system(
+      simulation, core::OverlayTree::two_level(targets, GroupId{100}),
+      /*f=*/1, plan);
+
+  auto client = system.make_client("client");
+  int done = 0;
+  Time slowest = 0;
+  std::function<void()> next = [&] {
+    if (done == 30) return;
+    client->a_multicast({GroupId{0}, GroupId{1}},
+                        to_bytes("op-" + std::to_string(done)),
+                        [&](const core::MulticastMessage&, Time latency) {
+                          slowest = std::max(slowest, latency);
+                          ++done;
+                          next();
+                        });
+  };
+  next();
+  simulation.run_until(120 * kSecond);
+
+  const auto& aux = system.group(GroupId{100});
+  std::printf("  messages completed        : %d/30\n", done);
+  std::printf("  auxiliary group view now  : %llu (0 before the crash)\n",
+              static_cast<unsigned long long>(aux.replica(1).view()));
+  std::printf("  slowest message latency   : %.0f ms (the one that waited "
+              "out the leader timeout)\n",
+              to_ms(slowest));
+  std::printf("  => ordering stalls for ~one leader timeout, then the "
+              "synchronization phase elects a new leader.\n");
+  return (done == 30 && aux.replica(1).view() >= 1) ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const int rc1 = run_fabrication_demo();
+  const int rc2 = run_leader_crash_demo();
+  return rc1 == 0 && rc2 == 0 ? 0 : 1;
+}

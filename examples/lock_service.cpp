@@ -1,0 +1,164 @@
+// Sharded lock service on ByzCast: locks are partitioned across two shard
+// groups; ACQUIRE of several locks at once is multicast to all owning
+// shards. Because atomic multicast delivers in acyclic order, every shard
+// resolves contending multi-lock requests in the SAME order — the classic
+// deadlock (client 1 holds A waits for B, client 2 holds B waits for A)
+// cannot occur.
+//
+//   $ ./examples/lock_service
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+constexpr int kNumShards = 2;
+
+GroupId shard_of(const std::string& lock) {
+  return GroupId{static_cast<std::int32_t>(
+      std::hash<std::string>{}(lock) % kNumShards)};
+}
+
+/// One replica's lock table. Ops:
+///   ACQUIRE <client> <lock> [lock...]  -> GRANTED | QUEUED
+///   RELEASE <client> <lock> [lock...]  -> RELEASED
+/// Deterministic: grants strictly follow a-delivery order.
+class LockShard final : public core::ShardApplication {
+ public:
+  Bytes apply(GroupId shard, const core::MulticastMessage& m) override {
+    std::istringstream in(to_text(m.payload));
+    std::string op, client;
+    in >> op >> client;
+    std::vector<std::string> locks;
+    for (std::string lock; in >> lock;) {
+      if (shard_of(lock) == shard) locks.push_back(lock);
+    }
+    if (op == "ACQUIRE") {
+      bool all_free = true;
+      for (const auto& lock : locks) {
+        if (holder_.contains(lock) && holder_[lock] != client) {
+          all_free = false;
+        }
+      }
+      if (all_free) {
+        for (const auto& lock : locks) holder_[lock] = client;
+        return to_bytes("GRANTED");
+      }
+      for (const auto& lock : locks) queue_[lock].push_back(client);
+      return to_bytes("QUEUED");
+    }
+    if (op == "RELEASE") {
+      for (const auto& lock : locks) {
+        if (holder_[lock] == client) {
+          holder_.erase(lock);
+          // Grant to the first queued waiter, if any.
+          auto& waiters = queue_[lock];
+          if (!waiters.empty()) {
+            holder_[lock] = waiters.front();
+            waiters.erase(waiters.begin());
+          }
+        }
+      }
+      return to_bytes("RELEASED");
+    }
+    return to_bytes("ERR");
+  }
+
+  [[nodiscard]] std::string holder(const std::string& lock) const {
+    const auto it = holder_.find(lock);
+    return it == holder_.end() ? "(free)" : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> holder_;
+  std::map<std::string, std::vector<std::string>> queue_;
+};
+
+}  // namespace
+
+int main() {
+  sim::Simulation simulation(21, sim::Profile::lan());
+  std::vector<GroupId> shards;
+  for (int s = 0; s < kNumShards; ++s) shards.push_back(GroupId{s});
+  core::ByzCastSystem system(
+      simulation, core::OverlayTree::two_level(shards, GroupId{100}),
+      /*f=*/1);
+
+  std::map<std::pair<int, int>, LockShard> tables;
+  for (const GroupId g : shards) {
+    for (int i = 0; i < 4; ++i) {
+      system.node(g, i).set_shard_application(&tables[{g.value, i}]);
+    }
+  }
+
+  // Locks "alpha" and "beta" land on different shards (verify; else rename).
+  std::string a = "alpha";
+  std::string b = "beta";
+  if (shard_of(a) == shard_of(b)) b = "gamma";
+  if (shard_of(a) == shard_of(b)) b = "delta";
+  std::printf("lock '%s' on shard g%d, lock '%s' on shard g%d\n", a.c_str(),
+              shard_of(a).value, b.c_str(), shard_of(b).value);
+
+  // Two clients race to atomically acquire BOTH locks — the deadlock-prone
+  // pattern under plain per-shard locking.
+  auto c1 = system.make_client("client1");
+  auto c2 = system.make_client("client2");
+  const std::vector<GroupId> both = {shard_of(a), shard_of(b)};
+
+  std::map<std::string, std::string> outcome;
+  c1->a_multicast(both, to_bytes("ACQUIRE client1 " + a + " " + b),
+                  [&](const core::MulticastMessage&, Time) {
+                    outcome["client1"] =
+                        tables[{shard_of(a).value, 0}].holder(a);
+                  });
+  c2->a_multicast(both, to_bytes("ACQUIRE client2 " + a + " " + b),
+                  [&](const core::MulticastMessage&, Time) {
+                    outcome["client2"] =
+                        tables[{shard_of(a).value, 0}].holder(a);
+                  });
+  simulation.run_until(10 * kSecond);
+
+  const std::string holder_a = tables[{shard_of(a).value, 0}].holder(a);
+  const std::string holder_b = tables[{shard_of(b).value, 0}].holder(b);
+  std::printf("after the race: '%s' held by %s, '%s' held by %s\n", a.c_str(),
+              holder_a.c_str(), b.c_str(), holder_b.c_str());
+
+  // The SAME client holds both locks on every replica of both shards: the
+  // acyclic delivery order picked one winner globally (no deadlock, no
+  // split ownership).
+  bool consistent = holder_a == holder_b && holder_a != "(free)";
+  for (const GroupId g : shards) {
+    for (int i = 1; i < 4; ++i) {
+      for (const auto& lock : {a, b}) {
+        if (shard_of(lock) != g) continue;
+        if (tables[{g.value, i}].holder(lock) !=
+            tables[{g.value, 0}].holder(lock)) {
+          consistent = false;
+        }
+      }
+    }
+  }
+  std::printf("ownership consistent across replicas and shards: %s\n",
+              consistent ? "yes" : "NO");
+
+  // Winner releases; the loser's queued request is granted deterministically.
+  auto c3 = system.make_client("janitor");
+  bool released = false;
+  c3->a_multicast(both,
+                  to_bytes("RELEASE " + holder_a + " " + a + " " + b),
+                  [&](const core::MulticastMessage&, Time) {
+                    released = true;
+                  });
+  simulation.run_until(20 * kSecond);
+  std::printf("after release: '%s' held by %s, '%s' held by %s\n", a.c_str(),
+              tables[{shard_of(a).value, 0}].holder(a).c_str(), b.c_str(),
+              tables[{shard_of(b).value, 0}].holder(b).c_str());
+
+  return (consistent && released) ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Quickstart: assemble a ByzCast deployment with two target groups under
+// one auxiliary group, atomically multicast a local and a global message,
+// and print what each group a-delivered.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace byzcast;
+
+  // 1. A deterministic simulated LAN.
+  sim::Simulation simulation(/*seed=*/42, sim::Profile::lan());
+
+  // 2. The overlay tree: targets g0, g1 under auxiliary group h (id 100).
+  //    Every group gets 3f+1 = 4 replicas running FIFO atomic broadcast.
+  const std::vector<GroupId> targets = {GroupId{0}, GroupId{1}};
+  core::ByzCastSystem system(
+      simulation, core::OverlayTree::two_level(targets, GroupId{100}),
+      /*f=*/1);
+
+  // 3. A client. a_multicast() broadcasts in lca(dst) and completes once
+  //    f+1 matching replies arrived from every destination group.
+  auto client = system.make_client("alice");
+
+  int done = 0;
+  client->a_multicast(
+      {GroupId{0}}, to_bytes("hello g0 (local message)"),
+      [&](const core::MulticastMessage& m, Time latency) {
+        std::printf("local  message %s delivered in %.2f ms\n",
+                    to_string(m.id).c_str(), to_ms(latency));
+        ++done;
+        // 4. Chain a global message: ordered by the auxiliary group first,
+        //    then by both destination groups (Algorithm 1).
+        client->a_multicast(
+            {GroupId{0}, GroupId{1}}, to_bytes("hello g0+g1 (global)"),
+            [&](const core::MulticastMessage& m2, Time latency2) {
+              std::printf("global message %s delivered in %.2f ms\n",
+                          to_string(m2.id).c_str(), to_ms(latency2));
+              ++done;
+            });
+      });
+
+  simulation.run_until(10 * kSecond);
+
+  // 5. Inspect the delivery log: who a-delivered what, in which order.
+  std::printf("\na-deliveries (%zu records):\n",
+              system.delivery_log().records().size());
+  for (const auto& rec : system.delivery_log().records()) {
+    std::printf("  t=%7.2f ms  group g%d  replica %-4s  message %s\n",
+                to_ms(rec.when), rec.group.value,
+                to_string(rec.replica).c_str(), to_string(rec.msg).c_str());
+  }
+  std::printf("\ncompleted %d/2 messages; local involved only g0's replicas,"
+              "\nglobal was ordered by the auxiliary group then by g0 and g1."
+              "\n",
+              done);
+  return done == 2 ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary (one per paper table/figure, plus ablations
+# and micro-benchmarks) and echoes the combined report.
+set -u
+BUILD_DIR="${1:-build}"
+for b in "$BUILD_DIR"/bench/*; do
+  if [ -x "$b" ] && [ ! -d "$b" ]; then
+    echo
+    echo "########## $(basename "$b") ##########"
+    "$b"
+  fi
+done

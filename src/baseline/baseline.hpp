@@ -1,0 +1,48 @@
+// The paper's Baseline protocol (§V-A3): a non-genuine 2-level atomic
+// multicast in which one auxiliary group orders *every* message, local or
+// global, and then relays it to the destination target groups; target
+// replicas act once they receive f+1 copies from the auxiliary group.
+//
+// Structurally this is ByzCast over a 2-level tree with Routing::kViaRoot,
+// so the wrapper below is a thin configuration of the core machinery — the
+// protocols share quorums, relays and reply rules exactly as they do in the
+// authors' prototype (both built on BFT-SMaRt).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace byzcast::baseline {
+
+class BaselineSystem {
+ public:
+  /// One auxiliary root `aux_root` ordering all traffic for `targets`.
+  BaselineSystem(sim::Simulation& sim, const std::vector<GroupId>& targets,
+                 GroupId aux_root, int f,
+                 const core::FaultPlan& faults = {})
+      : system_(sim, core::OverlayTree::two_level(targets, aux_root), f,
+                faults, core::Routing::kViaRoot) {}
+
+  [[nodiscard]] core::ByzCastSystem& system() { return system_; }
+  [[nodiscard]] const core::OverlayTree& tree() const {
+    return system_.tree();
+  }
+  [[nodiscard]] core::DeliveryLog& delivery_log() {
+    return system_.delivery_log();
+  }
+  [[nodiscard]] bft::Group& group(GroupId g) { return system_.group(g); }
+
+  /// Baseline clients send everything to the root group.
+  [[nodiscard]] std::unique_ptr<core::Client> make_client(
+      const std::string& name) {
+    return system_.make_client(name);
+  }
+
+ private:
+  core::ByzCastSystem system_;
+};
+
+}  // namespace byzcast::baseline

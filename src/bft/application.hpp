@@ -1,0 +1,71 @@
+// The replicated application hosted by a bft::Replica. Requests reach
+// `execute` totally ordered (consensus sequence) and FIFO per origin; all
+// correct replicas of a group execute the same sequence. The application
+// sends replies — and, in ByzCast, relays into child groups — through the
+// ReplicaContext capability.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "bft/message.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::bft {
+
+/// Narrow view of the hosting replica offered to the application.
+class ReplicaContext {
+ public:
+  virtual ~ReplicaContext() = default;
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  [[nodiscard]] virtual GroupId group() const = 0;
+  [[nodiscard]] virtual int f() const = 0;
+  [[nodiscard]] virtual Time now() const = 0;
+  [[nodiscard]] virtual Rng& app_rng() = 0;
+
+  /// Sends a Reply for `req` to its origin.
+  virtual void send_reply(const Request& req, Bytes result) = 0;
+
+  /// Sends an already-encoded request into another group's broadcast (the
+  /// ByzCast relay path: this replica acts as a client of the child group).
+  virtual void send_request(ProcessId to, const Request& req) = 0;
+
+  /// Accounts extra CPU spent by the application while executing.
+  virtual void consume_app_cpu(Time cost) = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called once, before any execution, with the hosting replica's context.
+  virtual void attach(ReplicaContext& ctx) { ctx_ = &ctx; }
+
+  /// Executes one delivered request.
+  virtual void execute(const Request& req) = 0;
+
+  /// Serializes application state for checkpoints / state transfer.
+  [[nodiscard]] virtual Bytes snapshot() const { return {}; }
+  /// Restores from a snapshot produced by `snapshot` on a peer.
+  virtual void restore(BytesView) {}
+
+ protected:
+  ReplicaContext* ctx_ = nullptr;  // set by attach; non-owning
+};
+
+/// Replies with the SHA-256 digest of the operation. The stand-in for the
+/// paper's microbenchmark service when measuring plain BFT-SMaRt.
+class EchoApplication final : public Application {
+ public:
+  void execute(const Request& req) override {
+    const Digest d = Sha256::hash(req.op);
+    ctx_->send_reply(req, Bytes(d.begin(), d.begin() + 8));
+  }
+};
+
+using AppFactory = std::function<std::unique_ptr<Application>(int replica_index)>;
+
+}  // namespace byzcast::bft

@@ -1,0 +1,71 @@
+#include "bft/client_proxy.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::bft {
+
+ClientProxy::ClientProxy(sim::Simulation& sim, GroupInfo group,
+                         std::string name)
+    : Actor(sim, std::move(name)), group_(std::move(group)) {
+  retry_interval_ = 2 * sim.profile().leader_timeout;
+}
+
+void ClientProxy::invoke(Bytes op, Completion on_done) {
+  BZC_EXPECTS(!pending_.has_value());
+  Pending p;
+  p.req.group = group_.id;
+  p.req.origin = id();
+  p.req.seq = next_seq_++;
+  p.req.op = std::move(op);
+  p.started_at = now();
+  p.on_done = std::move(on_done);
+  pending_ = std::move(p);
+  transmit();
+  arm_retry(pending_->req.seq);
+}
+
+void ClientProxy::transmit() {
+  BZC_EXPECTS(pending_.has_value());
+  const Bytes encoded = encode_request(pending_->req);
+  for (const ProcessId replica : group_.replicas) send(replica, encoded);
+}
+
+void ClientProxy::arm_retry(std::uint64_t seq) {
+  schedule_in(retry_interval_, [this, seq] {
+    if (crashed()) return;
+    if (pending_ && pending_->req.seq == seq) {
+      transmit();
+      arm_retry(seq);
+    }
+  });
+}
+
+Time ClientProxy::service_cost(const sim::WireMessage&) const {
+  return sim().profile().cpu_client_reply;
+}
+
+void ClientProxy::on_message(const sim::WireMessage& msg) {
+  if (msg.payload.empty() || !verify(msg)) return;
+  if (peek_type(msg.payload) != MsgType::kReply) return;
+  if (!pending_) return;
+  Reader r(msg.payload);
+  (void)r.u8();
+  Reply rep = Reply::decode(r);
+  if (rep.group != group_.id || rep.seq != pending_->req.seq) return;
+  if (!group_.is_member(msg.from)) return;
+
+  const Digest d = Sha256::hash(rep.result);
+  auto& voters = pending_->votes[d];
+  voters.insert(msg.from);
+  pending_->results.emplace(d, std::move(rep.result));
+
+  if (voters.size() >= static_cast<std::size_t>(group_.f + 1)) {
+    // f+1 matching replies: at least one correct replica vouches.
+    Pending done = std::move(*pending_);
+    pending_.reset();
+    ++completed_;
+    done.on_done(done.results[d], now() - done.started_at);
+  }
+}
+
+}  // namespace byzcast::bft

@@ -1,0 +1,56 @@
+// Client-side proxy for one group's atomic broadcast: sends an operation to
+// every replica, collects f+1 matching replies (the BFT client rule), and
+// invokes the caller's completion callback with the result and the measured
+// latency. Retransmits on timeout (covers message loss and faulty leaders
+// that drop requests).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bft/message.hpp"
+#include "bft/replica.hpp"
+#include "sim/actor.hpp"
+
+namespace byzcast::bft {
+
+class ClientProxy final : public sim::Actor {
+ public:
+  using Completion = std::function<void(const Bytes& result, Time latency)>;
+
+  ClientProxy(sim::Simulation& sim, GroupInfo group, std::string name);
+
+  /// Broadcasts `op` in the group; at most one invocation may be outstanding
+  /// (closed loop), which is how the paper's clients behave.
+  void invoke(Bytes op, Completion on_done);
+
+  [[nodiscard]] bool busy() const { return pending_.has_value(); }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ protected:
+  void on_message(const sim::WireMessage& msg) override;
+  [[nodiscard]] Time service_cost(const sim::WireMessage&) const override;
+
+ private:
+  void transmit();
+  void arm_retry(std::uint64_t seq);
+
+  struct Pending {
+    Request req;
+    Time started_at = 0;
+    Completion on_done;
+    // result digest -> replicas that reported it
+    std::map<Digest, std::set<ProcessId>> votes;
+    std::map<Digest, Bytes> results;
+  };
+
+  GroupInfo group_;
+  std::uint64_t next_seq_ = 0;
+  std::optional<Pending> pending_;
+  std::uint64_t completed_ = 0;
+  Time retry_interval_;
+};
+
+}  // namespace byzcast::bft

@@ -1,0 +1,44 @@
+// Fault-injection vocabulary for replicas. The bft layer implements the
+// crash/equivocation behaviours; the ByzCast layer (src/core) implements the
+// relay-level misbehaviours (fabrication, front-running, dropping relays).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace byzcast::bft {
+
+struct FaultSpec {
+  /// Crash-silent from the start of the run.
+  bool silent = false;
+  /// Crash-silent once simulated time reaches this value (< 0: never).
+  Time silent_after = -1;
+  /// As leader, send different batches to different peers (equivocation;
+  /// the WRITE phase prevents it from splitting a decision).
+  bool equivocate_propose = false;
+  /// Send garbage replies to clients (the f+1 matching-reply rule makes
+  /// them harmless as long as at most f replicas do this).
+  bool corrupt_replies = false;
+
+  // --- ByzCast relay-level misbehaviours (interpreted by src/core) -------
+  /// Invent a multicast message that no client ever sent.
+  bool fabricate_relay = false;
+  /// Never forward ordered messages to child groups.
+  bool drop_relays = false;
+  /// Forward copies to one child group in adversarially inverted order
+  /// (the front-running scenario documented in DESIGN.md §3).
+  bool front_run = false;
+
+  [[nodiscard]] bool is_byzantine() const {
+    return silent || silent_after >= 0 || equivocate_propose ||
+           corrupt_replies || fabricate_relay || drop_relays || front_run;
+  }
+
+  [[nodiscard]] static FaultSpec correct() { return FaultSpec{}; }
+  [[nodiscard]] static FaultSpec crashed() {
+    FaultSpec f;
+    f.silent = true;
+    return f;
+  }
+};
+
+}  // namespace byzcast::bft

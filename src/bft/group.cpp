@@ -1,0 +1,51 @@
+#include "bft/group.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::bft {
+
+Group::Group(sim::Simulation& sim, GroupId id, int f,
+             const AppFactory& make_app,
+             const std::vector<FaultSpec>& faults) {
+  BZC_EXPECTS(f >= 1);
+  const int n = 3 * f + 1;
+  BZC_EXPECTS(faults.empty() || static_cast<int>(faults.size()) == n);
+
+  info_.id = id;
+  info_.f = f;
+  replicas_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const FaultSpec spec =
+        faults.empty() ? FaultSpec::correct()
+                       : faults[static_cast<std::size_t>(i)];
+    replicas_.push_back(
+        std::make_unique<Replica>(sim, id, f, i, make_app(i), spec));
+    info_.replicas.push_back(replicas_.back()->id());
+  }
+  for (auto& replica : replicas_) replica->start(info_);
+}
+
+void Group::set_admin(ProcessId admin) {
+  admin_ = admin;
+  for (auto& replica : replicas_) replica->set_admin(admin);
+}
+
+int Group::add_standby(sim::Simulation& sim,
+                       std::unique_ptr<Application> app) {
+  const int index = static_cast<int>(replicas_.size());
+  replicas_.push_back(std::make_unique<Replica>(
+      sim, info_.id, info_.f, index, std::move(app), FaultSpec::correct()));
+  if (admin_.valid()) replicas_.back()->set_admin(admin_);
+  replicas_.back()->start_standby(info_);
+  return index;
+}
+
+std::vector<int> Group::correct_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < n(); ++i) {
+    if (!replica(i).faults().is_byzantine()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace byzcast::bft

@@ -1,0 +1,55 @@
+// Owns the 3f+1 replicas of one atomic broadcast group and wires their
+// membership. The application instance for each replica comes from an
+// AppFactory, so the same helper assembles plain echo groups (BFT-SMaRt
+// benchmarks), ByzCast tree nodes and Baseline relays.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bft/application.hpp"
+#include "bft/fault.hpp"
+#include "bft/replica.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::bft {
+
+class Group {
+ public:
+  /// Creates and starts 3f+1 replicas. `faults[i]` (when provided) applies
+  /// to replica i; at most f replicas should be faulty for the protocol's
+  /// guarantees to hold.
+  Group(sim::Simulation& sim, GroupId id, int f, const AppFactory& make_app,
+        const std::vector<FaultSpec>& faults = {});
+
+  /// The INITIAL membership (what clients are configured with). After a
+  /// reconfiguration the live membership is per-replica:
+  /// `replica(i).current_membership()`.
+  [[nodiscard]] const GroupInfo& info() const { return info_; }
+  [[nodiscard]] GroupId id() const { return info_.id; }
+  [[nodiscard]] int f() const { return info_.f; }
+  [[nodiscard]] int n() const { return info_.n(); }
+
+  [[nodiscard]] Replica& replica(int index) { return *replicas_[index]; }
+  [[nodiscard]] const Replica& replica(int index) const {
+    return *replicas_[index];
+  }
+
+  /// Indices of replicas configured as correct (tests assert on these only).
+  [[nodiscard]] std::vector<int> correct_indices() const;
+
+  /// Authorizes `admin` to reconfigure this group (propagates to every
+  /// replica, including standbys created afterwards).
+  void set_admin(ProcessId admin);
+
+  /// Creates a standby replica (not in the membership) that can be swapped
+  /// in by an ordered reconfiguration. Returns its index (>= n()).
+  int add_standby(sim::Simulation& sim, std::unique_ptr<Application> app);
+
+ private:
+  GroupInfo info_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  ProcessId admin_{};
+};
+
+}  // namespace byzcast::bft

@@ -1,0 +1,250 @@
+#include "bft/message.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::bft {
+
+namespace {
+
+void put_digest(Writer& w, const Digest& d) {
+  w.bytes(BytesView(d.data(), d.size()));
+}
+
+Digest get_digest(Reader& r) {
+  const Bytes raw = r.bytes();
+  BZC_EXPECTS(raw.size() == 32);
+  Digest d;
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+MsgType peek_type(BytesView payload) {
+  BZC_EXPECTS(!payload.empty());
+  return static_cast<MsgType>(payload[0]);
+}
+
+void Request::encode(Writer& w) const {
+  w.group_id(group);
+  w.process_id(origin);
+  w.u64(seq);
+  w.u8(reconfig ? 1 : 0);
+  w.bytes(op);
+}
+
+Request Request::decode(Reader& r) {
+  Request req;
+  req.group = r.group_id();
+  req.origin = r.process_id();
+  req.seq = r.u64();
+  req.reconfig = r.u8() != 0;
+  req.op = r.bytes();
+  return req;
+}
+
+Bytes encode_batch(const Batch& batch) {
+  Writer w;
+  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  return w.take();
+}
+
+Batch decode_batch(Reader& r) {
+  return r.vec<Request>([](Reader& rr) { return Request::decode(rr); });
+}
+
+Digest batch_digest(const Batch& batch) {
+  const Bytes encoded = encode_batch(batch);
+  return Sha256::hash(encoded);
+}
+
+Bytes Propose::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kPropose));
+  w.u64(view);
+  w.u64(instance);
+  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  return w.take();
+}
+
+Propose Propose::decode(Reader& r) {
+  Propose p;
+  p.view = r.u64();
+  p.instance = r.u64();
+  p.batch = decode_batch(r);
+  return p;
+}
+
+std::uint32_t peek_propose_count(BytesView payload) {
+  BZC_EXPECTS(peek_type(payload) == MsgType::kPropose);
+  // Layout: [tag u8][view u64][instance u64][count u32]...
+  Reader r(payload);
+  (void)r.u8();
+  (void)r.u64();
+  (void)r.u64();
+  return r.u32();
+}
+
+Bytes Vote::encode() const {
+  BZC_EXPECTS(phase == MsgType::kWrite || phase == MsgType::kAccept);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(phase));
+  w.u64(view);
+  w.u64(instance);
+  put_digest(w, digest);
+  return w.take();
+}
+
+Vote Vote::decode(MsgType type, Reader& r) {
+  BZC_EXPECTS(type == MsgType::kWrite || type == MsgType::kAccept);
+  Vote v;
+  v.phase = type;
+  v.view = r.u64();
+  v.instance = r.u64();
+  v.digest = get_digest(r);
+  return v;
+}
+
+Bytes Reply::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReply));
+  w.group_id(group);
+  w.u64(seq);
+  w.bytes(result);
+  return w.take();
+}
+
+Reply Reply::decode(Reader& r) {
+  Reply rep;
+  rep.group = r.group_id();
+  rep.seq = r.u64();
+  rep.result = r.bytes();
+  return rep;
+}
+
+Bytes Stop::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStop));
+  w.u64(next_view);
+  return w.take();
+}
+
+Stop Stop::decode(Reader& r) {
+  Stop s;
+  s.next_view = r.u64();
+  return s;
+}
+
+Bytes StopData::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStopData));
+  w.u64(next_view);
+  w.u64(next_instance);
+  w.u8(has_value ? 1 : 0);
+  w.u64(value_view);
+  w.vec(value, [](Writer& ww, const Request& req) { req.encode(ww); });
+  return w.take();
+}
+
+StopData StopData::decode(Reader& r) {
+  StopData s;
+  s.next_view = r.u64();
+  s.next_instance = r.u64();
+  s.has_value = r.u8() != 0;
+  s.value_view = r.u64();
+  s.value = decode_batch(r);
+  return s;
+}
+
+Bytes Sync::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kSync));
+  w.u64(next_view);
+  w.u64(instance);
+  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  return w.take();
+}
+
+Sync Sync::decode(Reader& r) {
+  Sync s;
+  s.next_view = r.u64();
+  s.instance = r.u64();
+  s.batch = decode_batch(r);
+  return s;
+}
+
+Bytes StateRequest::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateRequest));
+  w.u64(from_instance);
+  return w.take();
+}
+
+StateRequest StateRequest::decode(Reader& r) {
+  StateRequest s;
+  s.from_instance = r.u64();
+  return s;
+}
+
+Bytes StateResponse::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateResponse));
+  w.u64(first_instance);
+  w.u32(static_cast<std::uint32_t>(batches.size()));
+  for (const auto& batch : batches) {
+    w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  }
+  w.u8(has_snapshot ? 1 : 0);
+  w.u64(snapshot_instance);
+  w.bytes(snapshot);
+  return w.take();
+}
+
+StateResponse StateResponse::decode(Reader& r) {
+  StateResponse s;
+  s.first_instance = r.u64();
+  const auto n = r.u32();
+  s.batches.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.batches.push_back(decode_batch(r));
+  s.has_snapshot = r.u8() != 0;
+  s.snapshot_instance = r.u64();
+  s.snapshot = r.bytes();
+  return s;
+}
+
+Bytes Frontier::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFrontier));
+  w.u64(view);
+  w.u64(next_instance);
+  return w.take();
+}
+
+Frontier Frontier::decode(Reader& r) {
+  Frontier f;
+  f.view = r.u64();
+  f.next_instance = r.u64();
+  return f;
+}
+
+Bytes encode_request(const Request& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRequest));
+  req.encode(w);
+  return w.take();
+}
+
+Request decode_request(Reader& r) { return Request::decode(r); }
+
+Bytes encode_membership(const std::vector<ProcessId>& replicas) {
+  Writer w;
+  w.vec(replicas, [](Writer& ww, ProcessId p) { ww.process_id(p); });
+  return w.take();
+}
+
+std::vector<ProcessId> decode_membership(BytesView raw) {
+  Reader r(raw);
+  return r.vec<ProcessId>([](Reader& rr) { return rr.process_id(); });
+}
+
+}  // namespace byzcast::bft

@@ -1,0 +1,171 @@
+// Wire message types of the per-group FIFO BFT atomic broadcast (Mod-SMaRt
+// style): client requests, the PROPOSE/WRITE/ACCEPT consensus pattern,
+// replies, the synchronization phase (STOP/STOPDATA/SYNC) and state
+// transfer. Each type encodes/decodes through the common binary codec; the
+// first payload byte is the type tag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serde.hpp"
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::bft {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kPropose,
+  kWrite,
+  kAccept,
+  kReply,
+  kStop,
+  kStopData,
+  kSync,
+  kStateRequest,
+  kStateResponse,
+  kFrontier,
+};
+
+/// Peeks the type tag of an encoded bft message.
+[[nodiscard]] MsgType peek_type(BytesView payload);
+
+/// A totally-ordered unit: `origin`'s `seq`-th operation, addressed to the
+/// broadcast of group `group`. (origin, seq) identifies the request for
+/// deduplication and FIFO delivery.
+struct Request {
+  GroupId group;
+  ProcessId origin;
+  std::uint64_t seq = 0;
+  /// Administrative membership change (op = encoded membership); admitted
+  /// only from the group's configured administrator and executed by the
+  /// replica itself rather than the application.
+  bool reconfig = false;
+  Bytes op;
+
+  [[nodiscard]] MessageId id() const { return MessageId{origin, seq}; }
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static Request decode(Reader& r);
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+using Batch = std::vector<Request>;
+
+/// Digest of an encoded batch (consensus agrees on this value).
+[[nodiscard]] Digest batch_digest(const Batch& batch);
+[[nodiscard]] Bytes encode_batch(const Batch& batch);
+[[nodiscard]] Batch decode_batch(Reader& r);
+
+/// Leader's proposal for one consensus instance.
+struct Propose {
+  std::uint64_t view = 0;
+  std::uint64_t instance = 0;
+  Batch batch;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Propose decode(Reader& r);
+};
+
+/// Number of requests in an encoded PROPOSE, without a full decode (used by
+/// the service-cost model).
+[[nodiscard]] std::uint32_t peek_propose_count(BytesView payload);
+
+/// WRITE or ACCEPT vote over the batch digest.
+struct Vote {
+  MsgType phase = MsgType::kWrite;  // kWrite or kAccept
+  std::uint64_t view = 0;
+  std::uint64_t instance = 0;
+  Digest digest{};
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Vote decode(MsgType type, Reader& r);
+};
+
+/// Reply to the origin of a request. The responding replica is identified by
+/// the wire-level sender; `group` tells multi-group clients which
+/// destination group is answering.
+struct Reply {
+  GroupId group;
+  std::uint64_t seq = 0;
+  Bytes result;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Reply decode(Reader& r);
+};
+
+/// Ask peers to move to `next_view` (leader suspected).
+struct Stop {
+  std::uint64_t next_view = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Stop decode(Reader& r);
+};
+
+/// Replica state sent to the leader of `next_view`: how far it decided and
+/// any value it WROTE for the open instance.
+struct StopData {
+  std::uint64_t next_view = 0;
+  std::uint64_t next_instance = 0;  // first undecided instance
+  bool has_value = false;
+  std::uint64_t value_view = 0;  // view in which the value was written
+  Batch value;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StopData decode(Reader& r);
+};
+
+/// New leader's re-proposal that re-activates the view.
+struct Sync {
+  std::uint64_t next_view = 0;
+  std::uint64_t instance = 0;
+  Batch batch;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Sync decode(Reader& r);
+};
+
+/// Request decided instances starting at `from_instance`.
+struct StateRequest {
+  std::uint64_t from_instance = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StateRequest decode(Reader& r);
+};
+
+/// Decided log tail (and, when the log was truncated below `from_instance`,
+/// the latest checkpoint snapshot).
+struct StateResponse {
+  std::uint64_t first_instance = 0;      // instance of batches.front()
+  std::vector<Batch> batches;
+  bool has_snapshot = false;
+  std::uint64_t snapshot_instance = 0;   // next_instance the snapshot encodes
+  Bytes snapshot;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static StateResponse decode(Reader& r);
+};
+
+/// Progress gossip sent in response to a STOP: tells a (possibly lagging)
+/// peer how far we are, so it can trigger state transfer / view catch-up.
+struct Frontier {
+  std::uint64_t view = 0;
+  std::uint64_t next_instance = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Frontier decode(Reader& r);
+};
+
+/// Encodes a client/relayer request message.
+[[nodiscard]] Bytes encode_request(const Request& req);
+[[nodiscard]] Request decode_request(Reader& r);
+
+/// Membership payload of a reconfiguration request.
+[[nodiscard]] Bytes encode_membership(const std::vector<ProcessId>& replicas);
+[[nodiscard]] std::vector<ProcessId> decode_membership(BytesView raw);
+
+}  // namespace byzcast::bft

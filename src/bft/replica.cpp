@@ -1,0 +1,774 @@
+#include "bft/replica.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+
+namespace byzcast::bft {
+
+Replica::Replica(sim::Simulation& sim, GroupId group, int f, int index,
+                 std::unique_ptr<Application> app, FaultSpec faults)
+    : Actor(sim, to_string(group) + "/r" + std::to_string(index)),
+      group_(group),
+      f_(f),
+      index_(index),
+      app_(std::move(app)),
+      faults_(faults) {
+  BZC_EXPECTS(f_ >= 1);
+  BZC_EXPECTS(app_ != nullptr);
+  app_->attach(*this);
+}
+
+/// Encodes the replica-local durable state carried by checkpoints and state
+/// transfer: application snapshot + delivery bookkeeping + membership (so a
+/// standby that restores a post-reconfiguration snapshot learns it joined).
+Bytes Replica::make_snapshot() const {
+  Writer w;
+  w.bytes(app_->snapshot());
+  w.u64(executed_);
+  w.bytes(BytesView(history_digest_.data(), history_digest_.size()));
+  std::vector<std::pair<ProcessId, std::uint64_t>> entries(fifo_next_.begin(),
+                                                           fifo_next_.end());
+  std::sort(entries.begin(), entries.end());
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [pid, seq] : entries) {
+    w.process_id(pid);
+    w.u64(seq);
+  }
+  w.vec(info_.replicas, [](Writer& ww, ProcessId p) { ww.process_id(p); });
+  return w.take();
+}
+
+void Replica::restore_snapshot(BytesView snapshot) {
+  Reader sr(snapshot);
+  const Bytes app_bytes = sr.bytes();
+  app_->restore(app_bytes);
+  executed_ = sr.u64();
+  const Bytes hist = sr.bytes();
+  BZC_ASSERT(hist.size() == history_digest_.size());
+  std::copy(hist.begin(), hist.end(), history_digest_.begin());
+  fifo_next_.clear();
+  holdback_.clear();
+  const auto n = sr.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId pid = sr.process_id();
+    fifo_next_[pid] = sr.u64();
+  }
+  info_.replicas =
+      sr.vec<ProcessId>([](Reader& rr) { return rr.process_id(); });
+  if (info_.is_member(id())) {
+    standby_ = false;
+  } else if (!standby_) {
+    removed_ = true;
+    crash();
+  }
+}
+
+void Replica::start(const GroupInfo& info) {
+  BZC_EXPECTS(!started_);
+  BZC_EXPECTS(info.id == group_ && info.f == f_);
+  BZC_EXPECTS(static_cast<int>(info.replicas.size()) == 3 * f_ + 1);
+  BZC_EXPECTS(info.replicas[static_cast<std::size_t>(index_)] == id());
+  info_ = info;
+  started_ = true;
+  if (faults_.silent) {
+    crash();
+    return;
+  }
+  if (faults_.silent_after >= 0) {
+    schedule_in(faults_.silent_after, [this] { crash(); });
+  }
+  arm_liveness_timer();
+}
+
+void Replica::start_standby(const GroupInfo& info) {
+  BZC_EXPECTS(!started_);
+  BZC_EXPECTS(info.id == group_ && info.f == f_);
+  BZC_EXPECTS(!info.is_member(id()));
+  info_ = info;
+  started_ = true;
+  standby_ = true;
+  arm_liveness_timer();  // drives anti-entropy once evidence arrives
+}
+
+ProcessId Replica::leader_of(std::uint64_t view) const {
+  return info_.replicas[view % info_.replicas.size()];
+}
+
+bool Replica::is_leader() const { return leader_of(view_) == id(); }
+
+void Replica::broadcast(const Bytes& payload) {
+  for (const ProcessId peer : info_.replicas) {
+    if (peer != id()) send(peer, payload);
+  }
+}
+
+Time Replica::service_cost(const sim::WireMessage& msg) const {
+  if (msg.payload.empty()) return 0;
+  const auto& pr = sim().profile();
+  switch (peek_type(msg.payload)) {
+    case MsgType::kRequest:
+      return pr.cpu_request_admission;
+    case MsgType::kPropose:
+      return pr.cpu_validate_fixed +
+             pr.cpu_validate_per_msg *
+                 static_cast<Time>(peek_propose_count(msg.payload));
+    case MsgType::kWrite:
+    case MsgType::kAccept:
+      return pr.cpu_vote;
+    default:
+      return pr.cpu_vote;
+  }
+}
+
+void Replica::on_message(const sim::WireMessage& msg) {
+  if (!started_ || msg.payload.empty()) return;
+  if (!verify(msg)) return;  // unauthenticated traffic is dropped
+  Reader r(msg.payload);
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kRequest:
+      handle_request(msg, r);
+      break;
+    case MsgType::kPropose:
+      handle_propose(msg, r);
+      break;
+    case MsgType::kWrite:
+    case MsgType::kAccept:
+      handle_vote(type, msg, r);
+      break;
+    case MsgType::kStop:
+      handle_stop(msg, r);
+      break;
+    case MsgType::kStopData:
+      handle_stopdata(msg, r);
+      break;
+    case MsgType::kSync:
+      handle_sync(msg, r);
+      break;
+    case MsgType::kStateRequest:
+      handle_state_request(msg, r);
+      break;
+    case MsgType::kStateResponse:
+      handle_state_response(msg, r);
+      break;
+    case MsgType::kFrontier:
+      handle_frontier(msg, r);
+      break;
+    case MsgType::kReply:
+      break;  // replicas do not consume replies
+  }
+}
+
+// --- request admission ------------------------------------------------------
+
+void Replica::handle_request(const sim::WireMessage& msg, Reader& r) {
+  Request req = decode_request(r);
+  // A request is admitted only if its claimed origin is the authenticated
+  // wire-level sender: a Byzantine process can inject content as itself but
+  // cannot impersonate others.
+  if (req.origin != msg.from || req.group != group_) {
+    ++counters_.rejected_requests;
+    return;
+  }
+  if (req.reconfig && (!admin_.valid() || req.origin != admin_)) {
+    ++counters_.rejected_requests;  // unauthorized membership change
+    return;
+  }
+  admit_request(std::move(req));
+}
+
+void Replica::admit_request(Request req) {
+  const MessageId rid = req.id();
+  if (decided_requests_.contains(rid) || pending_since_.contains(rid)) return;
+  pending_since_.emplace(rid, now());
+  pending_.push_back(std::move(req));
+  maybe_start_consensus();
+}
+
+void Replica::maybe_start_consensus() {
+  if (!is_leader() || !view_active_ || open_.has_value() ||
+      propose_scheduled_ || pending_.empty()) {
+    return;
+  }
+  // The fixed proposal cost is modeled as a real assembly delay: the batch
+  // is cut when the delay elapses, so requests arriving meanwhile ride the
+  // same consensus instance (BFT-SMaRt's batching behaviour), and a single
+  // client's latency includes the leader's proposal work.
+  propose_scheduled_ = true;
+  schedule_in(sim().profile().cpu_propose_fixed, [this] {
+    propose_scheduled_ = false;
+    if (crashed()) return;
+    do_propose();
+  });
+}
+
+void Replica::do_propose() {
+  if (!is_leader() || !view_active_ || open_.has_value() || pending_.empty())
+    return;
+  const auto& pr = sim().profile();
+  Batch batch;
+  const std::size_t take =
+      std::min<std::size_t>(pending_.size(), pr.batch_max);
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) batch.push_back(pending_[i]);
+
+  consume_cpu(pr.cpu_propose_per_msg * static_cast<Time>(batch.size()));
+  ++counters_.proposals_made;
+
+  if (faults_.equivocate_propose && batch.size() >= 1) {
+    // Send batch A to the first half of the peers and a reordered batch B to
+    // the rest. The WRITE quorum intersection ensures at most one decides.
+    Batch alt(batch.rbegin(), batch.rend());
+    if (alt.size() == 1) {
+      alt[0].op.push_back(0xEE);  // single request: corrupt the copy instead
+    }
+    const Propose pa{view_, next_instance_, batch};
+    const Propose pb{view_, next_instance_, alt};
+    const Bytes ea = pa.encode();
+    const Bytes eb = pb.encode();
+    std::size_t k = 0;
+    for (const ProcessId peer : info_.replicas) {
+      if (peer == id()) continue;
+      send(peer, (k++ % 2 == 0) ? ea : eb);
+    }
+  } else {
+    const Propose p{view_, next_instance_, batch};
+    broadcast(p.encode());
+  }
+  accept_proposal(view_, next_instance_, std::move(batch));
+}
+
+// --- consensus ---------------------------------------------------------------
+
+void Replica::handle_propose(const sim::WireMessage& msg, Reader& r) {
+  Propose p = Propose::decode(r);
+  if (msg.from != leader_of(p.view)) return;  // only the view's leader
+  if (p.view > view_) max_seen_view_ = std::max(max_seen_view_, p.view);
+  accept_proposal(p.view, p.instance, std::move(p.batch));
+}
+
+void Replica::accept_proposal(std::uint64_t view, std::uint64_t instance,
+                              Batch batch) {
+  if (instance < next_instance_) return;  // already decided
+  if (instance > next_instance_) {
+    max_seen_instance_ = std::max(max_seen_instance_, instance);
+    request_state_transfer();  // we are behind regardless of views
+    return;
+  }
+  if (view != view_ || !view_active_) return;
+  if (open_ && open_->proposal) return;  // one proposal per (view, instance)
+
+  OpenConsensus oc;
+  oc.instance = instance;
+  oc.view = view;
+  oc.digest = batch_digest(batch);
+  oc.proposal = std::move(batch);
+  oc.sent_write = true;
+  open_ = std::move(oc);
+
+  const Vote write{MsgType::kWrite, view, instance, open_->digest};
+  votes_[VoteKey{instance, view, false, open_->digest}].insert(id());
+  broadcast(write.encode());
+  check_quorums();
+}
+
+void Replica::handle_vote(MsgType type, const sim::WireMessage& msg,
+                          Reader& r) {
+  const Vote v = Vote::decode(type, r);
+  if (v.instance < next_instance_) return;  // stale
+  if (!info_.is_member(msg.from)) return;
+  auto& voters =
+      votes_[VoteKey{v.instance, v.view, type == MsgType::kAccept, v.digest}];
+  voters.insert(msg.from);
+  if (v.view > view_) max_seen_view_ = std::max(max_seen_view_, v.view);
+  if (voters.size() >= static_cast<std::size_t>(f_ + 1)) {
+    if (v.phase == MsgType::kAccept) {
+      // f+1 ACCEPTs mean this instance is about to decide at correct
+      // replicas: remember it so anti-entropy fetches it even if we lost
+      // the proposal (e.g. it raced with our own catch-up).
+      max_seen_instance_ = std::max(max_seen_instance_, v.instance + 1);
+    }
+    if (v.instance > next_instance_) {
+      // The group moved on without us (partition, recovery). Catch up.
+      max_seen_instance_ = std::max(max_seen_instance_, v.instance);
+      request_state_transfer();
+    }
+  }
+  check_quorums();
+}
+
+void Replica::check_quorums() {
+  if (!open_ || !open_->proposal) return;
+  const auto quorum = static_cast<std::size_t>(info_.quorum());
+
+  if (!open_->sent_accept) {
+    const auto it = votes_.find(
+        VoteKey{open_->instance, open_->view, false, open_->digest});
+    if (it == votes_.end() || it->second.size() < quorum) return;
+    open_->sent_accept = true;
+    const Vote accept{MsgType::kAccept, open_->view, open_->instance,
+                      open_->digest};
+    votes_[VoteKey{open_->instance, open_->view, true, open_->digest}]
+        .insert(id());
+    broadcast(accept.encode());
+  }
+
+  const auto it = votes_.find(
+      VoteKey{open_->instance, open_->view, true, open_->digest});
+  if (it == votes_.end() || it->second.size() < quorum) return;
+
+  Batch decided_batch = std::move(*open_->proposal);
+  open_.reset();
+  decide(std::move(decided_batch));
+}
+
+void Replica::decide(Batch batch) {
+  BZC_ASSERT(log_base_ + log_.size() == next_instance_);
+  log_.push_back(batch);
+  ++next_instance_;
+
+  // A consensus we were still running for an instance that is now decided
+  // (e.g. adopted through state transfer after an equivocating leader split
+  // the proposals) is obsolete; drop it so later proposals are accepted.
+  if (open_ && open_->instance < next_instance_) open_.reset();
+
+  std::unordered_set<MessageId> in_batch;
+  in_batch.reserve(batch.size());
+  for (const auto& req : batch) {
+    const MessageId rid = req.id();
+    in_batch.insert(rid);
+    decided_requests_.insert(rid);
+    pending_since_.erase(rid);
+  }
+  std::erase_if(pending_,
+                [&in_batch](const Request& req) {
+                  return in_batch.contains(req.id());
+                });
+  // Progress resets suspicion: requests still pending restart their clock,
+  // so a busy-but-live leader is not suspected merely because the queue is
+  // longer than the timeout.
+  for (auto& [rid, since] : pending_since_) since = now();
+
+  // Garbage-collect votes below the decided frontier.
+  while (!votes_.empty() && votes_.begin()->first.instance < next_instance_) {
+    votes_.erase(votes_.begin());
+  }
+
+  execute_batch(batch);
+  maybe_checkpoint();
+  maybe_start_consensus();
+}
+
+// --- execution (total order -> per-origin FIFO -> application) ---------------
+
+void Replica::execute_batch(const Batch& batch) {
+  for (const auto& req : batch) deliver_fifo(req);
+}
+
+void Replica::deliver_fifo(const Request& req) {
+  auto& next = fifo_next_[req.origin];
+  if (req.seq < next) return;  // duplicate of an executed request
+  if (req.seq > next) {
+    holdback_[req.origin].emplace(req.seq, req);
+    return;
+  }
+  execute_one(req);
+  ++next;
+  auto& hb = holdback_[req.origin];
+  for (auto it = hb.find(next); it != hb.end(); it = hb.find(next)) {
+    execute_one(it->second);
+    hb.erase(it);
+    ++next;
+  }
+}
+
+void Replica::execute_one(const Request& req) {
+  ++executed_;
+  // Fold the request into the rolling history digest (replicas of a group
+  // must agree on it — checked by tests).
+  Writer w;
+  w.bytes(BytesView(history_digest_.data(), history_digest_.size()));
+  w.message_id(req.id());
+  w.bytes(req.op);
+  history_digest_ = Sha256::hash(w.data());
+
+  consume_cpu(sim().profile().cpu_execute_per_msg);
+  if (req.reconfig) {
+    apply_reconfig(req);
+  } else {
+    app_->execute(req);
+  }
+}
+
+void Replica::apply_reconfig(const Request& req) {
+  // Defense in depth: the admission filter already enforces this, but the
+  // request may arrive through state transfer from before admin changes.
+  if (!admin_.valid() || req.origin != admin_) return;
+  std::vector<ProcessId> next = decode_membership(req.op);
+  if (static_cast<int>(next.size()) != 3 * f_ + 1) return;
+  for (const ProcessId p : next) {
+    if (!p.valid()) return;
+  }
+  info_.replicas = std::move(next);
+  if (!info_.is_member(id())) {
+    // We were reconfigured out; retire (BFT-SMaRt shuts the replica down).
+    removed_ = true;
+    crash();
+    return;
+  }
+  standby_ = false;
+  // Leadership may have moved onto or off us; resume proposing if due.
+  maybe_start_consensus();
+}
+
+void Replica::maybe_checkpoint() {
+  if (log_.size() < sim().profile().checkpoint_period) return;
+  checkpoint_snapshot_ = make_snapshot();
+  checkpoint_instance_ = next_instance_;
+  log_base_ = next_instance_;
+  log_.clear();
+  ++counters_.checkpoints_taken;
+}
+
+void Replica::send_reply(const Request& req, Bytes result) {
+  if (faults_.corrupt_replies) {
+    // Replica-specific garbage (a faulty-but-not-colluding replica).
+    // Colluding replicas that agree on identical wrong bytes can only fool
+    // a client when more than f are faulty — outside the fault model.
+    result.assign(result.size() + 1, 0xBD);
+    result.push_back(static_cast<std::uint8_t>(id().value));
+  }
+  const Reply rep{group_, req.seq, std::move(result)};
+  send(req.origin, rep.encode());
+}
+
+void Replica::send_request(ProcessId to, const Request& req) {
+  send(to, encode_request(req));
+}
+
+// --- view change --------------------------------------------------------------
+
+void Replica::arm_liveness_timer() {
+  const Time period = sim().profile().leader_timeout / 2;
+  schedule_in(period, [this] {
+    if (crashed()) return;
+    on_liveness_check();
+    arm_liveness_timer();
+  });
+}
+
+void Replica::on_liveness_check() {
+  const Time timeout = sim().profile().leader_timeout;
+  // Anti-entropy: credible evidence says the group decided past us, and the
+  // earlier (rate-limited) transfer did not close the gap — retry.
+  if (max_seen_instance_ > next_instance_) {
+    request_state_transfer();
+  }
+  // View catch-up: peers operate in a later view (we missed its STOP
+  // quorum, e.g. while partitioned). Broadcasting a STOP for that view makes
+  // every up-to-date peer echo theirs, giving us the 2f+1 evidence to
+  // install it; the leader then re-sends its SYNC (handle_stopdata).
+  if (max_seen_view_ > view_) {
+    stop_votes_[max_seen_view_].insert(id());
+    broadcast(Stop{max_seen_view_}.encode());
+  }
+  if (view_active_) {
+    if (pending_since_.empty()) return;
+    Time oldest = now();
+    for (const auto& [rid, since] : pending_since_) {
+      oldest = std::min(oldest, since);
+    }
+    if (now() - oldest > timeout) request_view_change(view_ + 1);
+  } else {
+    // Stuck synchronization phase (e.g. the new leader is also faulty).
+    if (now() - view_change_started_ > timeout) {
+      request_view_change(view_ + 1);
+    }
+  }
+}
+
+void Replica::request_view_change(std::uint64_t next_view) {
+  // Re-broadcasting the same STOP is allowed (and needed): the first
+  // attempt may have been lost to a partition, and peers answer every STOP
+  // with a Frontier, which is how a lagging replica discovers it fell
+  // behind rather than the leader having failed.
+  if (next_view <= view_ || next_view < stop_requested_for_) return;
+  stop_requested_for_ = next_view;
+  stop_votes_[next_view].insert(id());
+  broadcast(Stop{next_view}.encode());
+  if (stop_votes_[next_view].size() >=
+      static_cast<std::size_t>(info_.quorum())) {
+    install_view(next_view);
+  }
+}
+
+void Replica::handle_stop(const sim::WireMessage& msg, Reader& r) {
+  const Stop s = Stop::decode(r);
+  if (!info_.is_member(msg.from)) return;
+  // Whatever we do with the STOP, tell the sender how far we are: a replica
+  // that suspects a live system is usually one that fell behind (this is
+  // our stand-in for Mod-SMaRt's request forwarding on STOP).
+  send(msg.from, Frontier{view_, next_instance_}.encode());
+  if (s.next_view <= view_) {
+    // The sender lags behind our view; echo our STOP so it can collect the
+    // f+1 evidence it needs to join the present (idempotent, bounded).
+    if (s.next_view < view_ || stop_requested_for_ >= view_) {
+      send(msg.from, Stop{view_}.encode());
+    }
+    return;
+  }
+  auto& voters = stop_votes_[s.next_view];
+  voters.insert(msg.from);
+  // f+1 STOPs prove at least one correct replica suspects: join.
+  if (voters.size() >= static_cast<std::size_t>(f_ + 1) &&
+      stop_requested_for_ < s.next_view) {
+    stop_requested_for_ = s.next_view;
+    voters.insert(id());
+    broadcast(Stop{s.next_view}.encode());
+  }
+  if (voters.size() >= static_cast<std::size_t>(info_.quorum())) {
+    install_view(s.next_view);
+  }
+}
+
+void Replica::install_view(std::uint64_t next_view) {
+  if (next_view <= view_) return;
+  ++counters_.views_installed;
+  view_ = next_view;
+  view_active_ = false;
+  view_change_started_ = now();
+
+  StopData sd;
+  sd.next_view = next_view;
+  sd.next_instance = next_instance_;
+  if (open_ && open_->proposal && open_->sent_write) {
+    sd.has_value = true;
+    sd.value_view = open_->view;
+    sd.value = *open_->proposal;
+  }
+  open_.reset();
+
+  const ProcessId leader = leader_of(next_view);
+  if (leader == id()) {
+    stopdata_[next_view][id()] = std::move(sd);
+    leader_try_sync();
+  } else {
+    send(leader, sd.encode());
+  }
+}
+
+void Replica::handle_stopdata(const sim::WireMessage& msg, Reader& r) {
+  StopData sd = StopData::decode(r);
+  if (!info_.is_member(msg.from)) return;
+  if (leader_of(sd.next_view) != id()) return;
+  if (sd.next_view < view_) return;
+  if (sd.next_view == view_ && view_active_) {
+    // A replica that installed our view late still needs the SYNC to become
+    // active; re-send the one we activated the view with.
+    const auto it = sync_sent_.find(view_);
+    if (it != sync_sent_.end()) send(msg.from, it->second.encode());
+    return;
+  }
+  stopdata_[sd.next_view][msg.from] = std::move(sd);
+  leader_try_sync();
+}
+
+void Replica::leader_try_sync() {
+  if (view_active_ || leader_of(view_) != id()) return;
+  auto it = stopdata_.find(view_);
+  if (it == stopdata_.end()) return;
+  auto& collected = it->second;
+  if (!collected.contains(id())) return;  // must have installed ourselves
+  if (collected.size() < static_cast<std::size_t>(info_.quorum())) return;
+
+  std::uint64_t h = next_instance_;
+  for (const auto& [pid, sd] : collected) h = std::max(h, sd.next_instance);
+
+  if (next_instance_ < h) {
+    // We are behind the quorum's decided frontier; catch up first, then the
+    // state-transfer completion path re-invokes this function.
+    request_state_transfer();
+    return;
+  }
+
+  // Pick the safe value for instance h. A value decided in an earlier view
+  // had 2f+1 WRITErs, so any 2f+1 STOPDATA contain at least f+1 reports of
+  // it — and no two values can both collect f+1 reports out of 2f+1.
+  // Therefore: re-propose the value with >= f+1 matching reports at frontier
+  // h if one exists; otherwise nothing was decided and a fresh batch is
+  // safe. (Byzantine STOPDATA could lie; production protocols carry signed
+  // WRITE certificates. Our fault specs do not include lying in STOPDATA —
+  // see DESIGN.md §3.)
+  Batch chosen;
+  bool has_chosen = false;
+  std::map<Digest, std::pair<std::size_t, const Batch*>> reports;
+  for (const auto& [pid, sd] : collected) {
+    if (!sd.has_value || sd.next_instance != h) continue;
+    auto& entry = reports[batch_digest(sd.value)];
+    ++entry.first;
+    entry.second = &sd.value;
+  }
+  for (const auto& [digest, entry] : reports) {
+    if (entry.first >= static_cast<std::size_t>(f_ + 1)) {
+      has_chosen = true;
+      chosen = *entry.second;
+      break;
+    }
+  }
+  if (!has_chosen) {
+    // Fresh batch from pending requests (possibly empty: a no-op instance
+    // that simply re-activates the view).
+    const auto& pr = sim().profile();
+    const std::size_t take =
+        std::min<std::size_t>(pending_.size(), pr.batch_max);
+    chosen.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) chosen.push_back(pending_[i]);
+  }
+
+  const Sync sync{view_, h, chosen};
+  sync_sent_[view_] = sync;
+  broadcast(sync.encode());
+  view_active_ = true;
+  accept_proposal(view_, h, std::move(chosen));
+}
+
+void Replica::handle_sync(const sim::WireMessage& msg, Reader& r) {
+  Sync s = Sync::decode(r);
+  if (msg.from != leader_of(s.next_view)) return;
+  if (s.next_view > view_) {
+    max_seen_view_ = std::max(max_seen_view_, s.next_view);
+    return;
+  }
+  if (s.next_view != view_) return;
+  if (view_active_) return;
+  if (s.instance < next_instance_) {
+    view_active_ = true;  // we already have this instance; just resume
+    maybe_start_consensus();
+    return;
+  }
+  if (s.instance > next_instance_) {
+    request_state_transfer();
+    return;
+  }
+  view_active_ = true;
+  accept_proposal(view_, s.instance, std::move(s.batch));
+}
+
+void Replica::handle_frontier(const sim::WireMessage& msg, Reader& r) {
+  const Frontier f = Frontier::decode(r);
+  if (!info_.is_member(msg.from)) return;
+  // A single claim cannot be trusted, but acting on it is safe: state
+  // transfer applies nothing without f+1 matching responses, and the view
+  // catch-up path needs 2f+1 STOPs. Worst case a Byzantine frontier costs
+  // one rate-limited request.
+  if (f.next_instance > next_instance_) {
+    max_seen_instance_ = std::max(max_seen_instance_, f.next_instance);
+    request_state_transfer();
+  }
+  if (f.view > view_) max_seen_view_ = std::max(max_seen_view_, f.view);
+}
+
+// --- state transfer -------------------------------------------------------------
+
+void Replica::request_state_transfer() {
+  if (last_state_request_ >= 0 &&
+      now() - last_state_request_ < 500 * kMillisecond) {
+    return;
+  }
+  last_state_request_ = now();
+  ++counters_.state_transfers;
+  state_responses_.clear();
+  broadcast(StateRequest{next_instance_}.encode());
+}
+
+void Replica::handle_state_request(const sim::WireMessage& msg, Reader& r) {
+  const StateRequest req = StateRequest::decode(r);
+  // Served to anyone: standby replicas must be able to bootstrap before
+  // they appear in the membership. (Responses are cheap and rate-limiting
+  // abusers is a transport concern outside this simulation's scope.)
+  if (next_instance_ <= req.from_instance) return;  // nothing to offer
+
+  StateResponse resp;
+  std::uint64_t from = req.from_instance;
+  if (from < log_base_) {
+    resp.has_snapshot = true;
+    resp.snapshot_instance = log_base_;
+    resp.snapshot = checkpoint_snapshot_;
+    from = log_base_;
+  }
+  resp.first_instance = from;
+  for (std::uint64_t i = from; i < next_instance_; ++i) {
+    resp.batches.push_back(log_[i - log_base_]);
+  }
+  send(msg.from, resp.encode());
+}
+
+void Replica::handle_state_response(const sim::WireMessage& msg, Reader& r) {
+  if (!info_.is_member(msg.from)) return;
+  state_responses_[msg.from] = StateResponse::decode(r);
+  try_apply_state();
+}
+
+void Replica::try_apply_state() {
+  const auto needed = static_cast<std::size_t>(f_ + 1);
+  if (state_responses_.size() < needed) return;
+
+  // Step 1: if we are below every offered log, adopt a snapshot vouched by
+  // f+1 identical copies.
+  std::map<std::pair<std::uint64_t, Digest>, std::size_t> snapshot_votes;
+  for (const auto& [pid, resp] : state_responses_) {
+    if (!resp.has_snapshot || resp.snapshot_instance <= next_instance_)
+      continue;
+    const auto key =
+        std::make_pair(resp.snapshot_instance, Sha256::hash(resp.snapshot));
+    if (++snapshot_votes[key] >= needed) {
+      for (const auto& [pid2, resp2] : state_responses_) {
+        if (resp2.has_snapshot && resp2.snapshot_instance == key.first &&
+            Sha256::hash(resp2.snapshot) == key.second) {
+          // Restore replica-local durable state.
+          restore_snapshot(resp2.snapshot);
+          next_instance_ = key.first;
+          log_base_ = key.first;
+          log_.clear();
+          checkpoint_snapshot_ = resp2.snapshot;
+          checkpoint_instance_ = key.first;
+          // A consensus left open below the restored frontier is obsolete
+          // and must not block proposals for the new frontier.
+          if (open_ && open_->instance < next_instance_) open_.reset();
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  // Step 2: adopt decided batches instance by instance, each backed by f+1
+  // matching copies.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::map<Digest, std::size_t> batch_votes;
+    std::map<Digest, const Batch*> batch_by_digest;
+    for (const auto& [pid, resp] : state_responses_) {
+      const std::uint64_t idx_base = resp.first_instance;
+      if (next_instance_ < idx_base) continue;
+      const std::uint64_t offset = next_instance_ - idx_base;
+      if (offset >= resp.batches.size()) continue;
+      const Batch& candidate = resp.batches[offset];
+      const Digest d = batch_digest(candidate);
+      batch_by_digest[d] = &candidate;
+      if (++batch_votes[d] >= needed) {
+        decide(*batch_by_digest[d]);
+        progressed = true;
+        break;
+      }
+    }
+  }
+
+  if (!view_active_ && leader_of(view_) == id()) leader_try_sync();
+  maybe_start_consensus();
+}
+
+}  // namespace byzcast::bft

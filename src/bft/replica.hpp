@@ -1,0 +1,224 @@
+// One replica of a FIFO BFT atomic broadcast group (Mod-SMaRt style).
+//
+// Normal case: clients send authenticated Requests to all replicas; the
+// leader of the current view runs sequential consensus instances, each over
+// a batch of pending requests, with the PBFT-like PROPOSE/WRITE/ACCEPT
+// pattern and 2f+1 quorums. Decided batches are appended to the log in
+// instance order; requests then pass a deterministic per-origin FIFO
+// hold-back and execute in the application.
+//
+// Leader failure: replicas that see pending requests starve broadcast STOP;
+// on 2f+1 STOPs the view advances, replicas send STOPDATA (any value they
+// WROTE for the open instance) to the new leader, which re-proposes a safe
+// value via SYNC. Replicas that fall behind catch up with state transfer
+// (f+1 matching responses; snapshot + log tail).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bft/application.hpp"
+#include "bft/fault.hpp"
+#include "bft/message.hpp"
+#include "sim/actor.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::bft {
+
+/// Static description of one group, shared with clients and peers.
+struct GroupInfo {
+  GroupId id;
+  int f = 1;
+  std::vector<ProcessId> replicas;  // size 3f+1, index = replica index
+
+  [[nodiscard]] int n() const { return static_cast<int>(replicas.size()); }
+  [[nodiscard]] int quorum() const { return 2 * f + 1; }
+  [[nodiscard]] bool is_member(ProcessId p) const {
+    return std::find(replicas.begin(), replicas.end(), p) != replicas.end();
+  }
+};
+
+class Replica final : public sim::Actor, public ReplicaContext {
+ public:
+  Replica(sim::Simulation& sim, GroupId group, int f, int index,
+          std::unique_ptr<Application> app, FaultSpec faults);
+
+  /// Wires the full membership once all replicas of the group exist, and
+  /// starts timers. Must be called exactly once before the simulation runs.
+  void start(const GroupInfo& info);
+
+  /// Starts this replica as a STANDBY: it knows the group's current
+  /// membership but is not part of it. It becomes active when an ordered
+  /// reconfiguration (learned via state transfer or live proposals) adds it
+  /// to the membership.
+  void start_standby(const GroupInfo& info);
+
+  /// Authorizes `admin` to submit reconfiguration requests. Reconfiguration
+  /// is disabled (every reconfig request rejected) until this is set.
+  void set_admin(ProcessId admin) { admin_ = admin; }
+
+  /// Current membership as seen by this replica (changes at reconfig).
+  [[nodiscard]] const GroupInfo& current_membership() const { return info_; }
+  [[nodiscard]] bool removed() const { return removed_; }
+
+  // --- ReplicaContext ----------------------------------------------------
+  [[nodiscard]] ProcessId self() const override { return id(); }
+  [[nodiscard]] GroupId group() const override { return group_; }
+  [[nodiscard]] int f() const override { return f_; }
+  [[nodiscard]] Time now() const override { return Actor::now(); }
+  [[nodiscard]] Rng& app_rng() override { return rng(); }
+  void send_reply(const Request& req, Bytes result) override;
+  void send_request(ProcessId to, const Request& req) override;
+  void consume_app_cpu(Time cost) override { consume_cpu(cost); }
+
+  // --- introspection (tests, benchmarks) ---------------------------------
+  [[nodiscard]] std::uint64_t decided_instances() const {
+    return next_instance_;
+  }
+  [[nodiscard]] std::uint64_t executed_requests() const { return executed_; }
+  [[nodiscard]] std::uint64_t view() const { return view_; }
+  [[nodiscard]] bool is_leader() const;
+  [[nodiscard]] const FaultSpec& faults() const { return faults_; }
+  [[nodiscard]] Application& application() { return *app_; }
+  /// Digest over the executed-request history (all correct replicas of a
+  /// group must agree on it at quiescence).
+  [[nodiscard]] Digest history_digest() const { return history_digest_; }
+
+  /// Protocol-event counters for tests and benchmark reports.
+  struct Counters {
+    std::uint64_t views_installed = 0;
+    std::uint64_t state_transfers = 0;    // requests actually sent
+    std::uint64_t proposals_made = 0;     // consensus instances led
+    std::uint64_t checkpoints_taken = 0;
+    std::uint64_t rejected_requests = 0;  // failed admission checks
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ protected:
+  void on_message(const sim::WireMessage& msg) override;
+  [[nodiscard]] Time service_cost(const sim::WireMessage& msg) const override;
+
+ private:
+  struct OpenConsensus {
+    std::uint64_t instance = 0;
+    std::uint64_t view = 0;
+    std::optional<Batch> proposal;
+    Digest digest{};
+    bool sent_write = false;
+    bool sent_accept = false;
+  };
+
+  // votes per (instance, view, phase, digest) -> distinct voters
+  struct VoteKey {
+    std::uint64_t instance;
+    std::uint64_t view;
+    bool accept_phase;
+    Digest digest;
+    friend bool operator<(const VoteKey& a, const VoteKey& b) {
+      if (a.instance != b.instance) return a.instance < b.instance;
+      if (a.view != b.view) return a.view < b.view;
+      if (a.accept_phase != b.accept_phase)
+        return a.accept_phase < b.accept_phase;
+      return a.digest < b.digest;
+    }
+  };
+
+  [[nodiscard]] ProcessId leader_of(std::uint64_t view) const;
+  void broadcast(const Bytes& payload);
+
+  void handle_request(const sim::WireMessage& msg, Reader& r);
+  void handle_propose(const sim::WireMessage& msg, Reader& r);
+  void handle_vote(MsgType type, const sim::WireMessage& msg, Reader& r);
+  void handle_stop(const sim::WireMessage& msg, Reader& r);
+  void handle_stopdata(const sim::WireMessage& msg, Reader& r);
+  void handle_sync(const sim::WireMessage& msg, Reader& r);
+  void handle_frontier(const sim::WireMessage& msg, Reader& r);
+  void handle_state_request(const sim::WireMessage& msg, Reader& r);
+  void handle_state_response(const sim::WireMessage& msg, Reader& r);
+
+  void admit_request(Request req);
+  void maybe_start_consensus();
+  void do_propose();
+  void accept_proposal(std::uint64_t view, std::uint64_t instance,
+                       Batch batch);
+  void check_quorums();
+  void decide(Batch batch);
+  void execute_batch(const Batch& batch);
+  void deliver_fifo(const Request& req);
+  void execute_one(const Request& req);
+  void apply_reconfig(const Request& req);
+  void maybe_checkpoint();
+  [[nodiscard]] Bytes make_snapshot() const;
+  void restore_snapshot(BytesView snapshot);
+
+  void arm_liveness_timer();
+  void on_liveness_check();
+  void request_view_change(std::uint64_t next_view);
+  void install_view(std::uint64_t next_view);
+  void leader_try_sync();
+
+  void request_state_transfer();
+  void try_apply_state();
+
+  // --- configuration ------------------------------------------------------
+  GroupId group_;
+  int f_;
+  int index_;
+  GroupInfo info_;  // valid after start()
+  std::unique_ptr<Application> app_;
+  FaultSpec faults_;
+  bool started_ = false;
+  bool standby_ = false;   // not (yet) part of the membership
+  bool removed_ = false;   // reconfigured out of the group
+  ProcessId admin_{};      // authorized reconfigurer (invalid = disabled)
+
+  // --- ordering state ------------------------------------------------------
+  std::uint64_t view_ = 0;
+  bool view_active_ = true;
+  std::uint64_t next_instance_ = 0;  // first undecided instance
+  std::optional<OpenConsensus> open_;
+  bool propose_scheduled_ = false;
+  std::map<VoteKey, std::set<ProcessId>> votes_;
+  std::deque<Request> pending_;
+  std::unordered_map<MessageId, Time> pending_since_;
+  std::unordered_set<MessageId> decided_requests_;
+
+  // --- decided log / checkpoints -------------------------------------------
+  std::vector<Batch> log_;           // instances [log_base_, next_instance_)
+  std::uint64_t log_base_ = 0;       // instance of log_[0]
+  Bytes checkpoint_snapshot_;        // state as of instance log_base_
+  std::uint64_t checkpoint_instance_ = 0;
+
+  // --- FIFO delivery / execution -------------------------------------------
+  std::unordered_map<ProcessId, std::uint64_t> fifo_next_;
+  std::unordered_map<ProcessId, std::map<std::uint64_t, Request>> holdback_;
+  std::uint64_t executed_ = 0;
+  Digest history_digest_{};
+
+  // --- view change ----------------------------------------------------------
+  std::map<std::uint64_t, std::set<ProcessId>> stop_votes_;
+  std::uint64_t stop_requested_for_ = 0;  // highest view we sent STOP for
+  std::map<std::uint64_t, std::map<ProcessId, StopData>> stopdata_;
+  std::map<std::uint64_t, Sync> sync_sent_;  // leader: SYNC per view led
+  Time view_change_started_ = 0;
+
+  // --- state transfer --------------------------------------------------------
+  std::map<ProcessId, StateResponse> state_responses_;
+  Time last_state_request_ = -1;
+  Counters counters_;
+  /// Highest instance for which we saw credible evidence (a leader proposal
+  /// or f+1 votes); if it stays ahead of next_instance_, the periodic
+  /// liveness check keeps requesting state (anti-entropy).
+  std::uint64_t max_seen_instance_ = 0;
+  /// Highest view observed in authenticated peer traffic; if it exceeds
+  /// ours the liveness check runs the view catch-up path.
+  std::uint64_t max_seen_view_ = 0;
+};
+
+}  // namespace byzcast::bft

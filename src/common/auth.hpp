@@ -1,0 +1,65 @@
+// Message authentication for the simulation. A KeyStore derives pairwise
+// symmetric keys from a master seed; each process gets an Authenticator bound
+// to its own identity, so a Byzantine process can authenticate *as itself*
+// but cannot forge MACs of other processes (the object capability is the
+// enforcement mechanism — a faulty actor simply never holds another
+// process's Authenticator).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+
+namespace byzcast {
+
+/// MAC construction used by a simulation. kHmac is real HMAC-SHA256 (the
+/// default; tests rely on it). kFast is a keyed 64-bit mix — unforgeable
+/// within the simulation (adversary actors never hold other processes'
+/// Authenticators, and keys never leave the KeyStore) and ~50x cheaper in
+/// wall-clock time, used by the benchmark harness where millions of wire
+/// messages flow. The *simulated* CPU cost of authentication is part of the
+/// Profile constants either way.
+enum class MacMode { kHmac, kFast };
+
+/// Derives and caches pairwise keys. Shared by all processes of one
+/// simulation via shared_ptr; thread-safety is not needed (single-threaded
+/// deterministic simulation).
+class KeyStore {
+ public:
+  explicit KeyStore(std::uint64_t master_seed, MacMode mode = MacMode::kHmac);
+
+  /// Symmetric key shared by the (unordered) pair {a, b}.
+  [[nodiscard]] Bytes pair_key(ProcessId a, ProcessId b) const;
+
+  [[nodiscard]] MacMode mode() const { return mode_; }
+  /// 64-bit key for the fast mode.
+  [[nodiscard]] std::uint64_t pair_key64(ProcessId a, ProcessId b) const;
+
+ private:
+  std::uint64_t master_seed_;
+  MacMode mode_;
+};
+
+/// A per-process capability for creating and checking MACs.
+class Authenticator {
+ public:
+  Authenticator(std::shared_ptr<const KeyStore> keys, ProcessId self)
+      : keys_(std::move(keys)), self_(self) {}
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+
+  /// MAC over `data` for the channel self -> `to`.
+  [[nodiscard]] Digest sign(ProcessId to, BytesView data) const;
+
+  /// Checks a MAC allegedly produced by `from` for the channel from -> self.
+  [[nodiscard]] bool verify(ProcessId from, BytesView data,
+                            const Digest& mac) const;
+
+ private:
+  std::shared_ptr<const KeyStore> keys_;
+  ProcessId self_;
+};
+
+}  // namespace byzcast

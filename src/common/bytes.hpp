@@ -1,0 +1,29 @@
+// Byte-buffer alias and small helpers used by the codec and the crypto
+// primitives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace byzcast {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Renders `data` as lowercase hex (test vectors, digests in logs).
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex into bytes; aborts on odd length or
+/// non-hex characters (inputs are programmer-supplied test vectors).
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Copies a string's bytes into a buffer (convenience for payloads).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interprets a buffer as text (payloads in examples and logs).
+[[nodiscard]] std::string to_text(BytesView data);
+
+}  // namespace byzcast

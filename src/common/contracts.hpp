@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()"). Violations abort with a
+// message: in a deterministic simulation an invariant break means the run is
+// meaningless, so failing fast is the only sane policy.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace byzcast::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace byzcast::detail
+
+#define BZC_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::byzcast::detail::contract_failure("Precondition", #cond,     \
+                                                __FILE__, __LINE__))
+
+#define BZC_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::byzcast::detail::contract_failure("Postcondition", #cond,    \
+                                                __FILE__, __LINE__))
+
+#define BZC_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::byzcast::detail::contract_failure("Invariant", #cond,        \
+                                                __FILE__, __LINE__))

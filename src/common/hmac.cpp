@@ -1,0 +1,34 @@
+#include "common/hmac.hpp"
+
+#include <array>
+
+namespace byzcast {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, 64> inner_pad;
+  std::array<std::uint8_t, 64> outer_pad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(inner_pad.data(), inner_pad.size()));
+  inner.update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(outer_pad.data(), outer_pad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+}  // namespace byzcast

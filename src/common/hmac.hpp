@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104) on top of our SHA-256. Used for pairwise message
+// authentication between simulated processes.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/sha256.hpp"
+
+namespace byzcast {
+
+/// Computes HMAC-SHA256(key, data).
+[[nodiscard]] Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace byzcast

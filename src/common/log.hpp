@@ -1,0 +1,37 @@
+// Tiny leveled logger. Off by default (benchmarks run millions of events);
+// tests and examples turn it up when debugging. Not thread-safe — the
+// simulation is single-threaded by design.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace byzcast {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace byzcast
+
+#define BZC_LOG(level, expr)                                            \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::byzcast::log_level())) {                     \
+      std::ostringstream bzc_log_os;                                    \
+      bzc_log_os << expr;                                               \
+      ::byzcast::detail::log_line(level, bzc_log_os.str());             \
+    }                                                                   \
+  } while (0)
+
+#define BZC_TRACE(expr) BZC_LOG(::byzcast::LogLevel::kTrace, expr)
+#define BZC_DEBUG(expr) BZC_LOG(::byzcast::LogLevel::kDebug, expr)
+#define BZC_INFO(expr) BZC_LOG(::byzcast::LogLevel::kInfo, expr)
+#define BZC_WARN(expr) BZC_LOG(::byzcast::LogLevel::kWarn, expr)
+#define BZC_ERROR(expr) BZC_LOG(::byzcast::LogLevel::kError, expr)

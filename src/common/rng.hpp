@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generator (xoshiro256**). Every source of
+// randomness in a run derives from one seed, so simulations replay exactly —
+// the property all our tests and benchmarks depend on. We do not use
+// std::mt19937 distributions because their outputs are not guaranteed
+// identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace byzcast {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Exponentially distributed with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Bernoulli trial.
+  bool next_bool(double probability_true);
+
+  /// Derives an independent child generator (for per-actor streams).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace byzcast

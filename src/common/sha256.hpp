@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4). The simulation uses real digests so that message ids
+// are collision-resistant and Byzantine fabrication tests are meaningful; we
+// implement it here because the environment provides no crypto library.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace byzcast {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the context must not be reused.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+}  // namespace byzcast

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace byzcast {
+
+void LatencyRecorder::record(Time when, Time latency) {
+  BZC_EXPECTS(latency >= 0);
+  samples_.push_back(Sample{when, latency});
+}
+
+std::vector<Time> LatencyRecorder::effective_sorted() const {
+  std::vector<Time> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    if (s.when >= warmup_cutoff_) out.push_back(s.latency);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t LatencyRecorder::count() const {
+  return effective_sorted().size();
+}
+
+double LatencyRecorder::mean_ms() const {
+  const auto xs = effective_sorted();
+  if (xs.empty()) return 0.0;
+  const double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  return sum / static_cast<double>(xs.size()) / 1e6;
+}
+
+double LatencyRecorder::percentile_ms(double p) const {
+  BZC_EXPECTS(p >= 0.0 && p <= 100.0);
+  const auto xs = effective_sorted();
+  if (xs.empty()) return 0.0;
+  // Nearest-rank with linear interpolation between adjacent samples.
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  const double v = static_cast<double>(xs[lo]) * (1.0 - frac) +
+                   static_cast<double>(xs[hi]) * frac;
+  return v / 1e6;
+}
+
+std::vector<std::pair<double, double>> LatencyRecorder::cdf(
+    std::size_t max_points) const {
+  const auto xs = effective_sorted();
+  std::vector<std::pair<double, double>> points;
+  if (xs.empty()) return points;
+  const std::size_t stride = std::max<std::size_t>(1, xs.size() / max_points);
+  for (std::size_t i = 0; i < xs.size(); i += stride) {
+    points.emplace_back(static_cast<double>(xs[i]) / 1e6,
+                        static_cast<double>(i + 1) /
+                            static_cast<double>(xs.size()));
+  }
+  if (points.back().second < 1.0) {
+    points.emplace_back(static_cast<double>(xs.back()) / 1e6, 1.0);
+  }
+  return points;
+}
+
+std::string LatencyRecorder::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "n=" << count() << " mean=" << mean_ms() << "ms"
+     << " p50=" << percentile_ms(50) << "ms"
+     << " p95=" << percentile_ms(95) << "ms"
+     << " p99=" << percentile_ms(99) << "ms";
+  return os.str();
+}
+
+double ThroughputMeter::rate_per_sec(Time from, Time to) const {
+  BZC_EXPECTS(from < to);
+  std::size_t n = 0;
+  for (const auto t : events_) {
+    if (t >= from && t < to) ++n;
+  }
+  return static_cast<double>(n) / to_sec(to - from);
+}
+
+}  // namespace byzcast

@@ -1,0 +1,63 @@
+// Measurement utilities shared by tests and the benchmark harness:
+// latency samples with percentiles/CDF and a windowed throughput meter.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast {
+
+/// Collects latency samples (simulated-time durations) and reports summary
+/// statistics. Supports an optional warm-up cutoff: samples recorded before
+/// the cutoff are kept but excluded from statistics, mirroring how the
+/// paper's benchmarks discard warm-up.
+class LatencyRecorder {
+ public:
+  /// Records a sample taken at `when` with duration `latency`.
+  void record(Time when, Time latency);
+
+  void set_warmup(Time cutoff) { warmup_cutoff_ = cutoff; }
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] double mean_ms() const;
+  [[nodiscard]] double percentile_ms(double p) const;  // p in [0, 100]
+  [[nodiscard]] double median_ms() const { return percentile_ms(50.0); }
+
+  /// (latency_ms, cumulative_fraction) points suitable for plotting a CDF;
+  /// at most `max_points` evenly spaced points.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t max_points = 100) const;
+
+  /// One-line summary "n=... mean=...ms p50=... p95=... p99=...".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] std::vector<Time> effective_sorted() const;
+
+  struct Sample {
+    Time when;
+    Time latency;
+  };
+  std::vector<Sample> samples_;
+  Time warmup_cutoff_ = 0;
+};
+
+/// Counts completion events and reports a rate over the measurement window
+/// (excluding warm-up and cool-down).
+class ThroughputMeter {
+ public:
+  void record(Time when) { events_.push_back(when); }
+
+  /// Events per second between `from` and `to` (simulated time).
+  [[nodiscard]] double rate_per_sec(Time from, Time to) const;
+
+  [[nodiscard]] std::size_t total() const { return events_.size(); }
+
+ private:
+  std::vector<Time> events_;
+};
+
+}  // namespace byzcast

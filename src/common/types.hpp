@@ -1,0 +1,88 @@
+// Strongly-typed identifiers and the simulated-time type shared by every
+// module. Strong typedefs (C++ Core Guidelines I.4: "Make interfaces
+// precisely and strongly typed") prevent mixing up process ids, group ids and
+// client ids, which are all "small integers" underneath.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace byzcast {
+
+/// Simulated time in nanoseconds since the start of the run.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts simulated time to fractional milliseconds (for reports).
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+/// Converts simulated time to fractional seconds (for reports).
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e9; }
+
+namespace detail {
+
+/// CRTP-free strong integer id. `Tag` makes distinct instantiations
+/// non-convertible to each other.
+template <typename Tag>
+struct StrongId {
+  std::int32_t value = -1;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::int32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+/// Identifies one simulated process (replica or client), unique system-wide.
+using ProcessId = detail::StrongId<struct ProcessTag>;
+/// Identifies one group of 3f+1 replicas (target or auxiliary).
+using GroupId = detail::StrongId<struct GroupTag>;
+/// Identifies a geographical region in the WAN latency model.
+using RegionId = detail::StrongId<struct RegionTag>;
+
+/// Identifies an atomically multicast message: the originating process plus a
+/// per-origin sequence number. Unique and unforgeable given authentication.
+struct MessageId {
+  ProcessId origin;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const MessageId&, const MessageId&) =
+      default;
+};
+
+[[nodiscard]] inline std::string to_string(ProcessId p) {
+  return "p" + std::to_string(p.value);
+}
+[[nodiscard]] inline std::string to_string(GroupId g) {
+  return "g" + std::to_string(g.value);
+}
+[[nodiscard]] inline std::string to_string(const MessageId& m) {
+  return to_string(m.origin) + ":" + std::to_string(m.seq);
+}
+
+}  // namespace byzcast
+
+template <typename Tag>
+struct std::hash<byzcast::detail::StrongId<Tag>> {
+  std::size_t operator()(byzcast::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<byzcast::MessageId> {
+  std::size_t operator()(const byzcast::MessageId& m) const noexcept {
+    const auto h1 = std::hash<std::int32_t>{}(m.origin.value);
+    const auto h2 = std::hash<std::uint64_t>{}(m.seq);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

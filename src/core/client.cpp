@@ -1,0 +1,96 @@
+#include "core/client.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::core {
+
+Client::Client(sim::Simulation& sim, const OverlayTree& tree,
+               const GroupRegistry& registry, std::string name,
+               Routing routing)
+    : Actor(sim, std::move(name)),
+      tree_(tree),
+      registry_(registry),
+      routing_(routing) {
+  retry_interval_ = 2 * sim.profile().leader_timeout;
+}
+
+void Client::a_multicast(std::vector<GroupId> dst, Bytes payload,
+                         Completion on_done) {
+  BZC_EXPECTS(!dst.empty());
+
+  PendingMsg p;
+  p.m.id = MessageId{id(), next_uid_++};
+  p.m.dst = std::move(dst);
+  p.m.payload = std::move(payload);
+  p.m.canonicalize();
+  p.lca =
+      routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(p.m.dst);
+  p.carrying.group = p.lca;
+  p.carrying.origin = id();
+  p.carrying.seq = fifo_seq_[p.lca]++;
+  p.carrying.op = p.m.encode();
+  p.started_at = now();
+  p.on_done = std::move(on_done);
+  const std::uint64_t uid = p.m.id.seq;
+  const auto [it, inserted] = pending_.emplace(uid, std::move(p));
+  BZC_ASSERT(inserted);
+
+  transmit(it->second);
+  arm_retry(uid);
+}
+
+void Client::transmit(const PendingMsg& p) {
+  const Bytes encoded = bft::encode_request(p.carrying);
+  for (const ProcessId replica : registry_.at(p.lca).replicas) {
+    send(replica, encoded);
+  }
+}
+
+void Client::arm_retry(std::uint64_t uid) {
+  schedule_in(retry_interval_, [this, uid] {
+    if (crashed()) return;
+    const auto it = pending_.find(uid);
+    if (it != pending_.end()) {
+      transmit(it->second);
+      arm_retry(uid);
+    }
+  });
+}
+
+Time Client::service_cost(const sim::WireMessage&) const {
+  return sim().profile().cpu_client_reply;
+}
+
+void Client::on_message(const sim::WireMessage& msg) {
+  if (msg.payload.empty() || !verify(msg)) return;
+  if (bft::peek_type(msg.payload) != bft::MsgType::kReply) return;
+
+  Reader r(msg.payload);
+  (void)r.u8();
+  bft::Reply rep = bft::Reply::decode(r);
+  const auto pit = pending_.find(rep.seq);
+  if (pit == pending_.end()) return;
+  PendingMsg& p = pit->second;
+
+  // The reply must come from a replica of the destination group it claims.
+  const auto it = registry_.find(rep.group);
+  if (it == registry_.end() || !it->second.is_member(msg.from)) return;
+  const auto& dst = p.m.dst;
+  if (std::find(dst.begin(), dst.end(), rep.group) == dst.end()) return;
+  if (p.satisfied.contains(rep.group)) return;
+
+  const Digest d = Sha256::hash(rep.result);
+  auto& voters = p.votes[rep.group][d];
+  voters.insert(msg.from);
+  if (voters.size() < static_cast<std::size_t>(it->second.f + 1)) return;
+
+  p.satisfied.insert(rep.group);
+  if (p.satisfied.size() < dst.size()) return;
+
+  PendingMsg done = std::move(p);
+  pending_.erase(pit);
+  ++completed_;
+  done.on_done(done.m, now() - done.started_at);
+}
+
+}  // namespace byzcast::core

@@ -1,0 +1,71 @@
+// ByzCast client: a-multicast(m) sends m into the broadcast of lca(m.dst)
+// (the paper's clients "forward messages to every replica in the lowest
+// common ancestor group") and the message completes when f+1 matching
+// replies arrived from every destination group. Supports any number of
+// outstanding messages: the paper's clients run closed-loop (issue the next
+// message from the completion callback); open-loop load generators issue on
+// a timer regardless of completions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bft/message.hpp"
+#include "core/multicast.hpp"
+#include "core/node.hpp"
+#include "core/tree.hpp"
+#include "sim/actor.hpp"
+
+namespace byzcast::core {
+
+class Client final : public sim::Actor {
+ public:
+  using Completion =
+      std::function<void(const MulticastMessage& m, Time latency)>;
+
+  Client(sim::Simulation& sim, const OverlayTree& tree,
+         const GroupRegistry& registry, std::string name,
+         Routing routing = Routing::kGenuine);
+
+  /// Atomically multicasts `payload` to `dst`; any number of messages may
+  /// be outstanding. `dst` is canonicalized internally.
+  void a_multicast(std::vector<GroupId> dst, Bytes payload,
+                   Completion on_done);
+
+  [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ protected:
+  void on_message(const sim::WireMessage& msg) override;
+  [[nodiscard]] Time service_cost(const sim::WireMessage&) const override;
+
+ private:
+  struct PendingMsg;
+
+  void transmit(const PendingMsg& p);
+  void arm_retry(std::uint64_t uid);
+
+  struct PendingMsg {
+    MulticastMessage m;
+    bft::Request carrying;  // the request broadcast in lca(m.dst)
+    GroupId lca;
+    Time started_at = 0;
+    Completion on_done;
+    // per destination group: result digest -> replicas reporting it
+    std::map<GroupId, std::map<Digest, std::set<ProcessId>>> votes;
+    std::set<GroupId> satisfied;
+  };
+
+  const OverlayTree& tree_;
+  const GroupRegistry& registry_;
+  Routing routing_;
+  std::uint64_t next_uid_ = 0;
+  std::map<GroupId, std::uint64_t> fifo_seq_;  // bft stream per lca group
+  std::map<std::uint64_t, PendingMsg> pending_;  // keyed by message uid
+  std::uint64_t completed_ = 0;
+  Time retry_interval_;
+};
+
+}  // namespace byzcast::core

@@ -1,0 +1,48 @@
+// Global record of every a-deliver event in a run. Shared (non-owning) by
+// all ByzCast nodes of a system; tests use it to check the five atomic
+// multicast properties and benchmarks use it for throughput accounting.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast::core {
+
+struct DeliveryRecord {
+  GroupId group;
+  ProcessId replica;
+  MessageId msg;
+  Time when;
+};
+
+class DeliveryLog {
+ public:
+  void record(GroupId group, ProcessId replica, MessageId msg, Time when) {
+    records_.push_back(DeliveryRecord{group, replica, msg, when});
+    by_replica_[replica].push_back(msg);
+  }
+
+  [[nodiscard]] const std::vector<DeliveryRecord>& records() const {
+    return records_;
+  }
+
+  /// a-delivery sequence of one replica, in delivery order.
+  [[nodiscard]] const std::vector<MessageId>& sequence(
+      ProcessId replica) const {
+    static const std::vector<MessageId> kEmpty;
+    const auto it = by_replica_.find(replica);
+    return it == by_replica_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] std::size_t total_deliveries() const {
+    return records_.size();
+  }
+
+ private:
+  std::vector<DeliveryRecord> records_;
+  std::unordered_map<ProcessId, std::vector<MessageId>> by_replica_;
+};
+
+}  // namespace byzcast::core

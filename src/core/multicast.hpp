@@ -1,0 +1,53 @@
+// The atomically multicast message. Travels as the `op` payload of bft
+// Requests: first from the client into lca(m.dst)'s broadcast, then inside
+// relay requests down the tree. `id` is the client-chosen unique identifier;
+// the bft-level (origin, seq) of the carrying request belongs to whoever
+// broadcast this particular copy.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/serde.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::core {
+
+struct MulticastMessage {
+  MessageId id;                // origin client + client-unique sequence
+  std::vector<GroupId> dst;    // sorted, unique, non-empty
+  Bytes payload;
+
+  [[nodiscard]] bool is_local() const { return dst.size() == 1; }
+  [[nodiscard]] bool is_global() const { return dst.size() > 1; }
+
+  /// Sorts and dedups the destination list (canonical form: encoding and
+  /// digests must not depend on the caller's ordering).
+  void canonicalize() {
+    std::sort(dst.begin(), dst.end());
+    dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+  }
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.message_id(id);
+    w.vec(dst, [](Writer& ww, GroupId g) { ww.group_id(g); });
+    w.bytes(payload);
+    return w.take();
+  }
+
+  [[nodiscard]] static MulticastMessage decode(BytesView raw) {
+    Reader r(raw);
+    MulticastMessage m;
+    m.id = r.message_id();
+    m.dst = r.vec<GroupId>([](Reader& rr) { return rr.group_id(); });
+    m.payload = r.bytes();
+    return m;
+  }
+
+  friend bool operator==(const MulticastMessage&, const MulticastMessage&) =
+      default;
+};
+
+}  // namespace byzcast::core

@@ -1,0 +1,151 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+
+namespace byzcast::core {
+
+namespace {
+
+bool intersects(const std::set<GroupId>& reach,
+                const std::vector<GroupId>& dst) {
+  return std::any_of(dst.begin(), dst.end(),
+                     [&reach](GroupId g) { return reach.contains(g); });
+}
+
+Bytes ack_bytes(const MulticastMessage& m) {
+  const Digest d = Sha256::hash(m.encode());
+  return Bytes(d.begin(), d.begin() + 8);
+}
+
+}  // namespace
+
+ByzCastNode::ByzCastNode(const OverlayTree& tree,
+                         const GroupRegistry& registry, DeliveryLog& log,
+                         bft::FaultSpec faults, Routing routing)
+    : tree_(tree),
+      registry_(registry),
+      log_(log),
+      faults_(faults),
+      routing_(routing) {}
+
+bool ByzCastNode::valid_destinations(const MulticastMessage& m) const {
+  if (m.dst.empty()) return false;
+  for (const GroupId g : m.dst) {
+    if (!tree_.contains(g) || !tree_.is_target(g)) return false;
+  }
+  return std::is_sorted(m.dst.begin(), m.dst.end()) &&
+         std::adjacent_find(m.dst.begin(), m.dst.end()) == m.dst.end();
+}
+
+void ByzCastNode::execute(const bft::Request& req) {
+  MulticastMessage m = MulticastMessage::decode(req.op);
+  if (!valid_destinations(m)) return;
+
+  const GroupId my_group = ctx_->group();
+  const auto parent = tree_.parent(my_group);
+  const bool from_parent =
+      parent.has_value() && registry_.at(*parent).is_member(req.origin);
+
+  if (from_parent) {
+    if (handled_.contains(m.id)) {
+      ctx_->consume_app_cpu(1);  // late duplicate: digest lookup only
+      return;
+    }
+    auto& senders = copies_[m.id];
+    senders.insert(req.origin);
+    if (static_cast<int>(senders.size()) >= ctx_->f() + 1) {
+      // (f+1)-th x_k-delivery of m: at least one correct parent replica
+      // relayed it, so m was genuinely ordered above us (Algorithm 1 l.9).
+      copies_.erase(m.id);
+      handle(m);
+    }
+    return;
+  }
+
+  // Direct send (k = 0 path): only the origin itself, only at the entry
+  // group — lca(m.dst) for ByzCast, the root for the non-genuine Baseline.
+  if (req.origin != m.id.origin) return;
+  const GroupId entry =
+      routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(m.dst);
+  if (entry != my_group) return;
+  if (handled_.contains(m.id)) return;  // client retransmission
+  handle(m);
+}
+
+void ByzCastNode::handle(const MulticastMessage& m) {
+  handled_.insert(m.id);
+
+  if (!faults_.drop_relays) forward(m);
+
+  if (faults_.fabricate_relay && ++fabricate_counter_ % 3 == 1) {
+    // Inject a message no client ever multicast. Correct children only see
+    // one copy of it (ours) and must never a-deliver it.
+    MulticastMessage fake;
+    fake.id = MessageId{
+        ProcessId{kFabricatedOriginBase + ctx_->self().value},
+        fabricate_counter_};
+    fake.dst = m.dst;
+    fake.payload = to_bytes("forged");
+    forward(fake);
+  }
+
+  const GroupId my_group = ctx_->group();
+  const bool is_destination =
+      std::find(m.dst.begin(), m.dst.end(), my_group) != m.dst.end();
+  if (is_destination && !a_delivered_.contains(m.id)) {
+    a_delivered_.insert(m.id);
+    log_.record(my_group, ctx_->self(), m.id, ctx_->now());
+    // Reply to the multicast origin; clients gather f+1 matching replies
+    // from every destination group.
+    bft::Request synthetic;
+    synthetic.group = my_group;
+    synthetic.origin = m.id.origin;
+    synthetic.seq = m.id.seq;
+    Bytes reply =
+        shard_app_ ? shard_app_->apply(my_group, m) : ack_bytes(m);
+    ctx_->send_reply(synthetic, std::move(reply));
+  }
+}
+
+void ByzCastNode::forward(const MulticastMessage& m) {
+  const GroupId my_group = ctx_->group();
+  bool first_relevant_child = true;
+  for (const GroupId child : tree_.children(my_group)) {
+    if (!intersects(tree_.reach(child), m.dst)) continue;
+    if (faults_.front_run && first_relevant_child) {
+      first_relevant_child = false;
+      // Adversarial reordering toward one child only: hold a message back
+      // and emit it after its successor, inverting consecutive pairs there
+      // while other children see the honest order (DESIGN.md §3).
+      if (!front_run_buffer_) {
+        front_run_buffer_ = m;
+      } else {
+        const MulticastMessage held = *front_run_buffer_;
+        front_run_buffer_.reset();
+        send_copy(child, m);
+        send_copy(child, held);
+      }
+      continue;
+    }
+    first_relevant_child = false;
+    send_copy(child, m);
+  }
+}
+
+void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m) {
+  const auto it = registry_.find(child);
+  BZC_ASSERT(it != registry_.end());
+  bft::Request relay;
+  relay.group = child;
+  relay.origin = ctx_->self();
+  relay.seq = relay_seq_[child]++;
+  relay.op = m.encode();
+  for (const ProcessId replica : it->second.replicas) {
+    ctx_->send_request(replica, relay);
+  }
+}
+
+}  // namespace byzcast::core

@@ -1,0 +1,103 @@
+// ByzCastNode: the replicated application that runs inside every replica of
+// every tree group and implements Algorithm 1 of the paper.
+//
+// On x_k-deliver (i.e. when the hosting bft::Replica executes a request):
+//  * a copy relayed by the parent group counts toward the f+1 threshold and
+//    is handled when f+1 distinct parent replicas delivered it;
+//  * a direct send is handled immediately iff it comes authenticated from
+//    the message origin and this group is lca(m.dst) (k = 0);
+//  * handling forwards m into every child whose reach intersects m.dst (the
+//    replica acts as a client of the child's broadcast, one FIFO stream per
+//    child) and a-delivers + replies to the client when this group is a
+//    destination.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <set>
+
+#include "bft/application.hpp"
+#include "bft/fault.hpp"
+#include "bft/replica.hpp"
+#include "core/delivery_log.hpp"
+#include "core/multicast.hpp"
+#include "core/tree.hpp"
+
+namespace byzcast::core {
+
+/// Public membership of every group in a system, keyed by group id.
+using GroupRegistry = std::map<GroupId, bft::GroupInfo>;
+
+/// Origin ids >= this value mark messages fabricated by the fault injector
+/// (no real process has such an id); property checkers key on it.
+constexpr std::int32_t kFabricatedOriginBase = 900'000;
+
+/// How messages enter the tree. kGenuine is ByzCast (clients broadcast in
+/// lca(m.dst)); kViaRoot is the paper's non-genuine Baseline (every message,
+/// local or global, is first ordered by the root group).
+enum class Routing { kGenuine, kViaRoot };
+
+/// Application state machine hosted on a target-group replica: `apply` runs
+/// once per a-delivered message, in a-delivery order, and its return value
+/// is the reply sent to the client (clients collect f+1 matching replies per
+/// destination group, so correct replicas must return identical bytes for
+/// the same delivery sequence). This is the paper's sharded state machine
+/// replication use case (§II-D).
+class ShardApplication {
+ public:
+  virtual ~ShardApplication() = default;
+  [[nodiscard]] virtual Bytes apply(GroupId shard,
+                                    const MulticastMessage& m) = 0;
+};
+
+class ByzCastNode final : public bft::Application {
+ public:
+  /// `tree`, `registry` and `log` must outlive the node and are shared by
+  /// the whole system. `registry` may still be filling while nodes are
+  /// constructed; it is only read once messages flow.
+  ByzCastNode(const OverlayTree& tree, const GroupRegistry& registry,
+              DeliveryLog& log, bft::FaultSpec faults,
+              Routing routing = Routing::kGenuine);
+
+  void execute(const bft::Request& req) override;
+
+  /// Attaches the replica-local application state machine (may be null: the
+  /// reply is then a digest-based ack). Must be set before messages flow
+  /// and must outlive the node.
+  void set_shard_application(ShardApplication* app) { shard_app_ = app; }
+
+  [[nodiscard]] std::uint64_t handled_count() const { return handled_.size(); }
+  [[nodiscard]] std::uint64_t a_delivered_count() const {
+    return a_delivered_.size();
+  }
+
+ private:
+  void handle(const MulticastMessage& m);
+  void forward(const MulticastMessage& m);
+  void send_copy(GroupId child, const MulticastMessage& m);
+  [[nodiscard]] bool valid_destinations(const MulticastMessage& m) const;
+
+  const OverlayTree& tree_;
+  const GroupRegistry& registry_;
+  DeliveryLog& log_;
+  bft::FaultSpec faults_;
+  Routing routing_;
+
+  // f+1 copy counting (per multicast message, distinct parent replicas).
+  std::unordered_map<MessageId, std::set<ProcessId>> copies_;
+  std::unordered_set<MessageId> handled_;
+  std::unordered_set<MessageId> a_delivered_;
+
+  // One FIFO relay stream per child group.
+  std::map<GroupId, std::uint64_t> relay_seq_;
+
+  // Fault machinery.
+  std::uint64_t fabricate_counter_ = 0;
+  std::optional<MulticastMessage> front_run_buffer_;
+
+  ShardApplication* shard_app_ = nullptr;  // non-owning
+};
+
+}  // namespace byzcast::core

@@ -1,0 +1,36 @@
+#include "core/system.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::core {
+
+ByzCastSystem::ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
+                             const FaultPlan& faults, Routing routing)
+    : sim_(sim), tree_(std::move(tree)), f_(f), routing_(routing) {
+  BZC_EXPECTS(tree_.finalized());
+  for (const GroupId g : tree_.all_groups()) {
+    const std::vector<bft::FaultSpec> group_faults = faults.for_group(g);
+    const bft::AppFactory factory = [this, &group_faults](int index) {
+      const bft::FaultSpec spec =
+          group_faults.empty() ? bft::FaultSpec::correct()
+                               : group_faults[static_cast<std::size_t>(index)];
+      return std::make_unique<ByzCastNode>(tree_, registry_, log_, spec,
+                                           routing_);
+    };
+    auto grp = std::make_unique<bft::Group>(sim_, g, f_, factory,
+                                            group_faults);
+    registry_.emplace(g, grp->info());
+    groups_.emplace(g, std::move(grp));
+  }
+}
+
+ByzCastNode& ByzCastSystem::node(GroupId g, int index) {
+  auto& app = group(g).replica(index).application();
+  return static_cast<ByzCastNode&>(app);
+}
+
+std::unique_ptr<Client> ByzCastSystem::make_client(const std::string& name) {
+  return std::make_unique<Client>(sim_, tree_, registry_, name, routing_);
+}
+
+}  // namespace byzcast::core

@@ -1,0 +1,61 @@
+// ByzCastSystem: assembles one bft::Group per overlay-tree node, all running
+// ByzCastNode applications against a shared registry and delivery log, and
+// hands out clients. The composition root for every ByzCast experiment.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bft/group.hpp"
+#include "core/client.hpp"
+#include "core/delivery_log.hpp"
+#include "core/node.hpp"
+#include "core/tree.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::core {
+
+/// Per-group, per-replica fault assignment. Groups not mentioned are fully
+/// correct.
+struct FaultPlan {
+  std::map<GroupId, std::vector<bft::FaultSpec>> by_group;
+
+  [[nodiscard]] std::vector<bft::FaultSpec> for_group(GroupId g) const {
+    const auto it = by_group.find(g);
+    return it == by_group.end() ? std::vector<bft::FaultSpec>{} : it->second;
+  }
+};
+
+class ByzCastSystem {
+ public:
+  ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
+                const FaultPlan& faults = {},
+                Routing routing = Routing::kGenuine);
+
+  [[nodiscard]] const OverlayTree& tree() const { return tree_; }
+  [[nodiscard]] const GroupRegistry& registry() const { return registry_; }
+  [[nodiscard]] bft::Group& group(GroupId g) { return *groups_.at(g); }
+  [[nodiscard]] DeliveryLog& delivery_log() { return log_; }
+  [[nodiscard]] const DeliveryLog& delivery_log() const { return log_; }
+  [[nodiscard]] int f() const { return f_; }
+
+  /// The ByzCastNode application hosted by replica `index` of group `g`.
+  [[nodiscard]] ByzCastNode& node(GroupId g, int index);
+
+  /// Creates a client wired to this system's tree and registry. The caller
+  /// owns the client; it must not outlive the system.
+  [[nodiscard]] std::unique_ptr<Client> make_client(const std::string& name);
+
+ private:
+  sim::Simulation& sim_;
+  OverlayTree tree_;
+  int f_;
+  Routing routing_;
+  GroupRegistry registry_;
+  DeliveryLog log_;
+  std::map<GroupId, std::unique_ptr<bft::Group>> groups_;
+};
+
+}  // namespace byzcast::core

@@ -1,0 +1,228 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::core {
+
+void OverlayTree::add_group(GroupId g, bool is_target) {
+  BZC_EXPECTS(!finalized_);
+  BZC_EXPECTS(g.valid());
+  BZC_EXPECTS(!nodes_.contains(g));
+  Node n;
+  n.is_target = is_target;
+  nodes_.emplace(g, std::move(n));
+}
+
+void OverlayTree::set_parent(GroupId child, GroupId parent) {
+  BZC_EXPECTS(!finalized_);
+  BZC_EXPECTS(nodes_.contains(child) && nodes_.contains(parent));
+  BZC_EXPECTS(child != parent);
+  auto& c = nodes_.at(child);
+  BZC_EXPECTS(!c.parent.has_value());
+  c.parent = parent;
+  nodes_.at(parent).children.push_back(child);
+}
+
+void OverlayTree::finalize() {
+  BZC_EXPECTS(!finalized_);
+  BZC_EXPECTS(!nodes_.empty());
+
+  // Exactly one root.
+  std::vector<GroupId> roots;
+  for (const auto& [g, n] : nodes_) {
+    if (!n.parent.has_value()) roots.push_back(g);
+  }
+  BZC_EXPECTS(roots.size() == 1);
+  root_ = roots.front();
+
+  // Depth-first from the root: connectivity + acyclicity (parent uniqueness
+  // already guarantees no node has two parents; a cycle would be unreachable
+  // from the root and caught by the visit count), heights, depths, reach.
+  std::size_t visited = 0;
+  // Post-order via explicit recursion.
+  const std::function<void(GroupId, int)> visit = [&](GroupId g, int depth) {
+    Node& n = nodes_.at(g);
+    n.depth = depth;
+    ++visited;
+    n.reach.clear();
+    if (n.is_target) n.reach.insert(g);
+    int h = 1;
+    for (const GroupId c : n.children) {
+      visit(c, depth + 1);
+      const Node& cn = nodes_.at(c);
+      h = std::max(h, cn.height + 1);
+      n.reach.insert(cn.reach.begin(), cn.reach.end());
+    }
+    n.height = h;
+    // Every group must be useful: it reaches at least one target.
+    BZC_EXPECTS(!n.reach.empty());
+  };
+  visit(root_, 0);
+  BZC_EXPECTS(visited == nodes_.size());
+
+  finalized_ = true;
+}
+
+const OverlayTree::Node& OverlayTree::node(GroupId g) const {
+  const auto it = nodes_.find(g);
+  BZC_EXPECTS(it != nodes_.end());
+  return it->second;
+}
+
+GroupId OverlayTree::root() const {
+  BZC_EXPECTS(finalized_);
+  return root_;
+}
+
+std::optional<GroupId> OverlayTree::parent(GroupId g) const {
+  return node(g).parent;
+}
+
+const std::vector<GroupId>& OverlayTree::children(GroupId g) const {
+  return node(g).children;
+}
+
+bool OverlayTree::is_target(GroupId g) const { return node(g).is_target; }
+
+const std::set<GroupId>& OverlayTree::reach(GroupId g) const {
+  BZC_EXPECTS(finalized_);
+  return node(g).reach;
+}
+
+int OverlayTree::height(GroupId g) const {
+  BZC_EXPECTS(finalized_);
+  return node(g).height;
+}
+
+int OverlayTree::depth(GroupId g) const {
+  BZC_EXPECTS(finalized_);
+  return node(g).depth;
+}
+
+GroupId OverlayTree::lca(const std::vector<GroupId>& dst) const {
+  BZC_EXPECTS(finalized_);
+  BZC_EXPECTS(!dst.empty());
+  GroupId current = dst.front();
+  BZC_EXPECTS(node(current).is_target);
+  for (std::size_t i = 1; i < dst.size(); ++i) {
+    GroupId other = dst[i];
+    BZC_EXPECTS(node(other).is_target);
+    // Classic two-pointer lift by depth.
+    while (current != other) {
+      const int dc = node(current).depth;
+      const int dn = node(other).depth;
+      if (dc >= dn) {
+        const auto p = node(current).parent;
+        BZC_ASSERT(p.has_value());
+        current = *p;
+      } else {
+        const auto p = node(other).parent;
+        BZC_ASSERT(p.has_value());
+        other = *p;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<GroupId> OverlayTree::path_groups(
+    const std::vector<GroupId>& dst) const {
+  const GroupId top = lca(dst);
+  std::set<GroupId> out;
+  for (GroupId g : dst) {
+    GroupId cur = g;
+    for (;;) {
+      out.insert(cur);
+      if (cur == top) break;
+      const auto p = node(cur).parent;
+      BZC_ASSERT(p.has_value());
+      cur = *p;
+    }
+  }
+  return std::vector<GroupId>(out.begin(), out.end());
+}
+
+std::vector<GroupId> OverlayTree::all_groups() const {
+  std::vector<GroupId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [g, n] : nodes_) out.push_back(g);
+  return out;
+}
+
+std::vector<GroupId> OverlayTree::target_groups() const {
+  std::vector<GroupId> out;
+  for (const auto& [g, n] : nodes_) {
+    if (n.is_target) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<GroupId> OverlayTree::auxiliary_groups() const {
+  std::vector<GroupId> out;
+  for (const auto& [g, n] : nodes_) {
+    if (!n.is_target) out.push_back(g);
+  }
+  return out;
+}
+
+OverlayTree OverlayTree::two_level(const std::vector<GroupId>& targets,
+                                   GroupId aux_root) {
+  BZC_EXPECTS(!targets.empty());
+  OverlayTree t;
+  t.add_group(aux_root, /*is_target=*/false);
+  for (const GroupId g : targets) {
+    t.add_group(g, /*is_target=*/true);
+    t.set_parent(g, aux_root);
+  }
+  t.finalize();
+  return t;
+}
+
+OverlayTree OverlayTree::three_level(const std::vector<GroupId>& targets,
+                                     GroupId h1, GroupId h2, GroupId h3) {
+  BZC_EXPECTS(targets.size() >= 2);
+  OverlayTree t;
+  t.add_group(h1, false);
+  t.add_group(h2, false);
+  t.add_group(h3, false);
+  t.set_parent(h2, h1);
+  t.set_parent(h3, h1);
+  const std::size_t half = targets.size() / 2;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    t.add_group(targets[i], true);
+    t.set_parent(targets[i], i < half ? h2 : h3);
+  }
+  t.finalize();
+  return t;
+}
+
+OverlayTree OverlayTree::single(GroupId target) {
+  OverlayTree t;
+  t.add_group(target, true);
+  t.finalize();
+  return t;
+}
+
+OverlayTree OverlayTree::chain(const std::vector<GroupId>& targets,
+                               const std::vector<GroupId>& aux) {
+  BZC_EXPECTS(!aux.empty());
+  BZC_EXPECTS(targets.size() >= 2);
+  OverlayTree t;
+  for (const GroupId a : aux) t.add_group(a, false);
+  for (std::size_t i = 1; i < aux.size(); ++i) {
+    t.set_parent(aux[i], aux[i - 1]);  // aux[0] is the root
+  }
+  for (const GroupId g : targets) t.add_group(g, true);
+  // One target per auxiliary level, remaining targets under the last aux.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::size_t level = std::min(i, aux.size() - 1);
+    t.set_parent(targets[i], aux[level]);
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace byzcast::core

@@ -1,0 +1,103 @@
+// The ByzCast overlay tree (§III-B): nodes are groups, leaves are usually
+// target groups and inner nodes auxiliary groups (the algorithm also allows
+// target groups as inner nodes). Provides reach sets, heights, LCA and the
+// path-group computation P(T, d) used by the optimizer.
+//
+// Height convention follows the paper's Table III: leaves have height 1 and
+// a node's height is 1 + max(children heights) — so the root of a 2-level
+// tree has height 2 and H(T2, d) = 2 for every multi-group destination d.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast::core {
+
+class OverlayTree {
+ public:
+  /// Declares a group. Every group must be added before finalize().
+  void add_group(GroupId g, bool is_target);
+
+  /// Declares `parent` as the parent of `child` (both already added).
+  void set_parent(GroupId child, GroupId parent);
+
+  /// Validates the structure (exactly one root, acyclic, connected, every
+  /// target reachable) and computes reach sets and heights. Must be called
+  /// once, after which the tree is immutable.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] GroupId root() const;
+  [[nodiscard]] std::optional<GroupId> parent(GroupId g) const;
+  [[nodiscard]] const std::vector<GroupId>& children(GroupId g) const;
+  [[nodiscard]] bool is_target(GroupId g) const;
+  [[nodiscard]] bool contains(GroupId g) const { return nodes_.contains(g); }
+
+  /// Target groups reachable from g by walking down (includes g when g is a
+  /// target).
+  [[nodiscard]] const std::set<GroupId>& reach(GroupId g) const;
+
+  /// Height per the paper's convention (leaf = 1).
+  [[nodiscard]] int height(GroupId g) const;
+  /// Depth from the root (root = 0).
+  [[nodiscard]] int depth(GroupId g) const;
+
+  /// Lowest common ancestor of a non-empty destination set. Every
+  /// destination must be a target group of this tree.
+  [[nodiscard]] GroupId lca(const std::vector<GroupId>& dst) const;
+
+  /// P(T, d): lca(d) plus every group on the paths from lca(d) down to each
+  /// destination, in no particular order.
+  [[nodiscard]] std::vector<GroupId> path_groups(
+      const std::vector<GroupId>& dst) const;
+
+  [[nodiscard]] std::vector<GroupId> all_groups() const;
+  [[nodiscard]] std::vector<GroupId> target_groups() const;
+  [[nodiscard]] std::vector<GroupId> auxiliary_groups() const;
+
+  // --- canned layouts used throughout the paper --------------------------
+
+  /// 2-level tree: one auxiliary root, all targets as direct children.
+  [[nodiscard]] static OverlayTree two_level(
+      const std::vector<GroupId>& targets, GroupId aux_root);
+
+  /// The paper's Fig. 1 3-level tree: root h1 with children h2 (over the
+  /// first half of the targets) and h3 (over the second half).
+  [[nodiscard]] static OverlayTree three_level(
+      const std::vector<GroupId>& targets, GroupId h1, GroupId h2,
+      GroupId h3);
+
+  /// Degenerate single-node "tree": one target group only (plain atomic
+  /// broadcast).
+  [[nodiscard]] static OverlayTree single(GroupId target);
+
+  /// Maximally deep layout: a chain of auxiliaries aux[0] <- aux[1] <- ...
+  /// with one target hanging off each auxiliary (and the remaining targets
+  /// under the last one). Used to study how latency grows with the lca
+  /// height — the quantity the §III-C optimizer minimizes.
+  [[nodiscard]] static OverlayTree chain(const std::vector<GroupId>& targets,
+                                         const std::vector<GroupId>& aux);
+
+ private:
+  struct Node {
+    bool is_target = false;
+    std::optional<GroupId> parent;
+    std::vector<GroupId> children;
+    std::set<GroupId> reach;
+    int height = 1;
+    int depth = 0;
+  };
+
+  [[nodiscard]] const Node& node(GroupId g) const;
+
+  std::map<GroupId, Node> nodes_;
+  GroupId root_;
+  bool finalized_ = false;
+};
+
+}  // namespace byzcast::core

@@ -1,0 +1,67 @@
+#include "optimizer/evaluate.hpp"
+
+#include <algorithm>
+
+namespace byzcast::optimizer {
+
+Destination make_destination(std::vector<GroupId> groups) {
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  BZC_EXPECTS(!groups.empty());
+  return groups;
+}
+
+WorkloadSpec uniform_pairs_workload(const std::vector<GroupId>& targets,
+                                    double per_destination) {
+  WorkloadSpec spec;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (std::size_t j = i + 1; j < targets.size(); ++j) {
+      spec.add(make_destination({targets[i], targets[j]}), per_destination);
+    }
+  }
+  return spec;
+}
+
+WorkloadSpec skewed_pairs_workload(const std::vector<GroupId>& targets,
+                                   double per_destination) {
+  BZC_EXPECTS(targets.size() >= 4);
+  WorkloadSpec spec;
+  spec.add(make_destination({targets[0], targets[1]}), per_destination);
+  spec.add(make_destination({targets[2], targets[3]}), per_destination);
+  return spec;
+}
+
+Evaluation evaluate(const core::OverlayTree& tree, const WorkloadSpec& spec) {
+  Evaluation ev;
+  for (const GroupId g : tree.all_groups()) {
+    ev.load[g] = 0.0;
+    ev.involved[g];
+  }
+  for (const auto& d : spec.destinations) {
+    const GroupId top = tree.lca(d);
+    ev.sum_heights += tree.height(top);
+    const double f_d = spec.load_of(d);
+    ev.weighted_heights += f_d * tree.height(top);
+    for (const GroupId x : tree.path_groups(d)) {
+      ev.load[x] += f_d;
+      ev.involved[x].push_back(d);
+    }
+  }
+  for (const auto& [g, l] : ev.load) {
+    if (l > spec.capacity_of(g)) {
+      ev.feasible = false;
+      ev.overloaded.push_back(g);
+    }
+  }
+  return ev;
+}
+
+bool better(const Evaluation& a, const Evaluation& b, Objective objective) {
+  if (a.feasible != b.feasible) return a.feasible;
+  if (objective == Objective::kLoadWeightedHeights) {
+    return a.weighted_heights < b.weighted_heights;
+  }
+  return a.sum_heights < b.sum_heights;
+}
+
+}  // namespace byzcast::optimizer

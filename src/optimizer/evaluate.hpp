@@ -1,0 +1,42 @@
+// Closed-form evaluation of one candidate overlay tree against a workload
+// spec: the quantities of §III-C — P(T,d), H(T,d), T(T,x), L(T,x) — the
+// objective Σ_d H(T,d), and the capacity-feasibility verdict. This is what
+// Table III tabulates for the 2-level and 3-level trees.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "optimizer/spec.hpp"
+
+namespace byzcast::optimizer {
+
+/// What the search minimizes. kSumHeights is the paper's objective
+/// (Σ_d H(T,d)); kLoadWeightedHeights is an extension weighting each
+/// destination's height by its rate (Σ_d F(d)·H(T,d)) — it optimizes the
+/// *average message's* hop count rather than the average destination set's.
+enum class Objective { kSumHeights, kLoadWeightedHeights };
+
+struct Evaluation {
+  bool feasible = true;
+  /// Σ_d H(T, d) — the paper's objective; lower is better.
+  int sum_heights = 0;
+  /// Σ_d F(d) · H(T, d) — extension objective.
+  double weighted_heights = 0.0;
+  /// L(T, x) per group.
+  std::map<GroupId, double> load;
+  /// T(T, x): destination sets whose ordering involves group x.
+  std::map<GroupId, std::vector<Destination>> involved;
+  /// Groups whose load exceeds capacity (empty iff feasible).
+  std::vector<GroupId> overloaded;
+};
+
+[[nodiscard]] Evaluation evaluate(const core::OverlayTree& tree,
+                                  const WorkloadSpec& spec);
+
+/// True when `a` strictly beats `b`: feasibility first, then the objective.
+[[nodiscard]] bool better(const Evaluation& a, const Evaluation& b,
+                          Objective objective = Objective::kSumHeights);
+
+}  // namespace byzcast::optimizer

@@ -1,0 +1,141 @@
+#include "optimizer/search.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::optimizer {
+
+namespace {
+
+/// One candidate parent assignment over auxiliary indices. -1 means "root"
+/// for an auxiliary that is used; unused auxiliaries are dropped.
+struct Assignment {
+  std::vector<int> aux_parent;     // index into auxiliaries, or -1
+  std::vector<int> target_parent;  // index into auxiliaries
+};
+
+/// Validates the assignment and builds the tree; returns nullopt when the
+/// candidate is not a single rooted tree over the used groups.
+std::optional<core::OverlayTree> build_candidate(
+    const std::vector<GroupId>& targets,
+    const std::vector<GroupId>& auxiliaries, const Assignment& a) {
+  const int num_aux = static_cast<int>(auxiliaries.size());
+
+  // Closure of auxiliaries used as ancestors of targets; cycle detection by
+  // bounding the walk length.
+  std::vector<bool> used(static_cast<std::size_t>(num_aux), false);
+  for (const int tp : a.target_parent) {
+    int cur = tp;
+    int steps = 0;
+    while (cur != -1) {
+      if (++steps > num_aux + 1) return std::nullopt;  // cycle
+      used[static_cast<std::size_t>(cur)] = true;
+      cur = a.aux_parent[static_cast<std::size_t>(cur)];
+    }
+  }
+
+  int roots = 0;
+  for (int i = 0; i < num_aux; ++i) {
+    if (!used[static_cast<std::size_t>(i)]) continue;
+    const int p = a.aux_parent[static_cast<std::size_t>(i)];
+    if (p == -1) {
+      ++roots;
+    } else if (!used[static_cast<std::size_t>(p)]) {
+      return std::nullopt;  // parent outside the used set (unreachable)
+    }
+  }
+  if (roots != 1) return std::nullopt;
+
+  core::OverlayTree tree;
+  for (int i = 0; i < num_aux; ++i) {
+    if (used[static_cast<std::size_t>(i)]) {
+      tree.add_group(auxiliaries[static_cast<std::size_t>(i)], false);
+    }
+  }
+  for (const GroupId t : targets) tree.add_group(t, true);
+  for (int i = 0; i < num_aux; ++i) {
+    if (!used[static_cast<std::size_t>(i)]) continue;
+    const int p = a.aux_parent[static_cast<std::size_t>(i)];
+    if (p != -1) {
+      tree.set_parent(auxiliaries[static_cast<std::size_t>(i)],
+                      auxiliaries[static_cast<std::size_t>(p)]);
+    }
+  }
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    tree.set_parent(targets[j],
+                    auxiliaries[static_cast<std::size_t>(a.target_parent[j])]);
+  }
+  tree.finalize();
+  return tree;
+}
+
+}  // namespace
+
+std::optional<SearchResult> optimize_tree(
+    const std::vector<GroupId>& targets,
+    const std::vector<GroupId>& auxiliaries, const WorkloadSpec& spec,
+    Objective objective) {
+  BZC_EXPECTS(!targets.empty());
+
+  if (targets.size() == 1) {
+    // A single target needs no overlay: plain atomic broadcast.
+    SearchResult res{core::OverlayTree::single(targets.front()),
+                     Evaluation{}, 1, 1};
+    res.evaluation = evaluate(res.tree, spec);
+    if (!res.evaluation.feasible) return std::nullopt;
+    return res;
+  }
+  BZC_EXPECTS(!auxiliaries.empty());
+
+  const int num_aux = static_cast<int>(auxiliaries.size());
+  Assignment a;
+  a.aux_parent.assign(static_cast<std::size_t>(num_aux), -1);
+  a.target_parent.assign(targets.size(), 0);
+
+  std::optional<SearchResult> best;
+  std::size_t considered = 0;
+  std::size_t valid = 0;
+
+  // Odometer enumeration over aux parents in {-1, 0..A-1} \ {self} and
+  // target parents in {0..A-1}.
+  const std::function<void(std::size_t)> enum_targets =
+      [&](std::size_t j) {
+        if (j == targets.size()) {
+          ++considered;
+          auto tree = build_candidate(targets, auxiliaries, a);
+          if (!tree) return;
+          ++valid;
+          Evaluation ev = evaluate(*tree, spec);
+          if (!best || better(ev, best->evaluation, objective)) {
+            best = SearchResult{std::move(*tree), std::move(ev), 0, 0};
+          }
+          return;
+        }
+        for (int p = 0; p < num_aux; ++p) {
+          a.target_parent[j] = p;
+          enum_targets(j + 1);
+        }
+      };
+
+  const std::function<void(int)> enum_aux = [&](int i) {
+    if (i == num_aux) {
+      enum_targets(0);
+      return;
+    }
+    for (int p = -1; p < num_aux; ++p) {
+      if (p == i) continue;
+      a.aux_parent[static_cast<std::size_t>(i)] = p;
+      enum_aux(i + 1);
+    }
+  };
+  enum_aux(0);
+
+  if (!best || !best->evaluation.feasible) return std::nullopt;
+  best->candidates_considered = considered;
+  best->candidates_valid = valid;
+  return best;
+}
+
+}  // namespace byzcast::optimizer

@@ -1,0 +1,36 @@
+// Exhaustive search for the optimized overlay tree (§III-C): enumerate every
+// tree whose leaves are the target groups and whose inner nodes are a subset
+// of the available auxiliary groups, evaluate each against the workload, and
+// keep the best feasible one (minimum Σ_d H(T,d)).
+//
+// The search space is every parent assignment: each target's parent is an
+// auxiliary group; each used auxiliary's parent is another auxiliary or none
+// (the root). With the paper's sizes (≤ 8 targets, ≤ 3 auxiliaries) this is
+// at most a few hundred thousand candidates — exact optimization is cheap.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "optimizer/evaluate.hpp"
+#include "optimizer/spec.hpp"
+
+namespace byzcast::optimizer {
+
+struct SearchResult {
+  core::OverlayTree tree;
+  Evaluation evaluation;
+  std::size_t candidates_considered = 0;
+  std::size_t candidates_valid = 0;
+};
+
+/// Returns the best feasible tree, or nullopt if no candidate satisfies the
+/// capacity constraints. `targets` must have >= 1 element; `auxiliaries`
+/// may be empty only if |targets| == 1.
+[[nodiscard]] std::optional<SearchResult> optimize_tree(
+    const std::vector<GroupId>& targets,
+    const std::vector<GroupId>& auxiliaries, const WorkloadSpec& spec,
+    Objective objective = Objective::kSumHeights);
+
+}  // namespace byzcast::optimizer

@@ -1,0 +1,54 @@
+// Input of the overlay-tree optimization problem (§III-C): the destination
+// sets D with their offered load F(d), and per-group capacity K(x).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::optimizer {
+
+/// A destination set d ∈ D, canonical (sorted, unique).
+using Destination = std::vector<GroupId>;
+
+[[nodiscard]] Destination make_destination(std::vector<GroupId> groups);
+
+struct WorkloadSpec {
+  /// D: the destination sets that occur in the workload.
+  std::vector<Destination> destinations;
+  /// F(d): offered load per destination set, messages/second.
+  std::map<Destination, double> load;
+  /// K(x): max messages/second group x sustains. Groups without an entry
+  /// are treated as unconstrained.
+  std::map<GroupId, double> capacity;
+
+  void add(Destination d, double messages_per_sec) {
+    BZC_EXPECTS(messages_per_sec >= 0.0);
+    destinations.push_back(d);
+    load[std::move(d)] = messages_per_sec;
+  }
+
+  [[nodiscard]] double load_of(const Destination& d) const {
+    const auto it = load.find(d);
+    return it == load.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double capacity_of(GroupId g) const {
+    const auto it = capacity.find(g);
+    return it == capacity.end() ? 1e18 : it->second;
+  }
+};
+
+/// The paper's Table II uniform workload: all pairs over `targets`, each at
+/// `per_destination` messages/second (1200 m/s in the paper).
+[[nodiscard]] WorkloadSpec uniform_pairs_workload(
+    const std::vector<GroupId>& targets, double per_destination);
+
+/// The paper's Table II skewed workload: {g1,g2} and {g3,g4} only, each at
+/// `per_destination` messages/second (9000 m/s in the paper).
+[[nodiscard]] WorkloadSpec skewed_pairs_workload(
+    const std::vector<GroupId>& targets, double per_destination);
+
+}  // namespace byzcast::optimizer

@@ -1,0 +1,74 @@
+#include "sim/actor.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace byzcast::sim {
+
+Actor::Actor(Simulation& sim, std::string name)
+    : sim_(sim),
+      id_(sim.allocate_pid()),
+      name_(std::move(name)),
+      auth_(sim.keys(), id_),
+      rng_(sim.fork_rng()) {
+  sim_.network().attach(id_, this);
+}
+
+Actor::~Actor() { sim_.network().detach(id_); }
+
+Time Actor::now() const { return sim_.now(); }
+
+Time Actor::service_cost(const WireMessage&) const { return 0; }
+
+void Actor::enqueue(WireMessage msg) {
+  if (crashed_) return;
+  inbox_.push_back(std::move(msg));
+  maybe_drain();
+}
+
+void Actor::maybe_drain() {
+  if (draining_ || inbox_.empty() || crashed_) return;
+  draining_ = true;
+  WireMessage msg = std::move(inbox_.front());
+  inbox_.pop_front();
+  const Time cost = service_cost(msg);
+  sim_.scheduler().schedule_after(
+      cost, [this, m = std::move(msg)]() mutable {
+        if (!crashed_) {
+          extra_busy_ = 0;
+          on_message(m);
+          const Time extra = extra_busy_;
+          extra_busy_ = 0;
+          if (extra > 0) {
+            // Stay busy for the CPU consumed while handling (e.g. sends).
+            sim_.scheduler().schedule_after(extra, [this] {
+              draining_ = false;
+              maybe_drain();
+            });
+            return;
+          }
+        }
+        draining_ = false;
+        maybe_drain();
+      });
+}
+
+void Actor::send(ProcessId to, Bytes payload) {
+  if (crashed_) return;
+  consume_cpu(sim_.profile().cpu_send);
+  WireMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.mac = auth_.sign(to, payload);
+  msg.payload = std::move(payload);
+  sim_.network().send(std::move(msg));
+}
+
+bool Actor::verify(const WireMessage& msg) const {
+  return msg.to == id_ && auth_.verify(msg.from, msg.payload, msg.mac);
+}
+
+void Actor::schedule_in(Time delay, std::function<void()> fn) {
+  sim_.scheduler().schedule_after(delay, std::move(fn));
+}
+
+}  // namespace byzcast::sim

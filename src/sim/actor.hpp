@@ -1,0 +1,85 @@
+// Actor: one simulated process. Incoming messages queue at the actor and are
+// served one at a time; each message occupies the CPU for a subclass-declared
+// service cost before its effects become visible. This single-server queue is
+// what produces realistic saturation and latency growth under load.
+//
+// Lifetime rule: actors must outlive any scheduler activity they triggered;
+// systems own their actors for the whole run and destroy them only after the
+// scheduler stops.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/auth.hpp"
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace byzcast::sim {
+
+class Simulation;
+
+class Actor {
+ public:
+  Actor(Simulation& sim, std::string name);
+  virtual ~Actor();
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Called by the network at message arrival time.
+  void enqueue(WireMessage msg);
+
+  /// A crashed actor ignores everything from now on.
+  void crash() { crashed_ = true; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+ protected:
+  /// Handles one message, after its service time elapsed. The MAC has NOT
+  /// been verified; call `verify` if authenticity matters (it always does
+  /// for protocol logic; the check cost is part of the declared service
+  /// cost).
+  virtual void on_message(const WireMessage& msg) = 0;
+
+  /// CPU time this message occupies before `on_message` runs.
+  [[nodiscard]] virtual Time service_cost(const WireMessage& msg) const;
+
+  /// Signs and sends `payload` to `to` through the network. Adds the
+  /// per-send CPU cost to this actor's busy time.
+  void send(ProcessId to, Bytes payload);
+
+  /// Checks that `msg` was authenticated by its claimed sender for us.
+  [[nodiscard]] bool verify(const WireMessage& msg) const;
+
+  /// Schedules `fn` to run after `delay`; fires regardless of the actor's
+  /// queue (used for timeouts). The callback must check state freshness.
+  void schedule_in(Time delay, std::function<void()> fn);
+
+  /// Adds `cost` to the actor's current busy period (models extra CPU work
+  /// performed while handling the current message).
+  void consume_cpu(Time cost) { extra_busy_ += cost; }
+
+  [[nodiscard]] Time now() const;
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Simulation& sim() { return sim_; }
+  [[nodiscard]] const Simulation& sim() const { return sim_; }
+
+ private:
+  void maybe_drain();
+
+  Simulation& sim_;
+  ProcessId id_;
+  std::string name_;
+  Authenticator auth_;
+  Rng rng_;
+  std::deque<WireMessage> inbox_;
+  bool draining_ = false;
+  bool crashed_ = false;
+  Time extra_busy_ = 0;
+};
+
+}  // namespace byzcast::sim

@@ -1,0 +1,88 @@
+#include "sim/latency.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::sim {
+
+namespace {
+
+Time jitter(const Profile& profile, Rng& rng) {
+  if (profile.net_jitter_mean <= 0) return 0;
+  return static_cast<Time>(
+      rng.next_exponential(static_cast<double>(profile.net_jitter_mean)));
+}
+
+Time wire_time(const Profile& profile, std::size_t bytes) {
+  return static_cast<Time>(bytes) * profile.net_per_byte;
+}
+
+}  // namespace
+
+Time LanLatency::sample(ProcessId from, ProcessId to, std::size_t bytes,
+                        Rng& rng) const {
+  if (from == to) return 1 * kMicrosecond;  // loopback
+  return profile_.net_one_way + jitter(profile_, rng) +
+         wire_time(profile_, bytes);
+}
+
+WanLatency::WanLatency(const Profile& profile, std::size_t num_regions)
+    : profile_(profile),
+      matrix_(num_regions, std::vector<Time>(num_regions, 0)) {}
+
+void WanLatency::set_region_latency(RegionId a, RegionId b, Time one_way) {
+  BZC_EXPECTS(a.valid() && b.valid());
+  const auto ai = static_cast<std::size_t>(a.value);
+  const auto bi = static_cast<std::size_t>(b.value);
+  BZC_EXPECTS(ai < matrix_.size() && bi < matrix_.size());
+  matrix_[ai][bi] = one_way;
+  matrix_[bi][ai] = one_way;
+}
+
+void WanLatency::assign(ProcessId p, RegionId r) {
+  BZC_EXPECTS(r.valid() &&
+              static_cast<std::size_t>(r.value) < matrix_.size());
+  region_of_[p] = r;
+}
+
+RegionId WanLatency::region_of(ProcessId p) const {
+  const auto it = region_of_.find(p);
+  BZC_EXPECTS(it != region_of_.end());
+  return it->second;
+}
+
+Time WanLatency::region_latency(RegionId a, RegionId b) const {
+  if (a == b) return intra_region_;
+  return matrix_[static_cast<std::size_t>(a.value)]
+                [static_cast<std::size_t>(b.value)];
+}
+
+Time WanLatency::sample(ProcessId from, ProcessId to, std::size_t bytes,
+                        Rng& rng) const {
+  if (from == to) return 1 * kMicrosecond;
+  const Time base = region_latency(region_of(from), region_of(to));
+  return base + jitter(profile_, rng) + wire_time(profile_, bytes);
+}
+
+WanLatency WanLatency::ec2_four_regions(const Profile& profile) {
+  // Paper Table I, RTT in ms between regions; one-way = RTT / 2.
+  // Order: CA=0, VA=1, EU=2, JP=3.
+  WanLatency wan(profile, 4);
+  const auto ca = RegionId{0};
+  const auto va = RegionId{1};
+  const auto eu = RegionId{2};
+  const auto jp = RegionId{3};
+  wan.set_region_latency(ca, va, 35 * kMillisecond);   // RTT 70
+  wan.set_region_latency(ca, eu, 82 * kMillisecond + 500 * kMicrosecond);  // RTT 165
+  wan.set_region_latency(ca, jp, 56 * kMillisecond);   // RTT 112
+  wan.set_region_latency(va, eu, 44 * kMillisecond);   // RTT 88
+  wan.set_region_latency(va, jp, 87 * kMillisecond + 500 * kMicrosecond);  // RTT 175
+  wan.set_region_latency(eu, jp, 119 * kMillisecond + 500 * kMicrosecond); // RTT 239
+  return wan;
+}
+
+const std::vector<std::string>& WanLatency::ec2_region_names() {
+  static const std::vector<std::string> names = {"CA", "VA", "EU", "JP"};
+  return names;
+}
+
+}  // namespace byzcast::sim

@@ -1,0 +1,71 @@
+// Network latency models. The LAN model is base + exponential jitter +
+// serialization delay; the WAN model adds an inter-region one-way latency
+// matrix (the paper's Table I RTTs halved).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/profile.hpp"
+
+namespace byzcast::sim {
+
+/// Strategy interface: one-way delay for a message of `bytes` from -> to.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  [[nodiscard]] virtual Time sample(ProcessId from, ProcessId to,
+                                    std::size_t bytes, Rng& rng) const = 0;
+};
+
+/// LAN: identical delay distribution between any two distinct processes.
+class LanLatency final : public LatencyModel {
+ public:
+  explicit LanLatency(const Profile& profile) : profile_(profile) {}
+
+  [[nodiscard]] Time sample(ProcessId from, ProcessId to, std::size_t bytes,
+                            Rng& rng) const override;
+
+ private:
+  Profile profile_;
+};
+
+/// WAN: processes are pinned to regions; cross-region hops pay the matrix
+/// latency, intra-region hops pay a small datacenter latency.
+class WanLatency final : public LatencyModel {
+ public:
+  WanLatency(const Profile& profile, std::size_t num_regions);
+
+  /// Sets the one-way latency between two regions (applied symmetrically).
+  void set_region_latency(RegionId a, RegionId b, Time one_way);
+  /// Latency between processes in the same region.
+  void set_intra_region(Time one_way) { intra_region_ = one_way; }
+
+  void assign(ProcessId p, RegionId r);
+  [[nodiscard]] RegionId region_of(ProcessId p) const;
+
+  [[nodiscard]] Time sample(ProcessId from, ProcessId to, std::size_t bytes,
+                            Rng& rng) const override;
+
+  [[nodiscard]] std::size_t num_regions() const { return matrix_.size(); }
+  [[nodiscard]] Time region_latency(RegionId a, RegionId b) const;
+
+  /// The paper's Table I deployment: four EC2 regions
+  /// CA (0), VA (1), EU (2), JP (3) with the published RTTs.
+  [[nodiscard]] static WanLatency ec2_four_regions(const Profile& profile);
+
+  /// Human-readable region names for the EC2 deployment.
+  [[nodiscard]] static const std::vector<std::string>& ec2_region_names();
+
+ private:
+  Profile profile_;
+  std::vector<std::vector<Time>> matrix_;
+  Time intra_region_ = 250 * kMicrosecond;
+  std::unordered_map<ProcessId, RegionId> region_of_;
+};
+
+}  // namespace byzcast::sim

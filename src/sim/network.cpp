@@ -1,0 +1,84 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "sim/actor.hpp"
+
+namespace byzcast::sim {
+
+void NetworkFaults::drop_link(ProcessId from, ProcessId to) {
+  dropped_[Link{from, to}] = true;
+}
+
+void NetworkFaults::add_delay(ProcessId from, ProcessId to, Time extra) {
+  BZC_EXPECTS(extra >= 0);
+  delays_[Link{from, to}] += extra;
+}
+
+void NetworkFaults::partition(const std::vector<ProcessId>& side_a,
+                              const std::vector<ProcessId>& side_b,
+                              Time heal_at) {
+  partitions_.push_back(Partition{side_a, side_b, heal_at});
+}
+
+void NetworkFaults::set_loss_probability(double p) {
+  BZC_EXPECTS(p >= 0.0 && p < 1.0);
+  loss_probability_ = p;
+}
+
+bool NetworkFaults::should_drop(ProcessId from, ProcessId to,
+                                Time now) const {
+  if (dropped_.contains(Link{from, to})) return true;
+  for (const auto& p : partitions_) {
+    if (now >= p.heal_at) continue;
+    const bool from_a = std::find(p.a.begin(), p.a.end(), from) != p.a.end();
+    const bool from_b = std::find(p.b.begin(), p.b.end(), from) != p.b.end();
+    const bool to_a = std::find(p.a.begin(), p.a.end(), to) != p.a.end();
+    const bool to_b = std::find(p.b.begin(), p.b.end(), to) != p.b.end();
+    if ((from_a && to_b) || (from_b && to_a)) return true;
+  }
+  return false;
+}
+
+Time NetworkFaults::extra_delay(ProcessId from, ProcessId to) const {
+  const auto it = delays_.find(Link{from, to});
+  return it == delays_.end() ? 0 : it->second;
+}
+
+void Network::attach(ProcessId id, Actor* actor) {
+  BZC_EXPECTS(actor != nullptr);
+  BZC_EXPECTS(!actors_.contains(id));
+  actors_[id] = actor;
+}
+
+void Network::detach(ProcessId id) { actors_.erase(id); }
+
+void Network::send(WireMessage msg) {
+  ++sent_;
+  bytes_ += msg.payload.size();
+  if (tap_) tap_(msg);
+  const Time now = scheduler_.now();
+  if (faults_.should_drop(msg.from, msg.to, now)) {
+    ++dropped_;
+    return;
+  }
+  if (faults_.loss_probability() > 0.0 &&
+      rng_.next_bool(faults_.loss_probability())) {
+    ++dropped_;
+    return;
+  }
+  const auto it = actors_.find(msg.to);
+  if (it == actors_.end()) {
+    ++dropped_;
+    return;
+  }
+  Actor* const dest = it->second;
+  const Time latency = latency_.sample(msg.from, msg.to, msg.payload.size(),
+                                       rng_) +
+                       faults_.extra_delay(msg.from, msg.to);
+  scheduler_.schedule_after(
+      latency, [dest, m = std::move(msg)]() mutable { dest->enqueue(std::move(m)); });
+}
+
+}  // namespace byzcast::sim

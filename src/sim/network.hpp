@@ -1,0 +1,111 @@
+// Simulated message-passing network with adversary hooks (drops, extra
+// delays, timed partitions). Transports authenticated WireMessages between
+// registered actors; delivery delay comes from the installed LatencyModel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/auth.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/latency.hpp"
+#include "sim/scheduler.hpp"
+
+namespace byzcast::sim {
+
+class Actor;
+
+/// One message on the wire. `payload` is codec-encoded protocol content;
+/// `mac` authenticates (from -> to, payload).
+struct WireMessage {
+  ProcessId from;
+  ProcessId to;
+  Bytes payload;
+  Digest mac{};
+};
+
+/// Network-level fault injection. All rules are evaluated at send time.
+class NetworkFaults {
+ public:
+  /// Permanently drops all messages from -> to (one direction).
+  void drop_link(ProcessId from, ProcessId to);
+  /// Adds a fixed extra delay on from -> to.
+  void add_delay(ProcessId from, ProcessId to, Time extra);
+  /// Drops every message between the two sides (both directions) until
+  /// `heal_at`.
+  void partition(const std::vector<ProcessId>& side_a,
+                 const std::vector<ProcessId>& side_b, Time heal_at);
+
+  /// Drops every message independently with probability `p` (all links).
+  /// Stresses the retransmission / view-change / state-transfer machinery.
+  void set_loss_probability(double p);
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
+
+  [[nodiscard]] bool should_drop(ProcessId from, ProcessId to,
+                                 Time now) const;
+  [[nodiscard]] Time extra_delay(ProcessId from, ProcessId to) const;
+
+ private:
+  struct Link {
+    ProcessId from, to;
+    friend bool operator==(const Link&, const Link&) = default;
+  };
+  struct LinkHash {
+    std::size_t operator()(const Link& l) const noexcept {
+      return std::hash<std::int64_t>{}(
+          (static_cast<std::int64_t>(l.from.value) << 32) ^ l.to.value);
+    }
+  };
+  struct Partition {
+    std::vector<ProcessId> a, b;
+    Time heal_at;
+  };
+
+  std::unordered_map<Link, Time, LinkHash> delays_;
+  std::unordered_map<Link, bool, LinkHash> dropped_;
+  std::vector<Partition> partitions_;
+  double loss_probability_ = 0.0;
+};
+
+/// Owns routing and delivery scheduling. Does not own the actors.
+class Network {
+ public:
+  Network(Scheduler& scheduler, const LatencyModel& latency, Rng rng)
+      : scheduler_(scheduler), latency_(latency), rng_(rng) {}
+
+  void attach(ProcessId id, Actor* actor);
+  void detach(ProcessId id);
+
+  /// Sends an authenticated message; delivery is scheduled after the sampled
+  /// latency unless a fault rule drops it. Unknown destinations are dropped
+  /// silently (a real network has no delivery guarantee either).
+  void send(WireMessage msg);
+
+  [[nodiscard]] NetworkFaults& faults() { return faults_; }
+
+  /// Observer invoked for every message at send time (before fault rules).
+  /// Tests use it to assert protocol message flow; pass nullptr to clear.
+  using Tap = std::function<void(const WireMessage&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  Scheduler& scheduler_;
+  const LatencyModel& latency_;
+  Rng rng_;
+  NetworkFaults faults_;
+  Tap tap_;
+  std::unordered_map<ProcessId, Actor*> actors_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace byzcast::sim

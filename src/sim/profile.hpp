@@ -1,0 +1,80 @@
+// Cost model for the simulated testbed. All constants live here so that the
+// calibration (DESIGN.md §8) is explicit and adjustable in one place.
+//
+// The LAN preset is calibrated against the paper's cluster results: a single
+// f=1 BFT-SMaRt group saturates around ~19-20k local messages/s and a
+// single-client request completes in a few milliseconds (§V-D, Fig. 7). The
+// WAN preset uses the paper's Table I inter-region RTTs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace byzcast::sim {
+
+struct Profile {
+  // --- network -----------------------------------------------------------
+  /// Base one-way latency between two distinct processes (LAN: RTT 0.1ms).
+  Time net_one_way = 50 * kMicrosecond;
+  /// Mean of the exponential jitter added to every hop.
+  Time net_jitter_mean = 15 * kMicrosecond;
+  /// Serialization delay per byte (1 Gbps = 8 ns/byte).
+  Time net_per_byte = 8 * kNanosecond;
+
+  // --- replica CPU -------------------------------------------------------
+  /// Verifying + admitting one client request (MAC check, digest, queueing).
+  Time cpu_request_admission = 8 * kMicrosecond;
+  /// Leader work to assemble and sign a PROPOSE, independent of batch size
+  /// (modeled as a real delay before the proposal goes out, which doubles
+  /// as the batching window).
+  Time cpu_propose_fixed = 1600 * kMicrosecond;
+  /// Leader work per request included in a PROPOSE batch.
+  Time cpu_propose_per_msg = 5 * kMicrosecond;
+  /// Replica work to validate a PROPOSE (batch digest + MAC), fixed part.
+  Time cpu_validate_fixed = 1400 * kMicrosecond;
+  /// Replica work per request when validating a PROPOSE batch.
+  Time cpu_validate_per_msg = 3 * kMicrosecond;
+  /// Handling one WRITE or ACCEPT vote from a peer.
+  Time cpu_vote = 40 * kMicrosecond;
+  /// Executing one decided request in the application, plus building the
+  /// reply.
+  Time cpu_execute_per_msg = 24 * kMicrosecond;
+  /// Handling a duplicate copy of an already-known multicast message
+  /// (ByzCast f+1 counting path — a digest lookup, much cheaper than a full
+  /// execution).
+  Time cpu_duplicate_copy = 2 * kMicrosecond;
+  /// Cost of pushing one outgoing message to the NIC.
+  Time cpu_send = 8 * kMicrosecond;
+
+  // --- client CPU --------------------------------------------------------
+  Time cpu_client_reply = 5 * kMicrosecond;
+
+  // --- protocol knobs ----------------------------------------------------
+  /// Maximum requests per consensus batch.
+  std::uint32_t batch_max = 400;
+  /// Use the keyed fast MAC instead of HMAC-SHA256 for wire authentication.
+  /// Does not change any *simulated* cost (crypto CPU is part of the
+  /// constants above); cuts the host-side wall-clock of large benchmark
+  /// sweeps. See common/auth.hpp.
+  bool fast_macs = false;
+  /// Leader-liveness timeout before a replica asks for a view change.
+  Time leader_timeout = 2 * kSecond;
+  /// Checkpoint period, in decided consensus instances.
+  std::uint32_t checkpoint_period = 256;
+
+  /// LAN preset (defaults above).
+  [[nodiscard]] static Profile lan() { return Profile{}; }
+
+  /// WAN preset: the latency numbers come from the WAN model (region
+  /// matrix); CPU costs are the same machine class. Timeouts are wider.
+  [[nodiscard]] static Profile wan() {
+    Profile p;
+    p.net_one_way = 0;  // the region matrix supplies the hop latency
+    p.net_jitter_mean = 200 * kMicrosecond;
+    p.leader_timeout = 8 * kSecond;
+    return p;
+  }
+};
+
+}  // namespace byzcast::sim

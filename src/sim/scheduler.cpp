@@ -1,0 +1,39 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace byzcast::sim {
+
+void Scheduler::schedule_at(Time when, Callback fn) {
+  BZC_EXPECTS(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires a copy
+  // otherwise, so we const_cast the known-unshared top element.
+  auto& top = const_cast<Event&>(queue_.top());
+  const Time when = top.when;
+  Callback fn = std::move(top.fn);
+  queue_.pop();
+  BZC_ASSERT(when >= now_);
+  now_ = when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    BZC_ASSERT(++n < max_events);
+  }
+}
+
+}  // namespace byzcast::sim

@@ -1,0 +1,58 @@
+// Simulation: the composition root owning scheduler, latency model, network,
+// key store and the master RNG. Systems (groups of actors) are created
+// against one Simulation and driven by running its scheduler.
+#pragma once
+
+#include <memory>
+
+#include "common/auth.hpp"
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+#include "sim/network.hpp"
+#include "sim/profile.hpp"
+#include "sim/scheduler.hpp"
+
+namespace byzcast::sim {
+
+class Simulation {
+ public:
+  /// LAN-model simulation.
+  Simulation(std::uint64_t seed, const Profile& profile);
+
+  /// Simulation with a caller-provided latency model (e.g. WAN).
+  Simulation(std::uint64_t seed, const Profile& profile,
+             std::unique_ptr<LatencyModel> latency);
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+  [[nodiscard]] Time now() const { return scheduler_.now(); }
+
+  [[nodiscard]] std::shared_ptr<const KeyStore> keys() const { return keys_; }
+
+  /// Mutable access to the latency model, for post-construction setup such
+  /// as WAN region assignment (actors receive their pids at construction).
+  [[nodiscard]] LatencyModel& latency_model() { return *latency_; }
+
+  /// Derives an independent RNG stream (per-actor randomness).
+  [[nodiscard]] Rng fork_rng() { return master_rng_.fork(); }
+
+  /// Allocates a fresh system-wide process id.
+  [[nodiscard]] ProcessId allocate_pid() { return ProcessId{next_pid_++}; }
+
+  /// Runs until simulated `deadline`.
+  void run_until(Time deadline) { scheduler_.run_until(deadline); }
+  /// Runs until no events remain (quiescence).
+  void run_to_quiescence() { scheduler_.run_all(); }
+
+ private:
+  Profile profile_;
+  Scheduler scheduler_;
+  Rng master_rng_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<Network> network_;
+  std::shared_ptr<KeyStore> keys_;
+  std::int32_t next_pid_ = 0;
+};
+
+}  // namespace byzcast::sim

@@ -1,0 +1,65 @@
+// Experiment harness: builds one of the three protocols of §V-A3 (ByzCast
+// over a 2- or 3-level tree, the non-genuine Baseline, or plain BFT-SMaRt =
+// one atomic broadcast group), drives it with closed-loop clients in a LAN
+// or the paper's 4-region EC2 WAN, and reports throughput and latency
+// statistics split by message class (local / global).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "workload/generator.hpp"
+
+namespace byzcast::workload {
+
+enum class Protocol {
+  kByzCast2Level,
+  kByzCast3Level,
+  kBaseline,
+  kBftSmart,  // single group, plain atomic broadcast (reference)
+};
+
+enum class Environment { kLan, kWan };
+
+[[nodiscard]] const char* to_string(Protocol p);
+[[nodiscard]] const char* to_string(Environment e);
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kByzCast2Level;
+  Environment environment = Environment::kLan;
+  /// Number of target groups (ignored by kBftSmart, which always runs one).
+  int num_groups = 2;
+  int f = 1;
+  /// Closed-loop clients per target group (kBftSmart: total clients =
+  /// clients_per_group * num_groups, all on its single group).
+  int clients_per_group = 200;
+  GeneratorConfig workload;
+  /// 0 = closed loop (the paper's clients). > 0 = open loop: the client
+  /// population offers this many messages/second in aggregate (Poisson),
+  /// regardless of completions — how Table II states its F(d) rates, and
+  /// what exposes an overloaded tree layout in Fig. 3. Not supported for
+  /// kBftSmart.
+  double open_loop_total_rate = 0.0;
+  std::size_t payload_size = 64;  // the paper's 64-byte messages
+  Time warmup = 1 * kSecond;
+  Time duration = 4 * kSecond;  // measurement window after warmup
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  double throughput = 0.0;  // client completions / second in the window
+  double throughput_local = 0.0;
+  double throughput_global = 0.0;
+  LatencyRecorder latency_all;
+  LatencyRecorder latency_local;
+  LatencyRecorder latency_global;
+  std::uint64_t completed = 0;       // total completions (whole run)
+  std::uint64_t a_deliveries = 0;    // ByzCast/Baseline only
+  std::uint64_t wire_messages = 0;   // network traffic (whole run)
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace byzcast::workload

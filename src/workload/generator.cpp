@@ -1,0 +1,72 @@
+#include "workload/generator.hpp"
+
+#include "common/contracts.hpp"
+
+namespace byzcast::workload {
+
+DestinationGenerator::DestinationGenerator(GeneratorConfig config,
+                                           std::vector<GroupId> targets,
+                                           std::size_t home)
+    : config_(config), targets_(std::move(targets)), home_(home) {
+  BZC_EXPECTS(!targets_.empty());
+  BZC_EXPECTS(home_ < targets_.size());
+  if (config_.pattern == Pattern::kGlobalUniformPairs ||
+      config_.pattern == Pattern::kGlobalSkewedPairs) {
+    BZC_EXPECTS(targets_.size() >= 2);
+  }
+  if (config_.pattern == Pattern::kGlobalSkewedPairs) {
+    BZC_EXPECTS(targets_.size() >= 4);
+  }
+  if (config_.pattern == Pattern::kGlobalFanout) {
+    BZC_EXPECTS(config_.global_fanout >= 1);
+    BZC_EXPECTS(static_cast<std::size_t>(config_.global_fanout) <=
+                targets_.size());
+  }
+}
+
+std::vector<GroupId> DestinationGenerator::uniform_pair(Rng& rng) const {
+  const auto n = targets_.size();
+  const auto i = static_cast<std::size_t>(rng.next_below(n));
+  auto j = static_cast<std::size_t>(rng.next_below(n - 1));
+  if (j >= i) ++j;
+  return {targets_[i], targets_[j]};
+}
+
+std::vector<GroupId> DestinationGenerator::next(Rng& rng) {
+  switch (config_.pattern) {
+    case Pattern::kLocalOnly:
+      return {targets_[home_]};
+    case Pattern::kGlobalUniformPairs:
+      return uniform_pair(rng);
+    case Pattern::kGlobalSkewedPairs:
+      return rng.next_bool(0.5)
+                 ? std::vector<GroupId>{targets_[0], targets_[1]}
+                 : std::vector<GroupId>{targets_[2], targets_[3]};
+    case Pattern::kGlobalFanout: {
+      // Floyd's algorithm-free simple sampling: shuffle-select `fanout`
+      // distinct indices.
+      std::vector<GroupId> pool = targets_;
+      std::vector<GroupId> out;
+      const auto fanout = static_cast<std::size_t>(config_.global_fanout);
+      for (std::size_t i = 0; i < fanout; ++i) {
+        const auto j = i + static_cast<std::size_t>(
+                               rng.next_below(pool.size() - i));
+        std::swap(pool[i], pool[j]);
+        out.push_back(pool[i]);
+      }
+      return out;
+    }
+    case Pattern::kMixed: {
+      const auto total =
+          static_cast<double>(config_.mixed_local + config_.mixed_global);
+      const bool local =
+          rng.next_bool(static_cast<double>(config_.mixed_local) / total);
+      if (local) return {targets_[home_]};
+      return uniform_pair(rng);
+    }
+  }
+  BZC_ASSERT(false);
+  return {};
+}
+
+}  // namespace byzcast::workload

@@ -1,0 +1,52 @@
+// Destination generators for the paper's microbenchmark workloads (§V):
+// local-only, global uniform pairs, the Table II skewed pairs, and the mixed
+// 10:1 local:global workload of §V-G/§V-I.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::workload {
+
+enum class Pattern {
+  /// Single-group messages to the client's home group.
+  kLocalOnly,
+  /// Two-group messages, destination pair uniform over all pairs.
+  kGlobalUniformPairs,
+  /// Two-group messages to {g1,g2} or {g3,g4} only (Table II skewed).
+  kGlobalSkewedPairs,
+  /// local:global = `mixed_local` : `mixed_global` (paper uses 10:1);
+  /// local goes to the home group, global to a uniform pair.
+  kMixed,
+  /// Global messages to `global_fanout` distinct uniformly chosen groups
+  /// (the paper's "vary the number of message destinations", §V-B2).
+  kGlobalFanout,
+};
+
+struct GeneratorConfig {
+  Pattern pattern = Pattern::kLocalOnly;
+  int mixed_local = 10;
+  int mixed_global = 1;
+  int global_fanout = 2;  // used by kGlobalFanout
+};
+
+/// Samples destination sets for one client.
+class DestinationGenerator {
+ public:
+  /// `home` is the index into `targets` of the client's home group.
+  DestinationGenerator(GeneratorConfig config, std::vector<GroupId> targets,
+                       std::size_t home);
+
+  [[nodiscard]] std::vector<GroupId> next(Rng& rng);
+
+ private:
+  [[nodiscard]] std::vector<GroupId> uniform_pair(Rng& rng) const;
+
+  GeneratorConfig config_;
+  std::vector<GroupId> targets_;
+  std::size_t home_;
+};
+
+}  // namespace byzcast::workload

@@ -1,0 +1,94 @@
+#include "workload/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace byzcast::workload {
+
+void print_header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    widths[i] = columns[i].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns);
+  std::string rule;
+  for (const auto w : widths) rule += std::string(w, '-') + "  ";
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+namespace {
+
+std::ofstream open_csv(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  return std::ofstream(path);
+}
+
+}  // namespace
+
+void write_cdf_csv(const std::string& path, const LatencyRecorder& recorder,
+                   std::size_t max_points) {
+  auto out = open_csv(path);
+  if (!out) return;
+  out << "latency_ms,cdf\n";
+  for (const auto& [ms, frac] : recorder.cdf(max_points)) {
+    out << ms << ',' << frac << '\n';
+  }
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<std::string>>& rows) {
+  auto out = open_csv(path);
+  if (!out) return;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out << (i ? "," : "") << columns[i];
+  }
+  out << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "," : "") << row[i];
+    }
+    out << '\n';
+  }
+}
+
+void print_cdf(const std::string& label, const LatencyRecorder& recorder,
+               std::size_t max_points) {
+  std::printf("%s latency CDF (n=%zu):\n", label.c_str(), recorder.count());
+  for (const auto& [ms, frac] : recorder.cdf(max_points)) {
+    std::printf("  %8.2f ms  %5.3f\n", ms, frac);
+  }
+}
+
+}  // namespace byzcast::workload

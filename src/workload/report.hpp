@@ -1,0 +1,38 @@
+// Plain-text reporting helpers shared by the benchmark binaries: aligned
+// series tables (throughput / latency rows as the paper's figures) and CDF
+// dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace byzcast::workload {
+
+/// Prints "== title ==" section header.
+void print_header(const std::string& title);
+
+/// Prints one table: `columns` are headers, each row a vector of
+/// preformatted cells.
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with `precision` decimals.
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+/// Prints a latency CDF as "latency_ms cumulative_fraction" pairs.
+void print_cdf(const std::string& label, const LatencyRecorder& recorder,
+               std::size_t max_points = 20);
+
+/// Writes a CDF as CSV ("latency_ms,cdf") to `path`, creating parent
+/// directories. Benches use this to emit plottable data under bench_csv/.
+void write_cdf_csv(const std::string& path, const LatencyRecorder& recorder,
+                   std::size_t max_points = 200);
+
+/// Writes a generic series table as CSV to `path`.
+void write_series_csv(const std::string& path,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace byzcast::workload

@@ -1,0 +1,175 @@
+// Byzantine behaviours inside one group: equivocating leaders cannot split
+// the decision, impersonated requests are rejected, forged MACs are dropped,
+// and the group stays live with f silent replicas.
+#include <gtest/gtest.h>
+
+#include "bft/client_proxy.hpp"
+#include "bft/group.hpp"
+#include "sim/simulation.hpp"
+#include "support/recording_app.hpp"
+
+namespace byzcast::bft {
+namespace {
+
+using ::byzcast::testing::ExecutionTrace;
+using ::byzcast::testing::recording_factory;
+
+TEST(Byzantine, EquivocatingLeaderCannotSplitHistory) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(31, sim::Profile::lan());
+  std::vector<FaultSpec> faults(4);
+  faults[0].equivocate_propose = true;  // replica 0 leads view 0
+  Group group(sim, GroupId{0}, 1, recording_factory(traces), faults);
+
+  ClientProxy client(sim, group.info(), "client");
+  int completions = 0;
+  int remaining = 50;
+  std::function<void()> issue = [&] {
+    if (remaining-- == 0) return;
+    client.invoke(to_bytes("op" + std::to_string(remaining)),
+                  [&](const Bytes&, Time) {
+                    ++completions;
+                    issue();
+                  });
+  };
+  issue();
+  sim.run_until(180 * kSecond);
+
+  // Liveness: every request eventually completes (possibly after view
+  // changes depose the equivocator).
+  EXPECT_EQ(completions, 50);
+
+  // Safety: all correct replicas executed the same history.
+  const auto correct = group.correct_indices();
+  const auto& ref = traces[correct.front()];
+  for (const int i : correct) {
+    ASSERT_EQ(traces[i].size(), ref.size()) << "replica " << i;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(traces[i][k].op, ref[k].op) << "replica " << i << " pos " << k;
+    }
+  }
+}
+
+TEST(Byzantine, ImpersonatedRequestRejected) {
+  // An actor claims another process as the request origin: replicas must
+  // not admit it (wire sender != claimed origin).
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(32, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  class Impersonator final : public sim::Actor {
+   public:
+    Impersonator(sim::Simulation& sim, GroupInfo group)
+        : Actor(sim, "mallory"), group_(std::move(group)) {}
+    void attack() {
+      Request req;
+      req.group = group_.id;
+      req.origin = ProcessId{123456};  // not us
+      req.seq = 0;
+      req.op = to_bytes("forged");
+      const Bytes encoded = encode_request(req);
+      for (const ProcessId r : group_.replicas) send(r, encoded);
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupInfo group_;
+  };
+
+  Impersonator mallory(sim, group.info());
+  mallory.attack();
+  sim.run_until(10 * kSecond);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(traces[i].empty());
+}
+
+TEST(Byzantine, ForgedMacDropped) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(33, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  // Inject a wire message with a garbage MAC directly into the network,
+  // claiming to come from a group member.
+  Request req;
+  req.group = group.info().id;
+  req.origin = group.info().replicas[1];
+  req.seq = 0;
+  req.op = to_bytes("spoof");
+  sim::WireMessage msg;
+  msg.from = group.info().replicas[1];
+  msg.to = group.info().replicas[0];
+  msg.payload = encode_request(req);
+  msg.mac = Digest{};  // invalid
+  sim.network().send(std::move(msg));
+  sim.run_until(10 * kSecond);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(traces[i].empty());
+}
+
+TEST(Byzantine, LiveWithFSilentReplicas) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(34, sim::Profile::lan());
+  std::vector<FaultSpec> faults(4);
+  faults[3] = FaultSpec::crashed();  // non-leader silent replica
+  Group group(sim, GroupId{0}, 1, recording_factory(traces), faults);
+
+  ClientProxy client(sim, group.info(), "client");
+  int completions = 0;
+  int remaining = 40;
+  std::function<void()> issue = [&] {
+    if (remaining-- == 0) return;
+    client.invoke(to_bytes("x"), [&](const Bytes&, Time) {
+      ++completions;
+      issue();
+    });
+  };
+  issue();
+  sim.run_until(60 * kSecond);
+  EXPECT_EQ(completions, 40);
+  EXPECT_EQ(traces[3].size(), 0u);  // the crashed replica did nothing
+  EXPECT_EQ(traces[0].size(), 40u);
+}
+
+TEST(Byzantine, NonMemberVotesIgnored) {
+  // A non-member flooding WRITE/ACCEPT votes must not let a bogus batch
+  // decide or disturb the group.
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(35, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  class VoteFlooder final : public sim::Actor {
+   public:
+    VoteFlooder(sim::Simulation& sim, GroupInfo group)
+        : Actor(sim, "flooder"), group_(std::move(group)) {}
+    void attack() {
+      Vote v;
+      v.phase = MsgType::kWrite;
+      v.view = 0;
+      v.instance = 0;
+      v.digest = Sha256::hash(to_bytes("bogus"));
+      for (int k = 0; k < 10; ++k) {
+        for (const ProcessId r : group_.replicas) send(r, v.encode());
+      }
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupInfo group_;
+  };
+
+  VoteFlooder flooder(sim, group.info());
+  flooder.attack();
+
+  ClientProxy client(sim, group.info(), "client");
+  bool done = false;
+  client.invoke(to_bytes("real"), [&](const Bytes&, Time) { done = true; });
+  sim.run_until(10 * kSecond);
+  EXPECT_TRUE(done);
+  ASSERT_EQ(traces[0].size(), 1u);
+  EXPECT_EQ(to_text(traces[0][0].op), "real");
+}
+
+}  // namespace
+}  // namespace byzcast::bft

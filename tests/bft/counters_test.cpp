@@ -1,0 +1,112 @@
+// Protocol-event counters: quiet runs install no views, leader crashes do,
+// rejected requests are counted, and checkpoints fire on schedule.
+#include <gtest/gtest.h>
+
+#include "bft/client_proxy.hpp"
+#include "bft/group.hpp"
+#include "sim/simulation.hpp"
+#include "support/recording_app.hpp"
+
+namespace byzcast::bft {
+namespace {
+
+using ::byzcast::testing::ExecutionTrace;
+using ::byzcast::testing::recording_factory;
+
+int run_ops(sim::Simulation& sim, Group& group, int count, Time horizon) {
+  ClientProxy client(sim, group.info(), "client");
+  int done = 0;
+  int remaining = count;
+  std::function<void()> issue = [&] {
+    if (remaining-- == 0) return;
+    client.invoke(to_bytes("op" + std::to_string(remaining)),
+                  [&](const Bytes&, Time) {
+                    ++done;
+                    issue();
+                  });
+  };
+  issue();
+  sim.run_until(horizon);
+  return done;
+}
+
+TEST(Counters, QuietRunInstallsNoViews) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(201, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  EXPECT_EQ(run_ops(sim, group, 25, 60 * kSecond), 25);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(group.replica(i).counters().views_installed, 0u);
+    EXPECT_EQ(group.replica(i).counters().state_transfers, 0u);
+  }
+  // Only the leader proposes in view 0.
+  EXPECT_GT(group.replica(0).counters().proposals_made, 0u);
+  EXPECT_EQ(group.replica(1).counters().proposals_made, 0u);
+}
+
+TEST(Counters, LeaderCrashInstallsViews) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(202, sim::Profile::lan());
+  std::vector<FaultSpec> faults(4);
+  faults[0] = FaultSpec::crashed();
+  Group group(sim, GroupId{0}, 1, recording_factory(traces), faults);
+  EXPECT_EQ(run_ops(sim, group, 10, 60 * kSecond), 10);
+  for (const int i : group.correct_indices()) {
+    EXPECT_GE(group.replica(i).counters().views_installed, 1u);
+  }
+  // The view-1 leader proposed.
+  EXPECT_GT(group.replica(1).counters().proposals_made, 0u);
+}
+
+TEST(Counters, RejectedRequestsCounted) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(203, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  class Spoofer final : public sim::Actor {
+   public:
+    Spoofer(sim::Simulation& sim, GroupInfo info)
+        : Actor(sim, "spoofer"), info_(std::move(info)) {}
+    void attack() {
+      Request req;
+      req.group = info_.id;
+      req.origin = ProcessId{9999};  // impersonation
+      req.seq = 0;
+      req.op = to_bytes("x");
+      send(info_.replicas[0], encode_request(req));
+      // Wrong group id.
+      Request wrong;
+      wrong.group = GroupId{42};
+      wrong.origin = id();
+      wrong.seq = 0;
+      wrong.op = to_bytes("y");
+      send(info_.replicas[0], encode_request(wrong));
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupInfo info_;
+  };
+  Spoofer spoofer(sim, group.info());
+  spoofer.attack();
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(group.replica(0).counters().rejected_requests, 2u);
+  EXPECT_EQ(group.replica(0).executed_requests(), 0u);
+}
+
+TEST(Counters, CheckpointsFollowPeriod) {
+  sim::Profile profile = sim::Profile::lan();
+  profile.checkpoint_period = 3;
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(204, profile);
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  EXPECT_EQ(run_ops(sim, group, 20, 120 * kSecond), 20);
+  // 20 sequential ops from one closed-loop client = 20 instances -> at
+  // least 20/3 checkpoints.
+  EXPECT_GE(group.replica(0).counters().checkpoints_taken, 5u);
+}
+
+}  // namespace
+}  // namespace byzcast::bft

@@ -1,0 +1,168 @@
+// Edge cases of the broadcast engine: duplicate client requests, stale
+// votes, empty groups of traffic, large payloads, and zero-length ops.
+#include <gtest/gtest.h>
+
+#include "bft/client_proxy.hpp"
+#include "bft/group.hpp"
+#include "sim/simulation.hpp"
+#include "support/recording_app.hpp"
+
+namespace byzcast::bft {
+namespace {
+
+using ::byzcast::testing::ExecutionTrace;
+using ::byzcast::testing::recording_factory;
+
+TEST(EdgeCases, DuplicateClientTransmissionExecutesOnce) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(701, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  // Send the exact same (origin, seq) request three times directly.
+  class Dup final : public sim::Actor {
+   public:
+    Dup(sim::Simulation& sim, GroupInfo info)
+        : Actor(sim, "dup"), info_(std::move(info)) {}
+    void fire() {
+      Request req;
+      req.group = info_.id;
+      req.origin = id();
+      req.seq = 0;
+      req.op = to_bytes("only-once");
+      const Bytes encoded = encode_request(req);
+      for (int k = 0; k < 3; ++k) {
+        for (const ProcessId r : info_.replicas) send(r, encoded);
+      }
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupInfo info_;
+  };
+  Dup dup(sim, group.info());
+  dup.fire();
+  sim.run_until(20 * kSecond);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(traces[i].size(), 1u) << "replica " << i;
+  }
+}
+
+TEST(EdgeCases, RetransmissionAfterDecisionIsHarmless) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(702, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "client");
+  bool done = false;
+  client.invoke(to_bytes("x"), [&](const Bytes&, Time) { done = true; });
+  sim.run_until(5 * kSecond);
+  ASSERT_TRUE(done);
+  // Force many retry periods to elapse: nothing re-executes.
+  sim.run_until(60 * kSecond);
+  EXPECT_EQ(group.replica(0).executed_requests(), 1u);
+}
+
+TEST(EdgeCases, EmptyOpIsLegal) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(703, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "client");
+  bool done = false;
+  client.invoke(Bytes{}, [&](const Bytes&, Time) { done = true; });
+  sim.run_until(10 * kSecond);
+  EXPECT_TRUE(done);
+  ASSERT_EQ(traces[0].size(), 1u);
+  EXPECT_TRUE(traces[0][0].op.empty());
+}
+
+TEST(EdgeCases, LargePayloadsOrdered) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(704, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "client");
+  int done = 0;
+  const Bytes big(64 * 1024, 0x5A);  // 64 KiB
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client.invoke(big, [&, left](const Bytes&, Time) {
+      ++done;
+      issue(left - 1);
+    });
+  };
+  issue(3);
+  sim.run_until(30 * kSecond);
+  EXPECT_EQ(done, 3);
+  ASSERT_EQ(traces[0].size(), 3u);
+  EXPECT_EQ(traces[0][0].op.size(), 64u * 1024u);
+}
+
+TEST(EdgeCases, StaleVotesAfterDecisionIgnored) {
+  // A peer re-sending WRITE/ACCEPT for long-decided instances must not
+  // disturb the replica (exercises the stale-vote guard).
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(705, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "client");
+  int done = 0;
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client.invoke(to_bytes("op"), [&, left](const Bytes&, Time) {
+      ++done;
+      issue(left - 1);
+    });
+  };
+  issue(5);
+  sim.run_until(30 * kSecond);
+  ASSERT_EQ(done, 5);
+  const auto executed_before = group.replica(1).executed_requests();
+
+  // Replay stale votes from a member-lookalike: craft votes for instance 0.
+  class Replayer final : public sim::Actor {
+   public:
+    Replayer(sim::Simulation& sim, GroupInfo info)
+        : Actor(sim, "replayer"), info_(std::move(info)) {}
+    void replay() {
+      Vote v;
+      v.phase = MsgType::kAccept;
+      v.view = 0;
+      v.instance = 0;
+      v.digest = Sha256::hash(to_bytes("whatever"));
+      for (const ProcessId r : info_.replicas) send(r, v.encode());
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupInfo info_;
+  };
+  Replayer replayer(sim, group.info());
+  replayer.replay();
+  sim.run_until(sim.now() + 10 * kSecond);
+  EXPECT_EQ(group.replica(1).executed_requests(), executed_before);
+  EXPECT_EQ(group.replica(1).view(), 0u);
+}
+
+TEST(EdgeCases, TwoGroupsShareOneSimulationIndependently) {
+  std::map<int, ExecutionTrace> traces_a;
+  std::map<int, ExecutionTrace> traces_b;
+  sim::Simulation sim(706, sim::Profile::lan());
+  Group ga(sim, GroupId{0}, 1, recording_factory(traces_a));
+  Group gb(sim, GroupId{1}, 1, recording_factory(traces_b));
+
+  ClientProxy ca(sim, ga.info(), "ca");
+  ClientProxy cb(sim, gb.info(), "cb");
+  int done = 0;
+  ca.invoke(to_bytes("for-a"), [&](const Bytes&, Time) { ++done; });
+  cb.invoke(to_bytes("for-b"), [&](const Bytes&, Time) { ++done; });
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(done, 2);
+  ASSERT_EQ(traces_a[0].size(), 1u);
+  ASSERT_EQ(traces_b[0].size(), 1u);
+  EXPECT_EQ(to_text(traces_a[0][0].op), "for-a");
+  EXPECT_EQ(to_text(traces_b[0][0].op), "for-b");
+}
+
+}  // namespace
+}  // namespace byzcast::bft

@@ -1,0 +1,157 @@
+#include "bft/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::bft {
+namespace {
+
+Request make_request(int origin, std::uint64_t seq, const char* op) {
+  Request r;
+  r.group = GroupId{1};
+  r.origin = ProcessId{origin};
+  r.seq = seq;
+  r.op = to_bytes(op);
+  return r;
+}
+
+TEST(BftMessage, RequestRoundTrip) {
+  const Request req = make_request(5, 42, "op-payload");
+  const Bytes encoded = encode_request(req);
+  EXPECT_EQ(peek_type(encoded), MsgType::kRequest);
+  Reader r(encoded);
+  (void)r.u8();
+  EXPECT_EQ(decode_request(r), req);
+}
+
+TEST(BftMessage, RequestId) {
+  const Request req = make_request(5, 42, "x");
+  EXPECT_EQ(req.id(), (MessageId{ProcessId{5}, 42}));
+}
+
+TEST(BftMessage, ProposeRoundTrip) {
+  Propose p;
+  p.view = 3;
+  p.instance = 17;
+  p.batch = {make_request(1, 0, "a"), make_request(2, 9, "b")};
+  const Bytes encoded = p.encode();
+  EXPECT_EQ(peek_type(encoded), MsgType::kPropose);
+  EXPECT_EQ(peek_propose_count(encoded), 2u);
+  Reader r(encoded);
+  (void)r.u8();
+  const Propose q = Propose::decode(r);
+  EXPECT_EQ(q.view, 3u);
+  EXPECT_EQ(q.instance, 17u);
+  EXPECT_EQ(q.batch, p.batch);
+}
+
+TEST(BftMessage, EmptyProposeCount) {
+  Propose p;
+  EXPECT_EQ(peek_propose_count(p.encode()), 0u);
+}
+
+TEST(BftMessage, BatchDigestSensitivity) {
+  const Batch a = {make_request(1, 0, "a"), make_request(2, 0, "b")};
+  Batch reordered = {a[1], a[0]};
+  Batch tampered = a;
+  tampered[0].op.push_back(0xFF);
+  EXPECT_NE(batch_digest(a), batch_digest(reordered));
+  EXPECT_NE(batch_digest(a), batch_digest(tampered));
+  EXPECT_EQ(batch_digest(a), batch_digest(Batch{a}));
+}
+
+TEST(BftMessage, VoteRoundTrip) {
+  for (const MsgType phase : {MsgType::kWrite, MsgType::kAccept}) {
+    Vote v;
+    v.phase = phase;
+    v.view = 7;
+    v.instance = 123;
+    v.digest = Sha256::hash(to_bytes("batch"));
+    const Bytes encoded = v.encode();
+    EXPECT_EQ(peek_type(encoded), phase);
+    Reader r(encoded);
+    const auto type = static_cast<MsgType>(r.u8());
+    const Vote w = Vote::decode(type, r);
+    EXPECT_EQ(w.phase, phase);
+    EXPECT_EQ(w.view, 7u);
+    EXPECT_EQ(w.instance, 123u);
+    EXPECT_EQ(w.digest, v.digest);
+  }
+}
+
+TEST(BftMessage, ReplyRoundTrip) {
+  Reply rep;
+  rep.group = GroupId{4};
+  rep.seq = 77;
+  rep.result = to_bytes("ack");
+  const Bytes encoded = rep.encode();
+  Reader r(encoded);
+  (void)r.u8();
+  const Reply out = Reply::decode(r);
+  EXPECT_EQ(out.group, GroupId{4});
+  EXPECT_EQ(out.seq, 77u);
+  EXPECT_EQ(out.result, to_bytes("ack"));
+}
+
+TEST(BftMessage, StopAndStopDataRoundTrip) {
+  const Bytes stop_encoded = Stop{9}.encode();
+  Reader sr(stop_encoded);
+  (void)sr.u8();
+  EXPECT_EQ(Stop::decode(sr).next_view, 9u);
+
+  StopData sd;
+  sd.next_view = 9;
+  sd.next_instance = 100;
+  sd.has_value = true;
+  sd.value_view = 8;
+  sd.value = {make_request(1, 2, "v")};
+  const Bytes sd_encoded = sd.encode();
+  Reader r(sd_encoded);
+  (void)r.u8();
+  const StopData out = StopData::decode(r);
+  EXPECT_EQ(out.next_view, 9u);
+  EXPECT_EQ(out.next_instance, 100u);
+  EXPECT_TRUE(out.has_value);
+  EXPECT_EQ(out.value_view, 8u);
+  EXPECT_EQ(out.value, sd.value);
+}
+
+TEST(BftMessage, SyncRoundTrip) {
+  Sync s;
+  s.next_view = 2;
+  s.instance = 55;
+  s.batch = {make_request(3, 4, "w")};
+  const Bytes s_encoded = s.encode();
+  Reader r(s_encoded);
+  (void)r.u8();
+  const Sync out = Sync::decode(r);
+  EXPECT_EQ(out.next_view, 2u);
+  EXPECT_EQ(out.instance, 55u);
+  EXPECT_EQ(out.batch, s.batch);
+}
+
+TEST(BftMessage, StateTransferRoundTrip) {
+  const Bytes sr_encoded = StateRequest{31}.encode();
+  Reader rr(sr_encoded);
+  (void)rr.u8();
+  EXPECT_EQ(StateRequest::decode(rr).from_instance, 31u);
+
+  StateResponse resp;
+  resp.first_instance = 31;
+  resp.batches = {{make_request(1, 1, "a")}, {}, {make_request(2, 2, "b")}};
+  resp.has_snapshot = true;
+  resp.snapshot_instance = 31;
+  resp.snapshot = to_bytes("snapshot-bytes");
+  const Bytes resp_encoded = resp.encode();
+  Reader r(resp_encoded);
+  (void)r.u8();
+  const StateResponse out = StateResponse::decode(r);
+  EXPECT_EQ(out.first_instance, 31u);
+  ASSERT_EQ(out.batches.size(), 3u);
+  EXPECT_EQ(out.batches[0], resp.batches[0]);
+  EXPECT_TRUE(out.batches[1].empty());
+  EXPECT_TRUE(out.has_snapshot);
+  EXPECT_EQ(out.snapshot, to_bytes("snapshot-bytes"));
+}
+
+}  // namespace
+}  // namespace byzcast::bft

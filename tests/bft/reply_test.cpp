@@ -1,0 +1,130 @@
+// The BFT client rule: a result counts only once f+1 replicas report the
+// same bytes. Corrupt replies from up to f replicas are harmless; the
+// accepted result is always the correct one.
+#include <gtest/gtest.h>
+
+#include "bft/client_proxy.hpp"
+#include "bft/group.hpp"
+#include "sim/simulation.hpp"
+#include "support/recording_app.hpp"
+
+namespace byzcast::bft {
+namespace {
+
+using ::byzcast::testing::ExecutionTrace;
+using ::byzcast::testing::recording_factory;
+
+TEST(Replies, CorruptRepliesFromOneReplicaAreOutvoted) {
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(51, sim::Profile::lan());
+  std::vector<FaultSpec> faults(4);
+  faults[2].corrupt_replies = true;
+  Group group(sim, GroupId{0}, 1, recording_factory(traces), faults);
+
+  ClientProxy client(sim, group.info(), "client");
+  Bytes accepted;
+  int completions = 0;
+  int remaining = 20;
+  std::function<void()> issue = [&] {
+    if (remaining-- == 0) return;
+    client.invoke(to_bytes("op"), [&](const Bytes& result, Time) {
+      accepted = result;
+      ++completions;
+      issue();
+    });
+  };
+  issue();
+  sim.run_until(60 * kSecond);
+
+  EXPECT_EQ(completions, 20);
+  // The accepted result equals what the echo app computes (a digest
+  // prefix), not the attacker's garbage.
+  const Digest d = Sha256::hash(to_bytes("op"));
+  EXPECT_EQ(accepted, Bytes(d.begin(), d.begin() + 8));
+}
+
+TEST(Replies, CorruptRepliesFromTwoReplicasExceedF) {
+  // With 2 > f corrupters the client may never see f+1 matching correct
+  // replies... but n=4, f=1: the 2 correct replicas still produce f+1 = 2
+  // matching replies, so the request completes correctly anyway.
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(52, sim::Profile::lan());
+  std::vector<FaultSpec> faults(4);
+  faults[2].corrupt_replies = true;
+  faults[3].corrupt_replies = true;
+  Group group(sim, GroupId{0}, 1, recording_factory(traces), faults);
+
+  ClientProxy client(sim, group.info(), "client");
+  bool done = false;
+  Bytes accepted;
+  client.invoke(to_bytes("x"), [&](const Bytes& result, Time) {
+    accepted = result;
+    done = true;
+  });
+  sim.run_until(30 * kSecond);
+  ASSERT_TRUE(done);
+  const Digest d = Sha256::hash(to_bytes("x"));
+  EXPECT_EQ(accepted, Bytes(d.begin(), d.begin() + 8));
+}
+
+TEST(Replies, ClientIgnoresRepliesFromNonMembers) {
+  sim::Simulation sim(53, sim::Profile::lan());
+  std::map<int, ExecutionTrace> traces;
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  // An outsider floods the client with plausible-looking replies for the
+  // next sequence number; the client must not accept them.
+  class ReplySpoofer final : public sim::Actor {
+   public:
+    ReplySpoofer(sim::Simulation& sim, GroupId group)
+        : Actor(sim, "spoofer"), group_(group) {}
+    void attack(ProcessId client) {
+      const Reply rep{group_, 0, to_bytes("fake-result")};
+      for (int i = 0; i < 4; ++i) send(client, rep.encode());
+    }
+
+   protected:
+    void on_message(const sim::WireMessage&) override {}
+
+   private:
+    GroupId group_;
+  };
+
+  ClientProxy client(sim, group.info(), "client");
+  ReplySpoofer spoofer(sim, GroupId{0});
+
+  Bytes accepted;
+  bool done = false;
+  client.invoke(to_bytes("real-op"), [&](const Bytes& result, Time) {
+    accepted = result;
+    done = true;
+  });
+  spoofer.attack(client.id());
+  sim.run_until(30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_NE(accepted, to_bytes("fake-result"));
+}
+
+TEST(Replies, RetransmissionSurvivesMessageLoss) {
+  sim::Simulation sim(54, sim::Profile::lan());
+  std::map<int, ExecutionTrace> traces;
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "client");
+
+  // Cut the client off from the whole group for a while: the initial send
+  // is lost in both directions; the retry timer must recover it.
+  sim.network().faults().partition({client.id()}, group.info().replicas,
+                                   6 * kSecond);
+  bool done = false;
+  client.invoke(to_bytes("persistent-op"),
+                [&](const Bytes&, Time) { done = true; });
+  sim.run_until(5 * kSecond);
+  EXPECT_FALSE(done);
+  sim.run_until(60 * kSecond);
+  EXPECT_TRUE(done);
+  ASSERT_EQ(traces[0].size(), 1u);
+  EXPECT_EQ(to_text(traces[0][0].op), "persistent-op");
+}
+
+}  // namespace
+}  // namespace byzcast::bft

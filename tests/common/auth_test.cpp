@@ -1,0 +1,62 @@
+#include "common/auth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace byzcast {
+namespace {
+
+class AuthTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<KeyStore> keys = std::make_shared<KeyStore>(777);
+  ProcessId alice{1};
+  ProcessId bob{2};
+  ProcessId mallory{3};
+};
+
+TEST_F(AuthTest, SignVerifyRoundTrip) {
+  Authenticator a(keys, alice);
+  Authenticator b(keys, bob);
+  const Bytes msg = to_bytes("transfer 100");
+  const Digest mac = a.sign(bob, msg);
+  EXPECT_TRUE(b.verify(alice, msg, mac));
+}
+
+TEST_F(AuthTest, TamperedPayloadRejected) {
+  Authenticator a(keys, alice);
+  Authenticator b(keys, bob);
+  const Digest mac = a.sign(bob, to_bytes("transfer 100"));
+  EXPECT_FALSE(b.verify(alice, to_bytes("transfer 900"), mac));
+}
+
+TEST_F(AuthTest, ImpersonationRejected) {
+  // Mallory signs with her own keys but claims to be Alice.
+  Authenticator m(keys, mallory);
+  Authenticator b(keys, bob);
+  const Bytes msg = to_bytes("i am alice, honest");
+  const Digest mac = m.sign(bob, msg);
+  EXPECT_FALSE(b.verify(alice, msg, mac));
+}
+
+TEST_F(AuthTest, MacIsChannelBound) {
+  // A MAC for channel alice->bob must not verify on alice->mallory.
+  Authenticator a(keys, alice);
+  Authenticator m(keys, mallory);
+  const Bytes msg = to_bytes("hello");
+  const Digest mac = a.sign(bob, msg);
+  EXPECT_FALSE(m.verify(alice, msg, mac));
+}
+
+TEST_F(AuthTest, PairKeySymmetric) {
+  EXPECT_EQ(keys->pair_key(alice, bob), keys->pair_key(bob, alice));
+  EXPECT_NE(keys->pair_key(alice, bob), keys->pair_key(alice, mallory));
+}
+
+TEST_F(AuthTest, DifferentMasterSeedsDifferentKeys) {
+  KeyStore other(778);
+  EXPECT_NE(keys->pair_key(alice, bob), other.pair_key(alice, bob));
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,29 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(data), "00017f80ff");
+  EXPECT_EQ(from_hex("00017f80ff"), data);
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, TextRoundTrip) {
+  const Bytes b = to_bytes("hello byzcast");
+  EXPECT_EQ(to_text(b), "hello byzcast");
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,95 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast {
+namespace {
+
+TEST(Serde, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xfe);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xfe);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, IdsRoundTrip) {
+  Writer w;
+  w.process_id(ProcessId{7});
+  w.group_id(GroupId{3});
+  w.message_id(MessageId{ProcessId{11}, 99});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.process_id(), ProcessId{7});
+  EXPECT_EQ(r.group_id(), GroupId{3});
+  EXPECT_EQ(r.message_id(), (MessageId{ProcessId{11}, 99}));
+}
+
+TEST(Serde, BytesAndStrings) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, VectorRoundTrip) {
+  const std::vector<std::uint64_t> values = {1, 2, 3, 5, 8, 13};
+  Writer w;
+  w.vec(values, [](Writer& ww, std::uint64_t v) { ww.u64(v); });
+
+  Reader r(w.data());
+  const auto decoded =
+      r.vec<std::uint64_t>([](Reader& rr) { return rr.u64(); });
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(Serde, NestedStructures) {
+  Writer w;
+  const std::vector<std::string> names = {"alpha", "beta", ""};
+  w.vec(names, [](Writer& ww, const std::string& s) { ww.str(s); });
+  w.u32(7);
+
+  Reader r(w.data());
+  const auto decoded = r.vec<std::string>([](Reader& rr) { return rr.str(); });
+  EXPECT_EQ(decoded, names);
+  EXPECT_EQ(r.u32(), 7u);
+}
+
+TEST(Serde, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(SerdeDeathTest, ShortReadAborts) {
+  Writer w;
+  w.u8(1);
+  EXPECT_DEATH(
+      {
+        Reader r(w.data());
+        (void)r.u64();
+      },
+      "Precondition");
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,63 @@
+#include "common/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace byzcast {
+namespace {
+
+std::string hash_hex(std::string_view s) {
+  return to_hex(Sha256::hash(to_bytes(s)));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog");
+  Sha256 ctx;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ctx.update(BytesView(&data[i], 1));
+  }
+  EXPECT_EQ(ctx.finish(), Sha256::hash(data));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding at block boundaries: 55, 56, 63, 64, 65 bytes.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const Bytes data(n, 'x');
+    Sha256 incremental;
+    incremental.update(BytesView(data.data(), n / 2));
+    incremental.update(BytesView(data.data() + n / 2, n - n / 2));
+    EXPECT_EQ(incremental.finish(), Sha256::hash(data)) << "n=" << n;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace byzcast {
+namespace {
+
+TEST(LatencyRecorder, MeanAndPercentiles) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.record(/*when=*/i, /*latency=*/i * kMillisecond);
+  }
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.mean_ms(), 50.5, 1e-9);
+  EXPECT_NEAR(rec.percentile_ms(0), 1.0, 1e-9);
+  EXPECT_NEAR(rec.percentile_ms(100), 100.0, 1e-9);
+  EXPECT_NEAR(rec.median_ms(), 50.5, 1e-9);
+  EXPECT_NEAR(rec.percentile_ms(95), 95.05, 0.1);
+}
+
+TEST(LatencyRecorder, WarmupExcluded) {
+  LatencyRecorder rec;
+  rec.set_warmup(10 * kSecond);
+  rec.record(1 * kSecond, 999 * kMillisecond);   // warm-up, excluded
+  rec.record(11 * kSecond, 5 * kMillisecond);
+  rec.record(12 * kSecond, 15 * kMillisecond);
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_NEAR(rec.mean_ms(), 10.0, 1e-9);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.mean_ms(), 0.0);
+  EXPECT_EQ(rec.percentile_ms(99), 0.0);
+  EXPECT_TRUE(rec.cdf().empty());
+}
+
+TEST(LatencyRecorder, CdfMonotone) {
+  LatencyRecorder rec;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    rec.record(i, static_cast<Time>(rng.next_below(50)) * kMillisecond);
+  }
+  const auto points = rec.cdf(50);
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(ThroughputMeter, RateOverWindow) {
+  ThroughputMeter meter;
+  // 100 events in the first second, 200 in the second.
+  for (int i = 0; i < 100; ++i) meter.record(i * 10 * kMillisecond);
+  for (int i = 0; i < 200; ++i) {
+    meter.record(kSecond + i * 5 * kMillisecond);
+  }
+  EXPECT_NEAR(meter.rate_per_sec(0, kSecond), 100.0, 1e-9);
+  EXPECT_NEAR(meter.rate_per_sec(kSecond, 2 * kSecond), 200.0, 1e-9);
+  EXPECT_NEAR(meter.rate_per_sec(0, 2 * kSecond), 150.0, 1e-9);
+  EXPECT_EQ(meter.total(), 300u);
+}
+
+TEST(ThroughputMeter, EmptyWindow) {
+  ThroughputMeter meter;
+  meter.record(5 * kSecond);
+  EXPECT_EQ(meter.rate_per_sec(0, kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace byzcast

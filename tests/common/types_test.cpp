@@ -1,0 +1,63 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace byzcast {
+namespace {
+
+TEST(Types, StrongIdsDoNotCrossCompare) {
+  // Compile-time property: ProcessId and GroupId are distinct types.
+  static_assert(!std::is_convertible_v<ProcessId, GroupId>);
+  static_assert(!std::is_convertible_v<GroupId, ProcessId>);
+  static_assert(!std::is_convertible_v<int, ProcessId>);
+}
+
+TEST(Types, IdOrderingAndValidity) {
+  EXPECT_LT(ProcessId{1}, ProcessId{2});
+  EXPECT_EQ(GroupId{3}, GroupId{3});
+  EXPECT_TRUE(ProcessId{0}.valid());
+  EXPECT_FALSE(ProcessId{}.valid());
+  EXPECT_FALSE(ProcessId{-1}.valid());
+}
+
+TEST(Types, MessageIdOrdering) {
+  const MessageId a{ProcessId{1}, 5};
+  const MessageId b{ProcessId{1}, 6};
+  const MessageId c{ProcessId{2}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (MessageId{ProcessId{1}, 5}));
+}
+
+TEST(Types, HashingWorksInContainers) {
+  std::unordered_set<ProcessId> pids = {ProcessId{1}, ProcessId{2}};
+  EXPECT_TRUE(pids.contains(ProcessId{1}));
+  EXPECT_FALSE(pids.contains(ProcessId{3}));
+
+  std::unordered_set<MessageId> mids;
+  for (int p = 0; p < 10; ++p) {
+    for (std::uint64_t s = 0; s < 10; ++s) {
+      mids.insert(MessageId{ProcessId{p}, s});
+    }
+  }
+  EXPECT_EQ(mids.size(), 100u);
+}
+
+TEST(Types, TimeUnitsCompose) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_DOUBLE_EQ(to_ms(1500 * kMicrosecond), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(250 * kMillisecond), 0.25);
+}
+
+TEST(Types, ToStringFormats) {
+  EXPECT_EQ(to_string(ProcessId{7}), "p7");
+  EXPECT_EQ(to_string(GroupId{3}), "g3");
+  EXPECT_EQ(to_string(MessageId{ProcessId{7}, 42}), "p7:42");
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,155 @@
+// End-to-end ByzCast in the failure-free case: local and global messages
+// over 2-level and 3-level trees, delivery sets, replies, and the partial
+// genuineness of local messages.
+#include <gtest/gtest.h>
+
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+using ::byzcast::testing::TreeKind;
+
+TEST(ByzCastBasic, LocalMessageDeliveredByItsGroupOnly) {
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  ByzCastHarness h(cfg);
+  h.run_tracked(1, 1, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}};
+  });
+  EXPECT_EQ(h.completions, 1);
+  const auto& records = h.system.delivery_log().records();
+  // 4 replicas of g0 deliver; none in g1 or the auxiliary.
+  EXPECT_EQ(records.size(), 4u);
+  for (const auto& rec : records) EXPECT_EQ(rec.group, GroupId{0});
+}
+
+TEST(ByzCastBasic, GlobalMessageDeliveredByAllDestinations) {
+  HarnessConfig cfg;
+  cfg.num_targets = 3;
+  ByzCastHarness h(cfg);
+  h.run_tracked(1, 1, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{2}};
+  });
+  EXPECT_EQ(h.completions, 1);
+  std::map<GroupId, int> per_group;
+  for (const auto& rec : h.system.delivery_log().records()) {
+    ++per_group[rec.group];
+  }
+  EXPECT_EQ(per_group[GroupId{0}], 4);
+  EXPECT_EQ(per_group[GroupId{2}], 4);
+  EXPECT_EQ(per_group.count(GroupId{1}), 0u);
+}
+
+TEST(ByzCastBasic, LocalMessagesAreGenuine) {
+  // Partial genuineness: local traffic to g0 must not involve the
+  // auxiliary group or g1 at all (zero handled messages there).
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  ByzCastHarness h(cfg);
+  h.run_tracked(4, 10, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}};
+  });
+  EXPECT_EQ(h.completions, 40);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase}, i).handled_count(),
+              0u);
+    EXPECT_EQ(h.system.node(GroupId{1}, i).handled_count(), 0u);
+    EXPECT_EQ(h.system.node(GroupId{0}, i).handled_count(), 10u * 4u);
+  }
+  // And no consensus ran in the uninvolved groups.
+  EXPECT_EQ(h.system.group(GroupId{1}).replica(0).decided_instances(), 0u);
+  EXPECT_EQ(
+      h.system.group(GroupId{testing::kAuxBase}).replica(0).decided_instances(),
+      0u);
+}
+
+TEST(ByzCastBasic, GlobalMessagesTraverseTheLca) {
+  HarnessConfig cfg;
+  cfg.tree = TreeKind::kThreeLevel;
+  cfg.num_targets = 4;
+  ByzCastHarness h(cfg);
+  // {g0,g1} has lca h2 (kAuxBase+1); h1 and h3 must stay idle.
+  h.run_tracked(2, 5, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 10);
+  EXPECT_GT(h.system.node(GroupId{testing::kAuxBase + 1}, 0).handled_count(),
+            0u);
+  EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase}, 0).handled_count(), 0u);
+  EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase + 2}, 0).handled_count(),
+            0u);
+}
+
+TEST(ByzCastBasic, CrossBranchGlobalUsesRoot) {
+  HarnessConfig cfg;
+  cfg.tree = TreeKind::kThreeLevel;
+  cfg.num_targets = 4;
+  ByzCastHarness h(cfg);
+  // {g0,g3} spans both branches: must be ordered by h1, then h2/h3.
+  h.run_tracked(1, 3, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{3}};
+  });
+  EXPECT_EQ(h.completions, 3);
+  EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase}, 0).handled_count(), 3u);
+  EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase + 1}, 0).handled_count(),
+            3u);
+  EXPECT_EQ(h.system.node(GroupId{testing::kAuxBase + 2}, 0).handled_count(),
+            3u);
+  std::map<GroupId, int> per_group;
+  for (const auto& rec : h.system.delivery_log().records()) {
+    ++per_group[rec.group];
+  }
+  EXPECT_EQ(per_group[GroupId{0}], 3 * 4);
+  EXPECT_EQ(per_group[GroupId{3}], 3 * 4);
+  EXPECT_EQ(per_group.count(GroupId{1}), 0u);
+  EXPECT_EQ(per_group.count(GroupId{2}), 0u);
+}
+
+TEST(ByzCastBasic, ManyClientsMixedTraffic) {
+  HarnessConfig cfg;
+  cfg.num_targets = 4;
+  ByzCastHarness h(cfg);
+  h.run_tracked(8, 15, [](int c, int k, Rng& rng) {
+    if ((c + k) % 3 == 0) {
+      const auto a = static_cast<std::int32_t>(rng.next_below(4));
+      auto b = static_cast<std::int32_t>(rng.next_below(3));
+      if (b >= a) ++b;
+      return std::vector<GroupId>{GroupId{a}, GroupId{b}};
+    }
+    return std::vector<GroupId>{GroupId{c % 4}};
+  });
+  EXPECT_EQ(h.completions, 120);
+  testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+TEST(ByzCastBasic, SingleGroupTreeIsPlainBroadcast) {
+  HarnessConfig cfg;
+  cfg.tree = TreeKind::kSingle;
+  cfg.num_targets = 1;
+  ByzCastHarness h(cfg);
+  h.run_tracked(3, 10, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}};
+  });
+  EXPECT_EQ(h.completions, 30);
+  EXPECT_EQ(h.system.delivery_log().records().size(), 30u * 4u);
+}
+
+TEST(ByzCastBasic, WideDestinationSets) {
+  // Messages addressed to all four groups at once.
+  HarnessConfig cfg;
+  cfg.num_targets = 4;
+  ByzCastHarness h(cfg);
+  h.run_tracked(2, 5, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}, GroupId{2},
+                                GroupId{3}};
+  });
+  EXPECT_EQ(h.completions, 10);
+  EXPECT_EQ(h.system.delivery_log().records().size(), 10u * 4u * 4u);
+  testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+}  // namespace
+}  // namespace byzcast::core

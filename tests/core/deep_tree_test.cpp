@@ -1,0 +1,131 @@
+// Algorithm 1 on deep (4+ level) trees: messages climb to the right lca and
+// are re-ordered level by level on the way down; latency grows with the lca
+// height; all atomic multicast properties hold.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+#include "support/properties.hpp"
+
+namespace byzcast::core {
+namespace {
+
+// chain: h0(root) <- h1 <- h2, targets: g0@h0, g1@h1, g2@h2, g3@h2.
+OverlayTree deep_tree() {
+  return OverlayTree::chain(
+      {GroupId{0}, GroupId{1}, GroupId{2}, GroupId{3}},
+      {GroupId{100}, GroupId{101}, GroupId{102}});
+}
+
+TEST(DeepTree, ChainBuilderShape) {
+  const OverlayTree t = deep_tree();
+  EXPECT_EQ(t.root(), GroupId{100});
+  EXPECT_EQ(t.height(GroupId{100}), 4);
+  EXPECT_EQ(t.height(GroupId{101}), 3);
+  EXPECT_EQ(t.height(GroupId{102}), 2);
+  EXPECT_EQ(t.lca({GroupId{2}, GroupId{3}}), GroupId{102});
+  EXPECT_EQ(t.lca({GroupId{1}, GroupId{2}}), GroupId{101});
+  EXPECT_EQ(t.lca({GroupId{0}, GroupId{3}}), GroupId{100});
+}
+
+struct DeepHarness {
+  DeepHarness() : sim(111, sim::Profile::lan()), system(sim, deep_tree(), 1) {}
+
+  Time run_one(const std::vector<GroupId>& dst) {
+    auto client = system.make_client("c");
+    Time measured = -1;
+    client->a_multicast(dst, to_bytes("m"),
+                        [&](const MulticastMessage&, Time l) {
+                          measured = l;
+                        });
+    sim.run_until(sim.now() + 60 * kSecond);
+    return measured;
+  }
+
+  sim::Simulation sim;
+  ByzCastSystem system;
+};
+
+TEST(DeepTree, LatencyGrowsWithLcaHeight) {
+  DeepHarness h;
+  const Time local = h.run_one({GroupId{3}});                       // height 1
+  const Time h2 = h.run_one({GroupId{2}, GroupId{3}});              // height 2
+  const Time h3 = h.run_one({GroupId{1}, GroupId{2}});              // height 3
+  const Time h4 = h.run_one({GroupId{0}, GroupId{3}});              // height 4
+  ASSERT_GT(local, 0);
+  ASSERT_GT(h2, 0);
+  ASSERT_GT(h3, 0);
+  ASSERT_GT(h4, 0);
+  EXPECT_GT(h2, local);
+  EXPECT_GT(h3, h2);
+  EXPECT_GT(h4, h3);
+  // Each extra level adds roughly one more ordering round.
+  EXPECT_GT(static_cast<double>(h4) / static_cast<double>(local), 2.5);
+}
+
+TEST(DeepTree, DeepRelayDeliversEverywhere) {
+  DeepHarness h;
+  auto client = h.system.make_client("c");
+  int done = 0;
+  client->a_multicast(
+      {GroupId{0}, GroupId{1}, GroupId{2}, GroupId{3}}, to_bytes("all"),
+      [&](const MulticastMessage&, Time) { ++done; });
+  h.sim.run_until(60 * kSecond);
+  EXPECT_EQ(done, 1);
+  std::map<GroupId, int> per_group;
+  for (const auto& rec : h.system.delivery_log().records()) {
+    ++per_group[rec.group];
+  }
+  for (const int g : {0, 1, 2, 3}) {
+    EXPECT_EQ(per_group[GroupId{g}], 4) << "group " << g;
+  }
+}
+
+TEST(DeepTree, PropertiesUnderMixedDeepTraffic) {
+  DeepHarness h;
+  std::vector<byzcast::testing::SentMessage> sent;
+  std::vector<std::unique_ptr<Client>> clients;
+  int done = 0;
+  const std::vector<std::vector<GroupId>> dsts = {
+      {GroupId{3}},
+      {GroupId{2}, GroupId{3}},
+      {GroupId{1}, GroupId{3}},
+      {GroupId{0}, GroupId{1}, GroupId{2}, GroupId{3}},
+  };
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(h.system.make_client("c" + std::to_string(c)));
+  }
+  std::function<void(int, int)> issue = [&](int c, int k) {
+    if (k == 8) return;
+    const auto& dst = dsts[static_cast<std::size_t>((c + k) % dsts.size())];
+    MulticastMessage canon;
+    canon.dst = dst;
+    canon.canonicalize();
+    sent.push_back(byzcast::testing::SentMessage{
+        MessageId{clients[static_cast<std::size_t>(c)]->id(),
+                  static_cast<std::uint64_t>(k)},
+        canon.dst});
+    clients[static_cast<std::size_t>(c)]->a_multicast(
+        dst, to_bytes("m"), [&, c, k](const MulticastMessage&, Time) {
+          ++done;
+          issue(c, k + 1);
+        });
+  };
+  for (int c = 0; c < 4; ++c) issue(c, 0);
+  h.sim.run_until(240 * kSecond);
+  EXPECT_EQ(done, 32);
+
+  byzcast::testing::PropertyInput in;
+  in.log = &h.system.delivery_log();
+  in.sent = sent;
+  for (const GroupId g : h.system.tree().target_groups()) {
+    auto& grp = h.system.group(g);
+    for (int i = 0; i < grp.n(); ++i) {
+      in.correct_replicas[g].push_back(grp.replica(i).id());
+    }
+  }
+  byzcast::testing::expect_atomic_multicast_properties(in);
+}
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,38 @@
+#include "core/delivery_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::core {
+namespace {
+
+TEST(DeliveryLog, RecordsInOrder) {
+  DeliveryLog log;
+  const ProcessId p{1};
+  log.record(GroupId{0}, p, MessageId{ProcessId{9}, 0}, 10);
+  log.record(GroupId{0}, p, MessageId{ProcessId{9}, 1}, 20);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].when, 10);
+  EXPECT_EQ(log.records()[1].msg.seq, 1u);
+  EXPECT_EQ(log.total_deliveries(), 2u);
+}
+
+TEST(DeliveryLog, PerReplicaSequences) {
+  DeliveryLog log;
+  const ProcessId p{1};
+  const ProcessId q{2};
+  log.record(GroupId{0}, p, MessageId{ProcessId{9}, 0}, 1);
+  log.record(GroupId{1}, q, MessageId{ProcessId{9}, 1}, 2);
+  log.record(GroupId{0}, p, MessageId{ProcessId{9}, 2}, 3);
+  ASSERT_EQ(log.sequence(p).size(), 2u);
+  EXPECT_EQ(log.sequence(p)[0].seq, 0u);
+  EXPECT_EQ(log.sequence(p)[1].seq, 2u);
+  ASSERT_EQ(log.sequence(q).size(), 1u);
+}
+
+TEST(DeliveryLog, UnknownReplicaHasEmptySequence) {
+  DeliveryLog log;
+  EXPECT_TRUE(log.sequence(ProcessId{77}).empty());
+}
+
+}  // namespace
+}  // namespace byzcast::core

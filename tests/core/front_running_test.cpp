@@ -1,0 +1,114 @@
+// Documents the front-running subtlety discussed in DESIGN.md §3: the f+1
+// copy rule of Algorithm 1 guarantees authenticity, and with correct relays
+// it also preserves the parent's order (Lemma 4). A Byzantine parent replica
+// that *reorders* its relay stream toward one child can shift where the
+// (f+1)-th copy lands in that child. With f=1 this requires the adversary's
+// copy plus one correct copy to arrive before the remaining correct copies —
+// a race this test makes possible by delaying two of the three correct
+// relays. The test demonstrates (a) the paper's guarantees hold under the
+// behaviours its proofs model (no reordering), and (b) the adversarial
+// schedule can produce divergence, which we *detect* rather than assert
+// rigidly (it is timing-dependent).
+#include <gtest/gtest.h>
+
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+
+TEST(FrontRunning, HonestRelaysPreserveParentOrder) {
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  ByzCastHarness h(cfg);
+  h.run_tracked(6, 15, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 90);
+  EXPECT_TRUE(testing::check_prefix_order(h.property_input()));
+  EXPECT_TRUE(testing::check_acyclic_order(h.property_input()));
+}
+
+TEST(FrontRunning, FrontRunningRelayPreservesLivenessAndAuthenticity) {
+  // One auxiliary replica inverts consecutive pairs toward g0. With f=1 its
+  // copy plus a single prompt correct copy already form the f+1 threshold,
+  // so even without network interference the (f+1)-th-copy position can
+  // race — this is exactly the DESIGN.md §3 subtlety. What MUST survive
+  // regardless: validity, agreement, integrity, and within-group agreement.
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  bft::FaultSpec spec;
+  spec.front_run = true;
+  std::vector<bft::FaultSpec> faults(4);
+  faults[2] = spec;
+  cfg.faults.by_group[GroupId{testing::kAuxBase}] = faults;
+  ByzCastHarness h(cfg);
+  h.run_tracked(6, 15, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 90);
+  EXPECT_TRUE(testing::check_validity_agreement(h.property_input()));
+  EXPECT_TRUE(testing::check_integrity(h.property_input()));
+  // All correct replicas of the SAME group still agree perfectly (their
+  // order is the group's atomic broadcast order).
+  for (const auto& [g, replicas] : h.correct_replicas()) {
+    const auto& ref = h.system.delivery_log().sequence(replicas.front());
+    for (const ProcessId p : replicas) {
+      EXPECT_EQ(h.system.delivery_log().sequence(p), ref)
+          << "within-group divergence in " << to_string(g);
+    }
+  }
+}
+
+TEST(FrontRunning, AdversarialScheduleCanReorderOneChild) {
+  // Adversarial setup: auxiliary replica 2 front-runs toward g0 AND the
+  // network delays the relay links of correct auxiliary replicas 1 and 3
+  // toward g0's replicas, so the Byzantine copy plus replica 0's copy decide
+  // the (f+1)-th-copy position in g0, while g1 sees the honest order.
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  bft::FaultSpec spec;
+  spec.front_run = true;
+  std::vector<bft::FaultSpec> faults(4);
+  faults[2] = spec;
+  cfg.faults.by_group[GroupId{testing::kAuxBase}] = faults;
+  ByzCastHarness h(cfg);
+
+  const auto& aux = h.system.group(GroupId{testing::kAuxBase}).info();
+  const auto& g0 = h.system.group(GroupId{0}).info();
+  for (const int slow_aux : {1, 3}) {
+    for (const ProcessId target : g0.replicas) {
+      h.sim.network().faults().add_delay(
+          aux.replicas[static_cast<std::size_t>(slow_aux)], target,
+          50 * kMillisecond);
+    }
+  }
+
+  h.run_tracked(4, 25, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 100);
+
+  // Liveness and per-group agreement are unaffected...
+  EXPECT_TRUE(testing::check_validity_agreement(h.property_input()));
+  EXPECT_TRUE(testing::check_integrity(h.property_input()));
+
+  // ...but cross-group prefix order MAY break under this schedule. We
+  // report the outcome either way: the point of this test is to document
+  // the scenario and keep it executable, not to demand a specific race
+  // resolution.
+  const auto prefix = testing::check_prefix_order(h.property_input());
+  if (!prefix) {
+    RecordProperty("front_running_divergence", "reproduced");
+    SUCCEED() << "front-running divergence reproduced (see DESIGN.md §3): "
+              << prefix.message();
+  } else {
+    RecordProperty("front_running_divergence", "not-triggered");
+    SUCCEED() << "adversarial schedule did not trigger divergence this run";
+  }
+}
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,119 @@
+// The paper (§III-B, last paragraph): "target groups can be inner nodes in
+// the overlay tree, or we can have a tree that contains target groups only."
+// Exercise Algorithm 1 on such trees: an inner target group both orders for
+// its subtree and a-delivers its own messages.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+#include "support/properties.hpp"
+
+namespace byzcast::core {
+namespace {
+
+/// g0 is the root AND a target; g1, g2 are its children.
+OverlayTree targets_only_tree() {
+  OverlayTree t;
+  t.add_group(GroupId{0}, true);
+  t.add_group(GroupId{1}, true);
+  t.add_group(GroupId{2}, true);
+  t.set_parent(GroupId{1}, GroupId{0});
+  t.set_parent(GroupId{2}, GroupId{0});
+  t.finalize();
+  return t;
+}
+
+struct InnerTargetHarness {
+  InnerTargetHarness() : sim(91, sim::Profile::lan()),
+                         system(sim, targets_only_tree(), 1) {}
+
+  void run(int count, const std::vector<std::vector<GroupId>>& dsts,
+           Time horizon = 120 * kSecond) {
+    client = system.make_client("c");
+    std::function<void(int)> issue = [&, count](int k) {
+      if (k == count) return;
+      const auto& dst = dsts[static_cast<std::size_t>(k) % dsts.size()];
+      MulticastMessage canon;
+      canon.dst = dst;
+      canon.canonicalize();
+      sent.push_back(byzcast::testing::SentMessage{
+          MessageId{client->id(), static_cast<std::uint64_t>(k)}, canon.dst});
+      client->a_multicast(dst, to_bytes("m"),
+                          [&, k](const MulticastMessage&, Time) {
+                            ++completions;
+                            issue(k + 1);
+                          });
+    };
+    issue(0);
+    sim.run_until(horizon);
+  }
+
+  byzcast::testing::PropertyInput property_input() {
+    byzcast::testing::PropertyInput in;
+    in.log = &system.delivery_log();
+    in.sent = sent;
+    for (const GroupId g : system.tree().target_groups()) {
+      auto& grp = system.group(g);
+      for (int i = 0; i < grp.n(); ++i) {
+        in.correct_replicas[g].push_back(grp.replica(i).id());
+      }
+    }
+    return in;
+  }
+
+  sim::Simulation sim;
+  ByzCastSystem system;
+  std::unique_ptr<Client> client;
+  std::vector<byzcast::testing::SentMessage> sent;
+  int completions = 0;
+};
+
+TEST(InnerTarget, RootTargetDeliversItsOwnLocalMessages) {
+  InnerTargetHarness h;
+  h.run(5, {{GroupId{0}}});
+  EXPECT_EQ(h.completions, 5);
+  EXPECT_EQ(h.system.delivery_log().records().size(), 5u * 4u);
+  for (const auto& rec : h.system.delivery_log().records()) {
+    EXPECT_EQ(rec.group, GroupId{0});
+  }
+}
+
+TEST(InnerTarget, MessageToRootAndLeafDeliversAtBoth) {
+  InnerTargetHarness h;
+  // lca({g0, g1}) = g0 itself: g0 orders, a-delivers, AND relays to g1.
+  h.run(6, {{GroupId{0}, GroupId{1}}});
+  EXPECT_EQ(h.completions, 6);
+  std::map<GroupId, int> per_group;
+  for (const auto& rec : h.system.delivery_log().records()) {
+    ++per_group[rec.group];
+  }
+  EXPECT_EQ(per_group[GroupId{0}], 6 * 4);
+  EXPECT_EQ(per_group[GroupId{1}], 6 * 4);
+  EXPECT_EQ(per_group.count(GroupId{2}), 0u);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+TEST(InnerTarget, LeafPairOrderedByInnerTarget) {
+  InnerTargetHarness h;
+  // lca({g1, g2}) = g0: the inner *target* group orders without being a
+  // destination (it must NOT a-deliver).
+  h.run(6, {{GroupId{1}, GroupId{2}}});
+  EXPECT_EQ(h.completions, 6);
+  for (const auto& rec : h.system.delivery_log().records()) {
+    EXPECT_NE(rec.group, GroupId{0});
+  }
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+TEST(InnerTarget, MixedTrafficStaysAcyclic) {
+  InnerTargetHarness h;
+  h.run(24, {{GroupId{0}},
+             {GroupId{0}, GroupId{1}},
+             {GroupId{1}, GroupId{2}},
+             {GroupId{0}, GroupId{1}, GroupId{2}}});
+  EXPECT_EQ(h.completions, 24);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,99 @@
+// ByzCast with f=2 (7 replicas per group): the f+1 copy rule, quorums and
+// relays all scale with f, including under faults up to the threshold.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+#include "support/properties.hpp"
+
+namespace byzcast::core {
+namespace {
+
+struct F2Harness {
+  explicit F2Harness(const FaultPlan& plan = {}, std::uint64_t seed = 61)
+      : sim(seed, sim::Profile::lan()),
+        system(sim,
+               OverlayTree::two_level({GroupId{0}, GroupId{1}}, GroupId{100}),
+               /*f=*/2, plan) {}
+
+  void run_messages(int count, const std::vector<GroupId>& dst,
+                    Time horizon = 120 * kSecond) {
+    client = system.make_client("c");
+    std::function<void(int)> issue = [&, dst](int left) {
+      if (left == 0) return;
+      sent.push_back(byzcast::testing::SentMessage{
+          MessageId{client->id(), static_cast<std::uint64_t>(count - left)},
+          dst});
+      client->a_multicast(dst, to_bytes("op"),
+                          [&, left](const MulticastMessage&, Time) {
+                            ++completions;
+                            issue(left - 1);
+                          });
+    };
+    issue(count);
+    sim.run_until(horizon);
+  }
+
+  byzcast::testing::PropertyInput property_input() {
+    byzcast::testing::PropertyInput in;
+    in.log = &system.delivery_log();
+    in.sent = sent;
+    for (const GroupId g : system.tree().target_groups()) {
+      auto& grp = system.group(g);
+      for (const int i : grp.correct_indices()) {
+        in.correct_replicas[g].push_back(grp.replica(i).id());
+      }
+    }
+    return in;
+  }
+
+  sim::Simulation sim;
+  ByzCastSystem system;
+  std::unique_ptr<Client> client;
+  std::vector<byzcast::testing::SentMessage> sent;
+  int completions = 0;
+};
+
+TEST(LargerF, GroupsHaveSevenReplicas) {
+  F2Harness h;
+  EXPECT_EQ(h.system.group(GroupId{0}).n(), 7);
+  EXPECT_EQ(h.system.group(GroupId{100}).info().quorum(), 5);
+}
+
+TEST(LargerF, GlobalMessagesFlowWithF2) {
+  F2Harness h;
+  h.run_messages(10, {GroupId{0}, GroupId{1}});
+  EXPECT_EQ(h.completions, 10);
+  // 7 replicas per destination group deliver each message.
+  EXPECT_EQ(h.system.delivery_log().records().size(), 10u * 7u * 2u);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+TEST(LargerF, ToleratesTwoFaultyAuxReplicas) {
+  FaultPlan plan;
+  std::vector<bft::FaultSpec> faults(7);
+  faults[3] = bft::FaultSpec::crashed();
+  faults[5].drop_relays = true;
+  plan.by_group[GroupId{100}] = faults;
+  F2Harness h(plan);
+  h.run_messages(10, {GroupId{0}, GroupId{1}});
+  EXPECT_EQ(h.completions, 10);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+TEST(LargerF, SingleFabricatorCannotReachFPlusOne) {
+  FaultPlan plan;
+  std::vector<bft::FaultSpec> faults(7);
+  faults[2].fabricate_relay = true;
+  faults[4].fabricate_relay = true;  // two fabricators still < f+1 = 3
+  plan.by_group[GroupId{100}] = faults;
+  F2Harness h(plan);
+  h.run_messages(9, {GroupId{0}, GroupId{1}});
+  EXPECT_EQ(h.completions, 9);
+  for (const auto& rec : h.system.delivery_log().records()) {
+    EXPECT_LT(rec.msg.origin.value, kFabricatedOriginBase);
+  }
+}
+
+}  // namespace
+}  // namespace byzcast::core

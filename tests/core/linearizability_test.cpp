@@ -1,0 +1,167 @@
+// End-to-end linearizability of sharded state machine replication on
+// ByzCast (§II-D): (i) real-time order is respected — an operation that
+// completed before another was invoked is a-delivered first everywhere they
+// meet; (ii) every reply equals the result of replaying the a-delivery
+// order sequentially.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::core {
+namespace {
+
+/// Replicated register bank: "ADD <account> <n>" returns the new balance.
+class BankShard final : public ShardApplication {
+ public:
+  Bytes apply(GroupId, const MulticastMessage& m) override {
+    const std::string op = to_text(m.payload);
+    const auto sp1 = op.find(' ');
+    const auto sp2 = op.find(' ', sp1 + 1);
+    const std::string account = op.substr(sp1 + 1, sp2 - sp1 - 1);
+    const long n = std::stol(op.substr(sp2 + 1));
+    balances_[account] += n;
+    return to_bytes(account + "=" + std::to_string(balances_[account]));
+  }
+
+ private:
+  std::map<std::string, long> balances_;
+};
+
+struct OpRecord {
+  MessageId id;
+  std::string op;
+  Time invoked = 0;
+  Time responded = -1;
+  std::string result;
+};
+
+struct LinFixture {
+  LinFixture()
+      : sim(401, sim::Profile::lan()),
+        system(sim,
+               OverlayTree::two_level({GroupId{0}, GroupId{1}}, GroupId{100}),
+               1) {
+    for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+      for (int i = 0; i < 4; ++i) {
+        system.node(g, i).set_shard_application(&shards[{g.value, i}]);
+      }
+    }
+  }
+
+  sim::Simulation sim;
+  ByzCastSystem system;
+  std::map<std::pair<std::int32_t, int>, BankShard> shards;
+  std::vector<OpRecord> history;
+};
+
+TEST(Linearizability, RealTimeOrderAndSequentialSemantics) {
+  LinFixture f;
+  // account "a" lives on shard g0, account "b" on shard g1 (by fiat).
+  const auto shard_of = [](const std::string& account) {
+    return account == "a" ? GroupId{0} : GroupId{1};
+  };
+
+  auto c0 = f.system.make_client("c0");
+  auto c1 = f.system.make_client("c1");
+  std::function<void(Client&, int, int)> issue = [&](Client& c, int left,
+                                                     int who) {
+    if (left == 0) return;
+    const std::string account = (left + who) % 2 == 0 ? "a" : "b";
+    const std::string op = "ADD " + account + " " + std::to_string(left);
+    const std::size_t slot = f.history.size();
+    f.history.push_back(OpRecord{MessageId{c.id(), 0}, op, f.sim.now(), -1,
+                                 ""});
+    std::vector<GroupId> dst = {shard_of(account)};
+    if (left % 4 == 0) dst = {GroupId{0}, GroupId{1}};  // cross-shard op
+    c.a_multicast(dst, to_bytes(op),
+                  [&, slot, left, who](const MulticastMessage& m, Time) {
+                    f.history[slot].id = m.id;
+                    f.history[slot].responded = f.sim.now();
+                    issue(c, left - 1, who);
+                  });
+  };
+  issue(*c0, 16, 0);
+  issue(*c1, 16, 1);
+  f.sim.run_until(120 * kSecond);
+
+  for (const auto& rec : f.history) {
+    ASSERT_GE(rec.responded, 0) << "op did not complete: " << rec.op;
+  }
+
+  // Index ops by message id.
+  std::map<MessageId, const OpRecord*> by_id;
+  for (const auto& rec : f.history) by_id[rec.id] = &rec;
+
+  // (i) Real-time order per shard: in replica 0's a-delivery sequence, an
+  // op that responded before another was invoked must come first.
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    const auto& seq =
+        f.system.delivery_log().sequence(f.system.group(g).replica(0).id());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        const OpRecord* early = by_id.at(seq[i]);
+        const OpRecord* late = by_id.at(seq[j]);
+        // Illegal iff `late` (delivered later) already finished before
+        // `early` (delivered earlier) was even invoked.
+        EXPECT_GE(late->responded, early->invoked)
+            << "real-time violation between '" << early->op << "' and '"
+            << late->op << "' at shard " << g.value;
+      }
+    }
+  }
+
+  // (ii) Sequential semantics: replaying each shard's delivery order yields
+  // the same balances every replica computed.
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    BankShard replay;
+    const auto& seq =
+        f.system.delivery_log().sequence(f.system.group(g).replica(0).id());
+    Bytes last;
+    for (const auto& mid : seq) {
+      MulticastMessage m;
+      m.payload = to_bytes(by_id.at(mid)->op);
+      last = replay.apply(g, m);
+    }
+    // The replayed final state matches a fresh application of the same ops
+    // on the live replicas: compare the final balance strings through one
+    // more no-op ADD 0 probe.
+    MulticastMessage probe;
+    probe.payload = to_bytes("ADD a 0");
+    const Bytes expect_a = replay.apply(g, probe);
+    const Bytes got_a = f.shards[{g.value, 0}].apply(g, probe);
+    EXPECT_EQ(to_text(expect_a), to_text(got_a)) << "shard " << g.value;
+  }
+}
+
+TEST(Linearizability, SequentialClientSeesMonotoneBalances) {
+  LinFixture f;
+  auto client = f.system.make_client("solo");
+  std::vector<long> balances;
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client->a_multicast({GroupId{0}}, to_bytes("ADD a 1"),
+                        [&, left](const MulticastMessage&, Time) {
+                          // Balance parsed from replica 0's state.
+                          MulticastMessage probe;
+                          probe.payload = to_bytes("ADD a 0");
+                          const Bytes b =
+                              f.shards[{0, 0}].apply(GroupId{0}, probe);
+                          const std::string text = to_text(b);
+                          balances.push_back(
+                              std::stol(text.substr(text.find('=') + 1)));
+                          issue(left - 1);
+                        });
+  };
+  issue(10);
+  f.sim.run_until(60 * kSecond);
+  ASSERT_EQ(balances.size(), 10u);
+  for (std::size_t i = 0; i < balances.size(); ++i) {
+    EXPECT_EQ(balances[i], static_cast<long>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace byzcast::core

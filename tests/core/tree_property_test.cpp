@@ -1,0 +1,138 @@
+// Property tests over randomly generated overlay trees: lca/reach/height
+// invariants that Algorithm 1 and the optimizer rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/tree.hpp"
+
+namespace byzcast::core {
+namespace {
+
+/// Builds a random tree: `num_targets` leaves, up to `max_aux` inner
+/// auxiliaries arranged randomly (every auxiliary is guaranteed at least
+/// one target beneath it by attaching targets after the aux skeleton).
+OverlayTree random_tree(Rng& rng, int num_targets, int max_aux) {
+  OverlayTree t;
+  // At most one auxiliary per target so the one-target-per-auxiliary pass
+  // below can make every auxiliary useful (non-empty reach).
+  const int num_aux =
+      static_cast<int>(rng.next_in(1, std::min(max_aux, num_targets)));
+  std::vector<GroupId> aux;
+  for (int a = 0; a < num_aux; ++a) {
+    const GroupId id{100 + a};
+    t.add_group(id, false);
+    if (a > 0) {
+      // Parent among earlier auxiliaries: guarantees acyclicity.
+      t.set_parent(id, aux[static_cast<std::size_t>(
+                        rng.next_below(static_cast<std::uint64_t>(a)))]);
+    }
+    aux.push_back(id);
+  }
+  std::vector<GroupId> targets;
+  for (int g = 0; g < num_targets; ++g) {
+    const GroupId id{g};
+    t.add_group(id, true);
+    targets.push_back(id);
+  }
+  // First pass: give EVERY auxiliary one target so none is useless
+  // (num_aux <= num_targets guarantees enough).
+  std::size_t next_target = 0;
+  for (int a = num_aux - 1; a >= 0; --a) {
+    t.set_parent(targets[next_target++], aux[static_cast<std::size_t>(a)]);
+  }
+  // Remaining targets attach anywhere.
+  for (; next_target < targets.size(); ++next_target) {
+    t.set_parent(targets[next_target],
+                 aux[static_cast<std::size_t>(
+                     rng.next_below(static_cast<std::uint64_t>(num_aux)))]);
+  }
+  t.finalize();
+  return t;
+}
+
+class TreePropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreePropertySweep, Invariants) {
+  Rng rng(GetParam());
+  const int num_targets = static_cast<int>(rng.next_in(2, 8));
+  const OverlayTree t = random_tree(rng, num_targets, 5);
+
+  const auto targets = t.target_groups();
+  ASSERT_EQ(targets.size(), static_cast<std::size_t>(num_targets));
+
+  // Root reaches every target.
+  EXPECT_EQ(t.reach(t.root()).size(), targets.size());
+
+  // reach(x) = union of children's reaches (plus x when x is a target).
+  for (const GroupId g : t.all_groups()) {
+    std::set<GroupId> expect;
+    if (t.is_target(g)) expect.insert(g);
+    for (const GroupId c : t.children(g)) {
+      expect.insert(t.reach(c).begin(), t.reach(c).end());
+    }
+    EXPECT_EQ(t.reach(g), expect) << "group " << g.value;
+  }
+
+  // Heights: child height < parent height; depth increases downward.
+  for (const GroupId g : t.all_groups()) {
+    for (const GroupId c : t.children(g)) {
+      EXPECT_LT(t.height(c), t.height(g));
+      EXPECT_EQ(t.depth(c), t.depth(g) + 1);
+    }
+  }
+
+  // lca properties on random destination sets.
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<GroupId> dst;
+    for (const GroupId g : targets) {
+      if (rng.next_bool(0.5)) dst.push_back(g);
+    }
+    if (dst.empty()) dst.push_back(targets.front());
+
+    const GroupId top = t.lca(dst);
+    // Every destination lies in the lca's reach.
+    for (const GroupId d : dst) {
+      EXPECT_TRUE(t.reach(top).contains(d));
+    }
+    // Minimality: no child of the lca also covers the whole set.
+    for (const GroupId c : t.children(top)) {
+      bool covers_all = true;
+      for (const GroupId d : dst) {
+        if (!t.reach(c).contains(d)) covers_all = false;
+      }
+      EXPECT_FALSE(covers_all)
+          << "lca not minimal for a " << dst.size() << "-set";
+    }
+    // lca is order-insensitive.
+    std::vector<GroupId> shuffled(dst.rbegin(), dst.rend());
+    EXPECT_EQ(t.lca(shuffled), top);
+
+    // P(T, d) contains the lca and every destination, and every group in
+    // it is on a path: its reach intersects dst.
+    const auto path = t.path_groups(dst);
+    EXPECT_NE(std::find(path.begin(), path.end(), top), path.end());
+    for (const GroupId d : dst) {
+      EXPECT_NE(std::find(path.begin(), path.end(), d), path.end());
+    }
+    for (const GroupId x : path) {
+      bool intersects = false;
+      for (const GroupId d : dst) {
+        if (t.reach(x).contains(d)) intersects = true;
+      }
+      EXPECT_TRUE(intersects);
+    }
+  }
+
+  // Single-destination lca is the destination itself.
+  for (const GroupId g : targets) {
+    EXPECT_EQ(t.lca({g}), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreePropertySweep,
+                         ::testing::Range<std::uint64_t>(7000, 7016));
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,139 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::core {
+namespace {
+
+std::vector<GroupId> ids(std::initializer_list<int> values) {
+  std::vector<GroupId> out;
+  for (const int v : values) out.push_back(GroupId{v});
+  return out;
+}
+
+// The paper's Fig. 1 tree: h1 over {h2, h3}, h2 over {g1, g2}, h3 over
+// {g3, g4}. We use ids g1..g4 = 1..4, h1..h3 = 11..13.
+OverlayTree fig1_tree() {
+  return OverlayTree::three_level(ids({1, 2, 3, 4}), GroupId{11}, GroupId{12},
+                                  GroupId{13});
+}
+
+TEST(OverlayTree, Fig1ReachSets) {
+  const OverlayTree t = fig1_tree();
+  EXPECT_EQ(t.reach(GroupId{11}),
+            (std::set<GroupId>{GroupId{1}, GroupId{2}, GroupId{3}, GroupId{4}}));
+  EXPECT_EQ(t.reach(GroupId{12}), (std::set<GroupId>{GroupId{1}, GroupId{2}}));
+  EXPECT_EQ(t.reach(GroupId{13}), (std::set<GroupId>{GroupId{3}, GroupId{4}}));
+  EXPECT_EQ(t.reach(GroupId{1}), (std::set<GroupId>{GroupId{1}}));
+}
+
+TEST(OverlayTree, Fig1Heights) {
+  // Paper convention (Table III): leaves height 1, root of the 3-level tree
+  // height 3.
+  const OverlayTree t = fig1_tree();
+  EXPECT_EQ(t.height(GroupId{1}), 1);
+  EXPECT_EQ(t.height(GroupId{12}), 2);
+  EXPECT_EQ(t.height(GroupId{13}), 2);
+  EXPECT_EQ(t.height(GroupId{11}), 3);
+  EXPECT_EQ(t.root(), GroupId{11});
+}
+
+TEST(OverlayTree, Fig1Lca) {
+  const OverlayTree t = fig1_tree();
+  EXPECT_EQ(t.lca(ids({1})), GroupId{1});
+  EXPECT_EQ(t.lca(ids({1, 2})), GroupId{12});
+  EXPECT_EQ(t.lca(ids({3, 4})), GroupId{13});
+  EXPECT_EQ(t.lca(ids({1, 3})), GroupId{11});
+  EXPECT_EQ(t.lca(ids({2, 4})), GroupId{11});
+  EXPECT_EQ(t.lca(ids({1, 2, 3})), GroupId{11});
+  EXPECT_EQ(t.lca(ids({1, 2, 3, 4})), GroupId{11});
+}
+
+TEST(OverlayTree, Fig1PathGroups) {
+  const OverlayTree t = fig1_tree();
+  // P(T, {g1,g2}) = {h2, g1, g2}.
+  const auto p12 = t.path_groups(ids({1, 2}));
+  EXPECT_EQ(std::set<GroupId>(p12.begin(), p12.end()),
+            (std::set<GroupId>{GroupId{12}, GroupId{1}, GroupId{2}}));
+  // P(T, {g2,g3}) = {h1, h2, h3, g2, g3}.
+  const auto p23 = t.path_groups(ids({2, 3}));
+  EXPECT_EQ(std::set<GroupId>(p23.begin(), p23.end()),
+            (std::set<GroupId>{GroupId{11}, GroupId{12}, GroupId{13},
+                               GroupId{2}, GroupId{3}}));
+}
+
+TEST(OverlayTree, TwoLevelLayout) {
+  const OverlayTree t = OverlayTree::two_level(ids({1, 2, 3, 4}), GroupId{10});
+  EXPECT_EQ(t.root(), GroupId{10});
+  EXPECT_EQ(t.height(GroupId{10}), 2);
+  EXPECT_EQ(t.lca(ids({1, 4})), GroupId{10});
+  EXPECT_EQ(t.lca(ids({2})), GroupId{2});
+  EXPECT_EQ(t.children(GroupId{10}).size(), 4u);
+  EXPECT_FALSE(t.is_target(GroupId{10}));
+  EXPECT_TRUE(t.is_target(GroupId{3}));
+}
+
+TEST(OverlayTree, SingleNode) {
+  const OverlayTree t = OverlayTree::single(GroupId{5});
+  EXPECT_EQ(t.root(), GroupId{5});
+  EXPECT_EQ(t.lca(ids({5})), GroupId{5});
+  EXPECT_EQ(t.height(GroupId{5}), 1);
+  EXPECT_TRUE(t.children(GroupId{5}).empty());
+}
+
+TEST(OverlayTree, TargetsAsInnerNodes) {
+  // Algorithm 1 allows target groups as inner nodes; the tree supports it.
+  OverlayTree t;
+  t.add_group(GroupId{1}, true);
+  t.add_group(GroupId{2}, true);
+  t.add_group(GroupId{3}, true);
+  t.set_parent(GroupId{2}, GroupId{1});
+  t.set_parent(GroupId{3}, GroupId{1});
+  t.finalize();
+  EXPECT_EQ(t.root(), GroupId{1});
+  EXPECT_EQ(t.reach(GroupId{1}),
+            (std::set<GroupId>{GroupId{1}, GroupId{2}, GroupId{3}}));
+  EXPECT_EQ(t.lca(ids({1, 2})), GroupId{1});
+  EXPECT_EQ(t.lca(ids({2, 3})), GroupId{1});
+  EXPECT_EQ(t.height(GroupId{1}), 2);
+}
+
+TEST(OverlayTree, GroupEnumeration) {
+  const OverlayTree t = fig1_tree();
+  EXPECT_EQ(t.all_groups().size(), 7u);
+  EXPECT_EQ(t.target_groups().size(), 4u);
+  EXPECT_EQ(t.auxiliary_groups().size(), 3u);
+}
+
+TEST(OverlayTree, DepthFromRoot) {
+  const OverlayTree t = fig1_tree();
+  EXPECT_EQ(t.depth(GroupId{11}), 0);
+  EXPECT_EQ(t.depth(GroupId{12}), 1);
+  EXPECT_EQ(t.depth(GroupId{4}), 2);
+}
+
+TEST(OverlayTreeDeathTest, TwoRootsRejected) {
+  OverlayTree t;
+  t.add_group(GroupId{1}, true);
+  t.add_group(GroupId{2}, true);
+  EXPECT_DEATH(t.finalize(), "Precondition");
+}
+
+TEST(OverlayTreeDeathTest, LcaOfNonTargetRejected) {
+  const OverlayTree t = fig1_tree();
+  EXPECT_DEATH((void)t.lca({GroupId{11}}), "Precondition");
+}
+
+TEST(OverlayTreeDeathTest, UselessAuxiliaryRejected) {
+  // An auxiliary group with no targets beneath it cannot exist.
+  OverlayTree t;
+  t.add_group(GroupId{1}, true);
+  t.add_group(GroupId{10}, false);
+  t.add_group(GroupId{11}, false);
+  t.set_parent(GroupId{1}, GroupId{10});
+  t.set_parent(GroupId{11}, GroupId{10});
+  EXPECT_DEATH(t.finalize(), "Precondition");
+}
+
+}  // namespace
+}  // namespace byzcast::core

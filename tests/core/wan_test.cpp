@@ -1,0 +1,140 @@
+// ByzCast over the paper's 4-region WAN model: correctness is untouched by
+// wide-area latency; latency magnitude reflects inter-region quorum paths;
+// the system tolerates the loss of one whole region (one replica of every
+// group).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "sim/simulation.hpp"
+#include "support/properties.hpp"
+
+namespace byzcast::core {
+namespace {
+
+struct WanHarness {
+  explicit WanHarness(const FaultPlan& plan = {}, std::uint64_t seed = 71)
+      : sim(seed, sim::Profile::wan(),
+            std::make_unique<sim::WanLatency>(
+                sim::WanLatency::ec2_four_regions(sim::Profile::wan()))),
+        system(sim,
+               OverlayTree::two_level({GroupId{0}, GroupId{1}}, GroupId{100}),
+               1, plan) {
+    auto& wan = static_cast<sim::WanLatency&>(sim.latency_model());
+    for (const auto& [gid, info] : system.registry()) {
+      for (std::size_t i = 0; i < info.replicas.size(); ++i) {
+        wan.assign(info.replicas[i],
+                   RegionId{static_cast<std::int32_t>(i % 4)});
+      }
+    }
+  }
+
+  std::unique_ptr<Client> make_client(RegionId region) {
+    auto client = system.make_client("wan-client");
+    static_cast<sim::WanLatency&>(sim.latency_model())
+        .assign(client->id(), region);
+    return client;
+  }
+
+  sim::Simulation sim;
+  ByzCastSystem system;
+};
+
+TEST(Wan, LocalMessageCompletesWithContinentalLatency) {
+  WanHarness h;
+  auto client = h.make_client(RegionId{0});  // CA
+  Time latency = -1;
+  client->a_multicast({GroupId{0}}, to_bytes("wan-local"),
+                      [&](const MulticastMessage&, Time l) { latency = l; });
+  h.sim.run_until(30 * kSecond);
+  ASSERT_GE(latency, 0);
+  // A quorum round among CA/VA/EU/JP takes at least one cross-continent
+  // round trip (CA-VA RTT = 70 ms) and realistically several hundred ms.
+  EXPECT_GT(latency, 70 * kMillisecond);
+  EXPECT_LT(latency, 2 * kSecond);
+}
+
+TEST(Wan, GlobalRoughlyTwiceLocal) {
+  WanHarness h;
+  auto client = h.make_client(RegionId{1});  // VA
+  Time local_latency = -1;
+  Time global_latency = -1;
+  client->a_multicast(
+      {GroupId{0}}, to_bytes("l"),
+      [&](const MulticastMessage&, Time l) {
+        local_latency = l;
+        client->a_multicast({GroupId{0}, GroupId{1}}, to_bytes("g"),
+                            [&](const MulticastMessage&, Time g) {
+                              global_latency = g;
+                            });
+      });
+  h.sim.run_until(60 * kSecond);
+  ASSERT_GT(local_latency, 0);
+  ASSERT_GT(global_latency, 0);
+  const double ratio = static_cast<double>(global_latency) /
+                       static_cast<double>(local_latency);
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(Wan, SurvivesLossOfOneRegion) {
+  // Region 3 (JP) goes dark: every group loses exactly one replica, which
+  // is within f=1.
+  FaultPlan plan;
+  for (const int gid : {0, 1, 100}) {
+    std::vector<bft::FaultSpec> faults(4);
+    faults[3] = bft::FaultSpec::crashed();  // replica 3 = JP in every group
+    plan.by_group[GroupId{gid}] = faults;
+  }
+  WanHarness h(plan);
+  auto client = h.make_client(RegionId{2});  // EU
+  int done = 0;
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client->a_multicast({GroupId{0}, GroupId{1}}, to_bytes("survives"),
+                        [&, left](const MulticastMessage&, Time) {
+                          ++done;
+                          issue(left - 1);
+                        });
+  };
+  issue(5);
+  h.sim.run_until(120 * kSecond);
+  EXPECT_EQ(done, 5);
+}
+
+TEST(Wan, OrderingHoldsAcrossRegions) {
+  WanHarness h;
+  auto c0 = h.make_client(RegionId{0});
+  auto c1 = h.make_client(RegionId{3});
+  std::vector<byzcast::testing::SentMessage> sent;
+  int done = 0;
+  const std::vector<GroupId> both = {GroupId{0}, GroupId{1}};
+  std::function<void(Client&, int, int)> issue = [&](Client& c, int left,
+                                                     int uid) {
+    if (left == 0) return;
+    sent.push_back(byzcast::testing::SentMessage{
+        MessageId{c.id(), static_cast<std::uint64_t>(uid)}, both});
+    c.a_multicast(both, to_bytes("m"),
+                  [&, left, uid](const MulticastMessage&, Time) {
+                    ++done;
+                    issue(c, left - 1, uid + 1);
+                  });
+  };
+  issue(*c0, 8, 0);
+  issue(*c1, 8, 0);
+  h.sim.run_until(300 * kSecond);
+  EXPECT_EQ(done, 16);
+
+  byzcast::testing::PropertyInput in;
+  in.log = &h.system.delivery_log();
+  in.sent = sent;
+  for (const GroupId g : h.system.tree().target_groups()) {
+    auto& grp = h.system.group(g);
+    for (int i = 0; i < grp.n(); ++i) {
+      in.correct_replicas[g].push_back(grp.replica(i).id());
+    }
+  }
+  byzcast::testing::expect_atomic_multicast_properties(in);
+}
+
+}  // namespace
+}  // namespace byzcast::core

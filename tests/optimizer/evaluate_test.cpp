@@ -1,0 +1,133 @@
+// Table II / Table III: the closed-form evaluation of the 2-level and
+// 3-level trees under the paper's uniform and skewed workloads must
+// reproduce the paper's numbers exactly.
+#include "optimizer/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::optimizer {
+namespace {
+
+std::vector<GroupId> targets4() {
+  return {GroupId{1}, GroupId{2}, GroupId{3}, GroupId{4}};
+}
+
+core::OverlayTree two_level() {
+  return core::OverlayTree::two_level(targets4(), GroupId{11});
+}
+
+core::OverlayTree three_level() {
+  return core::OverlayTree::three_level(targets4(), GroupId{11}, GroupId{12},
+                                        GroupId{13});
+}
+
+WorkloadSpec with_aux_capacity(WorkloadSpec spec, double k) {
+  for (const int h : {11, 12, 13}) spec.capacity[GroupId{h}] = k;
+  return spec;
+}
+
+TEST(Evaluate, UniformWorkloadDefinition) {
+  const WorkloadSpec spec = uniform_pairs_workload(targets4(), 1200.0);
+  EXPECT_EQ(spec.destinations.size(), 6u);  // C(4,2) pairs
+  for (const auto& d : spec.destinations) {
+    EXPECT_EQ(spec.load_of(d), 1200.0);
+  }
+}
+
+TEST(Evaluate, SkewedWorkloadDefinition) {
+  const WorkloadSpec spec = skewed_pairs_workload(targets4(), 9000.0);
+  ASSERT_EQ(spec.destinations.size(), 2u);
+  EXPECT_EQ(spec.destinations[0],
+            make_destination({GroupId{1}, GroupId{2}}));
+  EXPECT_EQ(spec.destinations[1],
+            make_destination({GroupId{3}, GroupId{4}}));
+}
+
+// Table III row 1: uniform workload, two-level tree.
+TEST(Evaluate, TableIIIUniformTwoLevel) {
+  const WorkloadSpec spec =
+      with_aux_capacity(uniform_pairs_workload(targets4(), 1200.0), 9500.0);
+  const Evaluation ev = evaluate(two_level(), spec);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_EQ(ev.sum_heights, 12);                     // 6 pairs * height 2
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{11}), 7200.0);  // L_u(T2, h1)
+  EXPECT_EQ(ev.involved.at(GroupId{11}).size(), 6u);  // T_u(T2, h1) = D_u
+}
+
+// Table III row 2: uniform workload, three-level tree.
+TEST(Evaluate, TableIIIUniformThreeLevel) {
+  const WorkloadSpec spec =
+      with_aux_capacity(uniform_pairs_workload(targets4(), 1200.0), 9500.0);
+  const Evaluation ev = evaluate(three_level(), spec);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_EQ(ev.sum_heights, 16);  // 2 pairs at height 2, 4 at height 3
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{11}), 4800.0);  // L_u(T3, h1)
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{12}), 6000.0);  // L_u(T3, h2)
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{13}), 6000.0);  // L_u(T3, h3)
+  EXPECT_EQ(ev.involved.at(GroupId{11}).size(), 4u);
+  EXPECT_EQ(ev.involved.at(GroupId{12}).size(), 5u);
+  EXPECT_EQ(ev.involved.at(GroupId{13}).size(), 5u);
+}
+
+// Table III row 3: skewed workload, two-level tree — NOT viable.
+TEST(Evaluate, TableIIISkewedTwoLevelInfeasible) {
+  const WorkloadSpec spec =
+      with_aux_capacity(skewed_pairs_workload(targets4(), 9000.0), 9500.0);
+  const Evaluation ev = evaluate(two_level(), spec);
+  EXPECT_FALSE(ev.feasible);
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{11}), 18000.0);  // L_s(T2, h1)
+  EXPECT_EQ(ev.sum_heights, 4);
+  ASSERT_EQ(ev.overloaded.size(), 1u);
+  EXPECT_EQ(ev.overloaded[0], GroupId{11});
+}
+
+// Table III row 4: skewed workload, three-level tree — best choice.
+TEST(Evaluate, TableIIISkewedThreeLevelBest) {
+  const WorkloadSpec spec =
+      with_aux_capacity(skewed_pairs_workload(targets4(), 9000.0), 9500.0);
+  const Evaluation ev = evaluate(three_level(), spec);
+  EXPECT_TRUE(ev.feasible);
+  EXPECT_EQ(ev.sum_heights, 4);
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{11}), 0.0);     // root idle
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{12}), 9000.0);  // h2
+  EXPECT_DOUBLE_EQ(ev.load.at(GroupId{13}), 9000.0);  // h3
+  EXPECT_TRUE(ev.involved.at(GroupId{11}).empty());
+}
+
+TEST(Evaluate, BetterPrefersFeasibility) {
+  Evaluation feasible;
+  feasible.feasible = true;
+  feasible.sum_heights = 100;
+  Evaluation infeasible;
+  infeasible.feasible = false;
+  infeasible.sum_heights = 4;
+  EXPECT_TRUE(better(feasible, infeasible));
+  EXPECT_FALSE(better(infeasible, feasible));
+}
+
+TEST(Evaluate, BetterPrefersLowerHeights) {
+  Evaluation a;
+  a.sum_heights = 12;
+  Evaluation b;
+  b.sum_heights = 16;
+  EXPECT_TRUE(better(a, b));
+  EXPECT_FALSE(better(b, a));
+}
+
+TEST(Evaluate, TargetLoadsIncludeLocalDeliveryWork) {
+  const WorkloadSpec spec = uniform_pairs_workload(targets4(), 100.0);
+  const Evaluation ev = evaluate(two_level(), spec);
+  // Each target participates in 3 of the 6 pairs.
+  for (const GroupId g : targets4()) {
+    EXPECT_DOUBLE_EQ(ev.load.at(g), 300.0);
+  }
+}
+
+TEST(Evaluate, UnconstrainedGroupsNeverOverload) {
+  WorkloadSpec spec = skewed_pairs_workload(targets4(), 1e9);
+  const Evaluation ev = evaluate(two_level(), spec);
+  EXPECT_TRUE(ev.feasible);  // no capacities specified
+}
+
+}  // namespace
+}  // namespace byzcast::optimizer

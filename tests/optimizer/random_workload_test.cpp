@@ -1,0 +1,96 @@
+// Randomized optimizer validation: for random workloads, the search result
+// is always feasible, never worse than the canned 2-level/3-level layouts,
+// and its reported loads are consistent with an independent re-evaluation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "optimizer/search.hpp"
+
+namespace byzcast::optimizer {
+namespace {
+
+class RandomWorkloadSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkloadSweep, SearchIsSoundAndNoWorseThanCannedTrees) {
+  Rng rng(GetParam());
+  const int num_targets = static_cast<int>(rng.next_in(2, 6));
+  std::vector<GroupId> targets;
+  for (int i = 0; i < num_targets; ++i) targets.push_back(GroupId{i});
+  const std::vector<GroupId> aux = {GroupId{100}, GroupId{101}, GroupId{102}};
+
+  WorkloadSpec spec;
+  // Random subset of destination sets: all pairs with probability, plus a
+  // few wider sets.
+  for (int i = 0; i < num_targets; ++i) {
+    for (int j = i + 1; j < num_targets; ++j) {
+      if (rng.next_bool(0.7)) {
+        spec.add(make_destination({targets[static_cast<std::size_t>(i)],
+                                   targets[static_cast<std::size_t>(j)]}),
+                 static_cast<double>(rng.next_in(100, 5000)));
+      }
+    }
+  }
+  if (spec.destinations.empty()) {
+    spec.add(make_destination({targets[0], targets[1]}), 500.0);
+  }
+  if (num_targets >= 3 && rng.next_bool(0.5)) {
+    spec.add(make_destination({targets[0], targets[1], targets[2]}),
+             static_cast<double>(rng.next_in(50, 1000)));
+  }
+  for (const GroupId h : aux) {
+    spec.capacity[h] = static_cast<double>(rng.next_in(6000, 20000));
+  }
+
+  const auto result = optimize_tree(targets, aux, spec);
+  if (!result) {
+    // If the search says infeasible, the canned layouts must be infeasible
+    // too (the search space includes them).
+    const Evaluation two = evaluate(
+        core::OverlayTree::two_level(targets, aux[0]), spec);
+    EXPECT_FALSE(two.feasible);
+    if (num_targets >= 2) {
+      const Evaluation three = evaluate(
+          core::OverlayTree::three_level(targets, aux[0], aux[1], aux[2]),
+          spec);
+      EXPECT_FALSE(three.feasible);
+    }
+    return;
+  }
+
+  // Soundness: the returned evaluation is reproducible and feasible.
+  EXPECT_TRUE(result->evaluation.feasible);
+  const Evaluation re = evaluate(result->tree, spec);
+  EXPECT_TRUE(re.feasible);
+  EXPECT_EQ(re.sum_heights, result->evaluation.sum_heights);
+
+  // Optimality against the canned layouts.
+  const Evaluation two = evaluate(
+      core::OverlayTree::two_level(targets, aux[0]), spec);
+  if (two.feasible) {
+    EXPECT_LE(result->evaluation.sum_heights, two.sum_heights);
+  }
+  const Evaluation three = evaluate(
+      core::OverlayTree::three_level(targets, aux[0], aux[1], aux[2]), spec);
+  if (three.feasible) {
+    EXPECT_LE(result->evaluation.sum_heights, three.sum_heights);
+  }
+
+  // Load accounting: total load on leaves equals sum over destinations of
+  // |d ∩ targets| * F(d) ... every destination d loads each of its |d|
+  // targets once.
+  double expect_leaf_load = 0;
+  for (const auto& d : spec.destinations) {
+    expect_leaf_load += spec.load_of(d) * static_cast<double>(d.size());
+  }
+  double got_leaf_load = 0;
+  for (const GroupId g : targets) {
+    got_leaf_load += result->evaluation.load.at(g);
+  }
+  EXPECT_NEAR(got_leaf_load, expect_leaf_load, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSweep,
+                         ::testing::Range<std::uint64_t>(8100, 8116));
+
+}  // namespace
+}  // namespace byzcast::optimizer

@@ -1,0 +1,150 @@
+// The exhaustive tree search must make the paper's choices: a 2-level tree
+// for the uniform workload and a 3-level (split) tree for the skewed one.
+#include "optimizer/search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::optimizer {
+namespace {
+
+std::vector<GroupId> targets4() {
+  return {GroupId{1}, GroupId{2}, GroupId{3}, GroupId{4}};
+}
+
+std::vector<GroupId> aux3() {
+  return {GroupId{11}, GroupId{12}, GroupId{13}};
+}
+
+WorkloadSpec with_aux_capacity(WorkloadSpec spec, double k) {
+  for (const GroupId h : aux3()) spec.capacity[h] = k;
+  return spec;
+}
+
+TEST(Search, UniformWorkloadPicksTwoLevel) {
+  const WorkloadSpec spec =
+      with_aux_capacity(uniform_pairs_workload(targets4(), 1200.0), 9500.0);
+  const auto result = optimize_tree(targets4(), aux3(), spec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->evaluation.feasible);
+  EXPECT_EQ(result->evaluation.sum_heights, 12);  // the 2-level optimum
+  // The optimal tree is 2-level: root directly over all four targets.
+  const GroupId root = result->tree.root();
+  EXPECT_EQ(result->tree.children(root).size(), 4u);
+  EXPECT_EQ(result->tree.height(root), 2);
+}
+
+TEST(Search, SkewedWorkloadPicksSplitTree) {
+  const WorkloadSpec spec =
+      with_aux_capacity(skewed_pairs_workload(targets4(), 9000.0), 9500.0);
+  const auto result = optimize_tree(targets4(), aux3(), spec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->evaluation.feasible);
+  // Σ heights = 4: both pairs must be ordered at height-2 groups, i.e.
+  // {g1,g2} and {g3,g4} under different auxiliaries (no single root can
+  // carry 18000 m/s).
+  EXPECT_EQ(result->evaluation.sum_heights, 4);
+  const GroupId lca12 = result->tree.lca({GroupId{1}, GroupId{2}});
+  const GroupId lca34 = result->tree.lca({GroupId{3}, GroupId{4}});
+  EXPECT_NE(lca12, lca34);
+  EXPECT_EQ(result->tree.height(lca12), 2);
+  EXPECT_EQ(result->tree.height(lca34), 2);
+  // Neither auxiliary exceeds capacity.
+  EXPECT_LE(result->evaluation.load.at(lca12), 9500.0);
+  EXPECT_LE(result->evaluation.load.at(lca34), 9500.0);
+}
+
+TEST(Search, InfeasibleWhenLoadExceedsAllLayouts) {
+  // Every pair overlaps, total load above any single group's capacity and
+  // pairs cannot be split: {g1,g2} at 20000 m/s exceeds K = 9500 no matter
+  // where its lca sits.
+  WorkloadSpec spec;
+  spec.add(make_destination({GroupId{1}, GroupId{2}}), 20000.0);
+  spec = with_aux_capacity(std::move(spec), 9500.0);
+  // Target capacity also bounded: deliveries hit the destination groups.
+  spec.capacity[GroupId{1}] = 9500.0;
+  spec.capacity[GroupId{2}] = 9500.0;
+  const auto result =
+      optimize_tree({GroupId{1}, GroupId{2}}, aux3(), spec);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Search, SingleTargetNeedsNoAuxiliary) {
+  WorkloadSpec spec;
+  spec.add(make_destination({GroupId{1}}), 100.0);
+  const auto result = optimize_tree({GroupId{1}}, {}, spec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tree.root(), GroupId{1});
+  EXPECT_EQ(result->evaluation.sum_heights, 1);
+}
+
+TEST(Search, TwoTargetsOneAux) {
+  WorkloadSpec spec;
+  spec.add(make_destination({GroupId{1}, GroupId{2}}), 100.0);
+  const auto result = optimize_tree({GroupId{1}, GroupId{2}}, {GroupId{11}},
+                                    spec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tree.root(), GroupId{11});
+  EXPECT_EQ(result->evaluation.sum_heights, 2);
+}
+
+TEST(Search, ReportsSearchSpaceSize) {
+  const WorkloadSpec spec =
+      with_aux_capacity(uniform_pairs_workload(targets4(), 1200.0), 9500.0);
+  const auto result = optimize_tree(targets4(), aux3(), spec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->candidates_considered, result->candidates_valid);
+  EXPECT_GT(result->candidates_valid, 0u);
+}
+
+TEST(Search, EightTargetsScale) {
+  std::vector<GroupId> targets;
+  for (int i = 1; i <= 8; ++i) targets.push_back(GroupId{i});
+  WorkloadSpec spec = uniform_pairs_workload(targets, 10.0);
+  for (const GroupId h : aux3()) spec.capacity[h] = 1e9;
+  const auto result = optimize_tree(targets, aux3(), spec);
+  ASSERT_TRUE(result.has_value());
+  // With ample capacity the flat 2-level tree wins: 28 pairs * height 2.
+  EXPECT_EQ(result->evaluation.sum_heights, 56);
+}
+
+TEST(Search, WeightedObjectiveFavorsHotPairs) {
+  // One scorching pair {g1,g2} plus background pairs; the total exceeds a
+  // single auxiliary's capacity, so the flat 2-level tree is infeasible and
+  // some destination must be pushed below height 2. The load-weighted
+  // extension guarantees the HOT pair keeps its height-2 lca (demoting it
+  // would cost 9000 weighted units versus 200 for a background pair).
+  // Background at 110 m/s: the flat tree carries 9000 + 5*110 = 9550 >
+  // 9500 (infeasible), while an auxiliary over the hot pair carries
+  // 9000 + 4*110 = 9440 <= 9500 (feasible).
+  WorkloadSpec spec = uniform_pairs_workload(targets4(), 110.0);
+  spec.load[make_destination({GroupId{1}, GroupId{2}})] = 9000.0;
+  spec = with_aux_capacity(std::move(spec), 9500.0);
+
+  const auto unweighted = optimize_tree(targets4(), aux3(), spec,
+                                        Objective::kSumHeights);
+  ASSERT_TRUE(unweighted.has_value());
+  EXPECT_GT(unweighted->evaluation.sum_heights, 12);  // flat is infeasible
+
+  const auto weighted = optimize_tree(targets4(), aux3(), spec,
+                                      Objective::kLoadWeightedHeights);
+  ASSERT_TRUE(weighted.has_value());
+  EXPECT_EQ(weighted->tree.height(
+                weighted->tree.lca({GroupId{1}, GroupId{2}})),
+            2);
+  EXPECT_LE(weighted->evaluation.weighted_heights,
+            unweighted->evaluation.weighted_heights);
+}
+
+TEST(Search, WeightedAndUnweightedAgreeOnUniformLoad) {
+  const WorkloadSpec spec =
+      with_aux_capacity(uniform_pairs_workload(targets4(), 1200.0), 9500.0);
+  const auto a = optimize_tree(targets4(), aux3(), spec,
+                               Objective::kSumHeights);
+  const auto b = optimize_tree(targets4(), aux3(), spec,
+                               Objective::kLoadWeightedHeights);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->evaluation.sum_heights, b->evaluation.sum_heights);
+}
+
+}  // namespace
+}  // namespace byzcast::optimizer

@@ -1,0 +1,95 @@
+// The non-genuine Baseline must satisfy the same atomic multicast
+// properties (it trades genuineness for simplicity, not correctness).
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::baseline {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+using ::byzcast::testing::TreeKind;
+
+class BaselineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSweep, RandomWorkloadSatisfiesProperties) {
+  HarnessConfig cfg;
+  cfg.tree = TreeKind::kTwoLevel;
+  cfg.num_targets = 4;
+  cfg.routing = core::Routing::kViaRoot;
+  cfg.seed = GetParam();
+  ByzCastHarness h(cfg);
+  h.run_tracked(6, 10, [](int, int, Rng& rng) {
+    if (rng.next_bool(0.6)) {
+      return std::vector<GroupId>{
+          GroupId{static_cast<std::int32_t>(rng.next_below(4))}};
+    }
+    const auto a = static_cast<std::int32_t>(rng.next_below(4));
+    auto b = static_cast<std::int32_t>(rng.next_below(3));
+    if (b >= a) ++b;
+    return std::vector<GroupId>{GroupId{a}, GroupId{b}};
+  });
+  EXPECT_EQ(h.completions, 60);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(BaselineSystem, WrapperAssemblesTwoLevelViaRootSystem) {
+  sim::Simulation sim(1, sim::Profile::lan());
+  const std::vector<GroupId> targets = {GroupId{0}, GroupId{1}};
+  BaselineSystem base(sim, targets, GroupId{9}, 1);
+  EXPECT_EQ(base.tree().root(), GroupId{9});
+  EXPECT_EQ(base.tree().target_groups().size(), 2u);
+
+  auto client = base.make_client("c");
+  bool done = false;
+  client->a_multicast({GroupId{0}}, to_bytes("x"),
+                      [&done](const core::MulticastMessage&, Time) {
+                        done = true;
+                      });
+  sim.run_until(30 * kSecond);
+  EXPECT_TRUE(done);
+  // Local message went through the root: the root group ran consensus.
+  EXPECT_GE(base.group(GroupId{9}).replica(0).decided_instances(), 1u);
+}
+
+TEST(BaselineSystem, RootOrdersEverything) {
+  sim::Simulation sim(2, sim::Profile::lan());
+  const std::vector<GroupId> targets = {GroupId{0}, GroupId{1}, GroupId{2}};
+  BaselineSystem base(sim, targets, GroupId{9}, 1);
+  auto c0 = base.make_client("c0");
+  auto c1 = base.make_client("c1");
+  int done = 0;
+  for (int k = 0; k < 5; ++k) {
+    // Issue closed-loop alternating local/global messages on both clients.
+  }
+  std::function<void(core::Client&, int)> issue = [&](core::Client& c,
+                                                      int left) {
+    if (left == 0) return;
+    std::vector<GroupId> dst =
+        left % 2 == 0 ? std::vector<GroupId>{GroupId{0}}
+                      : std::vector<GroupId>{GroupId{1}, GroupId{2}};
+    c.a_multicast(dst, to_bytes("op"),
+                  [&issue, &c, left, &done](const core::MulticastMessage&,
+                                            Time) {
+                    ++done;
+                    issue(c, left - 1);
+                  });
+  };
+  issue(*c0, 6);
+  issue(*c1, 6);
+  sim.run_until(60 * kSecond);
+  EXPECT_EQ(done, 12);
+  // Every one of the 12 messages was handled by the root.
+  std::uint64_t handled = static_cast<core::ByzCastNode&>(
+                              base.group(GroupId{9}).replica(0).application())
+                              .handled_count();
+  EXPECT_EQ(handled, 12u);
+}
+
+}  // namespace
+}  // namespace byzcast::baseline

@@ -1,0 +1,110 @@
+// Parameterized property sweep: random workloads over varying tree shapes,
+// group counts and fault plans; every run must satisfy all §II-B properties
+// at quiescence.
+#include <gtest/gtest.h>
+
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+using ::byzcast::testing::TreeKind;
+
+struct SweepParam {
+  TreeKind tree;
+  int num_targets;
+  std::uint64_t seed;
+  bool inject_faults;
+  const char* label;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+  return os << p.label << "_seed" << p.seed;
+}
+
+class ByzCastPropertySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ByzCastPropertySweep, RandomWorkloadSatisfiesProperties) {
+  const SweepParam param = GetParam();
+  HarnessConfig cfg;
+  cfg.tree = param.tree;
+  cfg.num_targets = param.num_targets;
+  cfg.seed = param.seed;
+
+  if (param.inject_faults) {
+    // One Byzantine replica per auxiliary group (rotating behaviour) and a
+    // crashed replica in the first target group.
+    int kind = 0;
+    for (int a = 0; a < (param.tree == TreeKind::kThreeLevel ? 3 : 1); ++a) {
+      std::vector<bft::FaultSpec> faults(4);
+      switch (kind++ % 3) {
+        case 0: faults[1].fabricate_relay = true; break;
+        case 1: faults[2].drop_relays = true; break;
+        default: faults[3] = bft::FaultSpec::crashed(); break;
+      }
+      cfg.faults.by_group[GroupId{byzcast::testing::kAuxBase + a}] = faults;
+    }
+    std::vector<bft::FaultSpec> target_faults(4);
+    target_faults[3] = bft::FaultSpec::crashed();
+    cfg.faults.by_group[GroupId{0}] = target_faults;
+  }
+
+  ByzCastHarness h(cfg);
+  const int n = param.num_targets;
+  h.run_tracked(6, 10, [n](int c, int k, Rng& rng) {
+    const double roll = rng.next_double();
+    if (roll < 0.5 || n == 1) {
+      return std::vector<GroupId>{
+          GroupId{static_cast<std::int32_t>(rng.next_below(
+              static_cast<std::uint64_t>(n)))}};
+    }
+    if (roll < 0.85 || n == 2) {
+      const auto a = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      auto b = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n - 1)));
+      if (b >= a) ++b;
+      return std::vector<GroupId>{GroupId{a}, GroupId{b}};
+    }
+    // Wide destination: 3..n groups.
+    std::vector<GroupId> dst;
+    for (int g = 0; g < n; ++g) {
+      if (rng.next_bool(0.6)) dst.push_back(GroupId{g});
+    }
+    while (dst.size() < 3) {
+      dst.push_back(GroupId{static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)))});
+    }
+    (void)c;
+    (void)k;
+    return dst;
+  });
+
+  EXPECT_EQ(h.completions, 60);
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ByzCastPropertySweep,
+    ::testing::Values(
+        SweepParam{TreeKind::kTwoLevel, 2, 1001, false, "twoLevel2g"},
+        SweepParam{TreeKind::kTwoLevel, 2, 1002, false, "twoLevel2g"},
+        SweepParam{TreeKind::kTwoLevel, 4, 1003, false, "twoLevel4g"},
+        SweepParam{TreeKind::kTwoLevel, 4, 1004, false, "twoLevel4g"},
+        SweepParam{TreeKind::kTwoLevel, 8, 1005, false, "twoLevel8g"},
+        SweepParam{TreeKind::kThreeLevel, 4, 2001, false, "threeLevel4g"},
+        SweepParam{TreeKind::kThreeLevel, 4, 2002, false, "threeLevel4g"},
+        SweepParam{TreeKind::kThreeLevel, 6, 2003, false, "threeLevel6g"},
+        SweepParam{TreeKind::kTwoLevel, 3, 3001, true, "faulty2L3g"},
+        SweepParam{TreeKind::kTwoLevel, 4, 3002, true, "faulty2L4g"},
+        SweepParam{TreeKind::kThreeLevel, 4, 3003, true, "faulty3L4g"},
+        SweepParam{TreeKind::kThreeLevel, 4, 3004, true, "faulty3L4g"}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(info.param.label) + "_" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace byzcast::core

@@ -1,0 +1,116 @@
+// Unit tests of the property checkers themselves: they must accept
+// conforming logs and reject violating ones.
+#include "support/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::testing {
+namespace {
+
+const GroupId kG0{0};
+const GroupId kG1{1};
+const ProcessId kP0{100};
+const ProcessId kP1{101};
+const ProcessId kClient{7};
+
+MessageId msg(std::uint64_t seq) { return MessageId{kClient, seq}; }
+
+struct Fixture {
+  core::DeliveryLog log;
+  PropertyInput input() {
+    PropertyInput in;
+    in.log = &log;
+    in.sent = sent;
+    in.correct_replicas = {{kG0, {kP0}}, {kG1, {kP1}}};
+    return in;
+  }
+  std::vector<SentMessage> sent;
+};
+
+TEST(Checkers, CleanRunPasses) {
+  Fixture f;
+  f.sent = {{msg(0), {kG0, kG1}}, {msg(1), {kG0}}};
+  f.log.record(kG0, kP0, msg(0), 10);
+  f.log.record(kG0, kP0, msg(1), 20);
+  f.log.record(kG1, kP1, msg(0), 15);
+  EXPECT_TRUE(check_integrity(f.input()));
+  EXPECT_TRUE(check_validity_agreement(f.input()));
+  EXPECT_TRUE(check_prefix_order(f.input()));
+  EXPECT_TRUE(check_acyclic_order(f.input()));
+}
+
+TEST(Checkers, DoubleDeliveryViolatesIntegrity) {
+  Fixture f;
+  f.sent = {{msg(0), {kG0}}};
+  f.log.record(kG0, kP0, msg(0), 10);
+  f.log.record(kG0, kP0, msg(0), 20);
+  EXPECT_FALSE(check_integrity(f.input()));
+}
+
+TEST(Checkers, FabricatedDeliveryViolatesIntegrity) {
+  Fixture f;
+  f.log.record(kG0, kP0, msg(99), 10);  // never sent
+  EXPECT_FALSE(check_integrity(f.input()));
+}
+
+TEST(Checkers, WrongGroupDeliveryViolatesIntegrity) {
+  Fixture f;
+  f.sent = {{msg(0), {kG1}}};
+  f.log.record(kG0, kP0, msg(0), 10);  // g0 not in dst
+  EXPECT_FALSE(check_integrity(f.input()));
+}
+
+TEST(Checkers, MissingDeliveryViolatesValidity) {
+  Fixture f;
+  f.sent = {{msg(0), {kG0, kG1}}};
+  f.log.record(kG0, kP0, msg(0), 10);  // kP1 never delivers
+  EXPECT_FALSE(check_validity_agreement(f.input()));
+}
+
+TEST(Checkers, SwappedOrderViolatesPrefixOrder) {
+  Fixture f;
+  f.sent = {{msg(0), {kG0, kG1}}, {msg(1), {kG0, kG1}}};
+  f.log.record(kG0, kP0, msg(0), 10);
+  f.log.record(kG0, kP0, msg(1), 20);
+  f.log.record(kG1, kP1, msg(1), 10);
+  f.log.record(kG1, kP1, msg(0), 20);
+  EXPECT_FALSE(check_prefix_order(f.input()));
+  // A two-message swap is also a cycle.
+  EXPECT_FALSE(check_acyclic_order(f.input()));
+}
+
+TEST(Checkers, ThreeWayCycleDetected) {
+  // p0: a < b;  p1: b < c;  p2: c < a  — pairwise prefix order holds (no
+  // two replicas share two messages), but the relation has a cycle.
+  Fixture f;
+  const ProcessId p2{102};
+  const GroupId g2{2};
+  f.sent = {{msg(0), {kG0, kG1, g2}},
+            {msg(1), {kG0, kG1, g2}},
+            {msg(2), {kG0, kG1, g2}}};
+  f.log.record(kG0, kP0, msg(0), 1);
+  f.log.record(kG0, kP0, msg(1), 2);
+  f.log.record(kG1, kP1, msg(1), 1);
+  f.log.record(kG1, kP1, msg(2), 2);
+  f.log.record(g2, p2, msg(2), 1);
+  f.log.record(g2, p2, msg(0), 2);
+  PropertyInput in = f.input();
+  in.correct_replicas[g2] = {p2};
+  in.sent = f.sent;
+  EXPECT_TRUE(check_prefix_order(in));
+  EXPECT_FALSE(check_acyclic_order(in));
+}
+
+TEST(Checkers, FaultyReplicaDeliveriesIgnored) {
+  // Deliveries by replicas not listed as correct carry no guarantees.
+  Fixture f;
+  const ProcessId byzantine{999};
+  f.sent = {{msg(0), {kG0}}};
+  f.log.record(kG0, kP0, msg(0), 10);
+  f.log.record(kG0, byzantine, msg(55), 1);  // fabricated, but not correct
+  EXPECT_TRUE(check_integrity(f.input()));
+  EXPECT_TRUE(check_acyclic_order(f.input()));
+}
+
+}  // namespace
+}  // namespace byzcast::testing

@@ -1,0 +1,89 @@
+// Randomized fault schedules: for each seed, every group independently
+// draws at most f Byzantine replicas with random behaviours from the fault
+// vocabulary, the workload mixes local/global traffic randomly, and all
+// §II-B properties must hold at quiescence. This is the repo's fuzzing
+// lever: bump kSeeds for a deeper soak.
+#include <gtest/gtest.h>
+
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+using ::byzcast::testing::TreeKind;
+
+bft::FaultSpec random_fault(Rng& rng) {
+  bft::FaultSpec spec;
+  switch (rng.next_below(5)) {
+    case 0: spec.silent = true; break;
+    case 1: spec.silent_after = static_cast<Time>(
+                rng.next_in(1, 8)) * kSecond;
+            break;
+    case 2: spec.fabricate_relay = true; break;
+    case 3: spec.drop_relays = true; break;
+    default: spec.corrupt_replies = true; break;
+  }
+  return spec;
+}
+
+class RandomFaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFaultSweep, PropertiesHoldUnderRandomFaults) {
+  const std::uint64_t seed = GetParam();
+  Rng meta(seed * 2654435761ULL + 1);
+
+  HarnessConfig cfg;
+  cfg.tree = meta.next_bool(0.5) ? TreeKind::kTwoLevel : TreeKind::kThreeLevel;
+  cfg.num_targets = static_cast<int>(meta.next_in(2, 4));
+  if (cfg.tree == TreeKind::kThreeLevel) cfg.num_targets = 4;
+  cfg.seed = seed;
+
+  // Each group independently gets 0 or 1 Byzantine replica (f = 1).
+  const int aux_count = cfg.tree == TreeKind::kThreeLevel ? 3 : 1;
+  for (int a = 0; a < aux_count; ++a) {
+    if (!meta.next_bool(0.7)) continue;
+    std::vector<bft::FaultSpec> faults(4);
+    faults[static_cast<std::size_t>(meta.next_in(1, 3))] = random_fault(meta);
+    cfg.faults.by_group[GroupId{byzcast::testing::kAuxBase + a}] = faults;
+  }
+  for (int g = 0; g < cfg.num_targets; ++g) {
+    if (!meta.next_bool(0.5)) continue;
+    std::vector<bft::FaultSpec> faults(4);
+    // Target-group leaders may also be faulty (index 0): exercises view
+    // changes under multicast traffic.
+    faults[static_cast<std::size_t>(meta.next_in(0, 3))] = random_fault(meta);
+    cfg.faults.by_group[GroupId{g}] = faults;
+  }
+
+  ByzCastHarness h(cfg);
+  const int n = cfg.num_targets;
+  h.run_tracked(5, 8,
+                [n](int, int, Rng& rng) {
+                  if (rng.next_bool(0.5)) {
+                    return std::vector<GroupId>{GroupId{
+                        static_cast<std::int32_t>(rng.next_below(
+                            static_cast<std::uint64_t>(n)))}};
+                  }
+                  const auto a = static_cast<std::int32_t>(
+                      rng.next_below(static_cast<std::uint64_t>(n)));
+                  auto b = static_cast<std::int32_t>(
+                      rng.next_below(static_cast<std::uint64_t>(n - 1)));
+                  if (b >= a) ++b;
+                  return std::vector<GroupId>{GroupId{a}, GroupId{b}};
+                },
+                /*horizon=*/300 * kSecond);
+
+  EXPECT_EQ(h.completions, 40) << "liveness under fault schedule " << seed;
+  byzcast::testing::expect_atomic_multicast_properties(h.property_input());
+  for (const auto& rec : h.system.delivery_log().records()) {
+    EXPECT_LT(rec.msg.origin.value, kFabricatedOriginBase);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaultSweep,
+                         ::testing::Range<std::uint64_t>(9000, 9012));
+
+}  // namespace
+}  // namespace byzcast::core

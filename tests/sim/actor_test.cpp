@@ -1,0 +1,111 @@
+#include "sim/actor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace byzcast::sim {
+namespace {
+
+/// An actor whose message handling occupies the CPU for a fixed time.
+class BusyServer final : public Actor {
+ public:
+  BusyServer(Simulation& sim, Time cost)
+      : Actor(sim, "server"), cost_(cost) {}
+
+  std::vector<Time> handled_at;
+
+ protected:
+  Time service_cost(const WireMessage&) const override { return cost_; }
+  void on_message(const WireMessage&) override { handled_at.push_back(now()); }
+
+ private:
+  Time cost_;
+};
+
+class Pinger final : public Actor {
+ public:
+  explicit Pinger(Simulation& sim) : Actor(sim, "pinger") {}
+  void ping(ProcessId to, int n) {
+    for (int i = 0; i < n; ++i) send(to, Bytes{1});
+  }
+
+ protected:
+  void on_message(const WireMessage&) override {}
+};
+
+TEST(Actor, ServiceTimeSerializesProcessing) {
+  Profile p = Profile::lan();
+  p.net_jitter_mean = 0;  // deterministic arrival
+  Simulation sim(1, p);
+  BusyServer server(sim, 10 * kMillisecond);
+  Pinger pinger(sim);
+  pinger.ping(server.id(), 3);  // all arrive ~simultaneously
+  sim.run_until(10 * kSecond);
+
+  ASSERT_EQ(server.handled_at.size(), 3u);
+  // Each message occupies the CPU for 10 ms: completions are spaced apart.
+  EXPECT_GE(server.handled_at[1] - server.handled_at[0], 10 * kMillisecond);
+  EXPECT_GE(server.handled_at[2] - server.handled_at[1], 10 * kMillisecond);
+}
+
+TEST(Actor, QueueDrainsInArrivalOrder) {
+  Profile p = Profile::lan();
+  p.net_jitter_mean = 0;
+  Simulation sim(1, p);
+
+  class Tagger final : public Actor {
+   public:
+    explicit Tagger(Simulation& sim) : Actor(sim, "tagger") {}
+    std::vector<std::uint8_t> seen;
+
+   protected:
+    Time service_cost(const WireMessage&) const override {
+      return kMillisecond;
+    }
+    void on_message(const WireMessage& msg) override {
+      seen.push_back(msg.payload[0]);
+    }
+  };
+
+  Tagger tagger(sim);
+  class Sender final : public Actor {
+   public:
+    explicit Sender(Simulation& sim) : Actor(sim, "sender") {}
+    void emit(ProcessId to) {
+      for (std::uint8_t i = 0; i < 5; ++i) send(to, Bytes{i});
+    }
+
+   protected:
+    void on_message(const WireMessage&) override {}
+  };
+  Sender sender(sim);
+  sender.emit(tagger.id());
+  sim.run_until(kSecond);
+  EXPECT_EQ(tagger.seen, (std::vector<std::uint8_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Actor, CrashStopsProcessing) {
+  Simulation sim(1, Profile::lan());
+  BusyServer server(sim, kMillisecond);
+  Pinger pinger(sim);
+  pinger.ping(server.id(), 1);
+  sim.run_until(kSecond);
+  EXPECT_EQ(server.handled_at.size(), 1u);
+  server.crash();
+  pinger.ping(server.id(), 5);
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(server.handled_at.size(), 1u);
+}
+
+TEST(Actor, UniqueProcessIds) {
+  Simulation sim(1, Profile::lan());
+  Pinger a(sim);
+  Pinger b(sim);
+  BusyServer c(sim, 0);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(b.id(), c.id());
+}
+
+}  // namespace
+}  // namespace byzcast::sim

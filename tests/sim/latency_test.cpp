@@ -1,0 +1,87 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::sim {
+namespace {
+
+TEST(LanLatency, WithinExpectedRange) {
+  const Profile p = Profile::lan();
+  LanLatency lan(p);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = lan.sample(ProcessId{0}, ProcessId{1}, 64, rng);
+    EXPECT_GE(t, p.net_one_way);
+    EXPECT_LT(t, p.net_one_way + 50 * p.net_jitter_mean);
+  }
+}
+
+TEST(LanLatency, LoopbackIsFast) {
+  LanLatency lan(Profile::lan());
+  Rng rng(1);
+  EXPECT_LE(lan.sample(ProcessId{3}, ProcessId{3}, 64, rng),
+            2 * kMicrosecond);
+}
+
+TEST(LanLatency, LargeMessagesPaySerializationDelay) {
+  Profile p = Profile::lan();
+  p.net_jitter_mean = 0;
+  LanLatency lan(p);
+  Rng rng(1);
+  const Time small = lan.sample(ProcessId{0}, ProcessId{1}, 0, rng);
+  const Time large = lan.sample(ProcessId{0}, ProcessId{1}, 1'000'000, rng);
+  EXPECT_EQ(large - small, 1'000'000 * p.net_per_byte);
+}
+
+TEST(WanLatency, MatchesTableOne) {
+  // The paper's Table I RTTs (ms): CA-VA 70, CA-EU 165, CA-JP 112,
+  // VA-EU 88, VA-JP 175, EU-JP 239. One-way = RTT/2.
+  const Profile p = Profile::wan();
+  const WanLatency wan = WanLatency::ec2_four_regions(p);
+  const auto ca = RegionId{0};
+  const auto va = RegionId{1};
+  const auto eu = RegionId{2};
+  const auto jp = RegionId{3};
+  EXPECT_EQ(2 * wan.region_latency(ca, va), 70 * kMillisecond);
+  EXPECT_EQ(2 * wan.region_latency(ca, eu), 165 * kMillisecond);
+  EXPECT_EQ(2 * wan.region_latency(ca, jp), 112 * kMillisecond);
+  EXPECT_EQ(2 * wan.region_latency(va, eu), 88 * kMillisecond);
+  EXPECT_EQ(2 * wan.region_latency(va, jp), 175 * kMillisecond);
+  EXPECT_EQ(2 * wan.region_latency(eu, jp), 239 * kMillisecond);
+}
+
+TEST(WanLatency, SymmetricMatrix) {
+  const WanLatency wan = WanLatency::ec2_four_regions(Profile::wan());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(wan.region_latency(RegionId{a}, RegionId{b}),
+                wan.region_latency(RegionId{b}, RegionId{a}));
+    }
+  }
+}
+
+TEST(WanLatency, SampleUsesRegionAssignment) {
+  Profile p = Profile::wan();
+  p.net_jitter_mean = 0;
+  p.net_per_byte = 0;
+  WanLatency wan = WanLatency::ec2_four_regions(p);
+  wan.assign(ProcessId{10}, RegionId{0});  // CA
+  wan.assign(ProcessId{11}, RegionId{3});  // JP
+  wan.assign(ProcessId{12}, RegionId{0});  // CA
+  Rng rng(1);
+  EXPECT_EQ(wan.sample(ProcessId{10}, ProcessId{11}, 0, rng),
+            56 * kMillisecond);
+  // Same region: intra-datacenter latency, far below cross-region.
+  EXPECT_LT(wan.sample(ProcessId{10}, ProcessId{12}, 0, rng),
+            kMillisecond);
+}
+
+TEST(WanLatency, FourRegionNames) {
+  const auto& names = WanLatency::ec2_region_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "CA");
+  EXPECT_EQ(names[3], "JP");
+}
+
+}  // namespace
+}  // namespace byzcast::sim

@@ -1,0 +1,113 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/actor.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::sim {
+namespace {
+
+/// Records every authenticated message it receives.
+class Recorder final : public Actor {
+ public:
+  Recorder(Simulation& sim, std::string name) : Actor(sim, std::move(name)) {}
+
+  void say(ProcessId to, const std::string& text) {
+    send(to, to_bytes(text));
+  }
+
+  std::vector<std::pair<ProcessId, std::string>> received;
+  std::vector<Time> arrival_times;
+
+ protected:
+  void on_message(const WireMessage& msg) override {
+    if (!verify(msg)) return;
+    received.emplace_back(msg.from, to_text(msg.payload));
+    arrival_times.push_back(now());
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Simulation sim{1, Profile::lan()};
+  Recorder a{sim, "a"};
+  Recorder b{sim, "b"};
+  Recorder c{sim, "c"};
+};
+
+TEST_F(NetworkTest, DeliversAuthenticatedMessages) {
+  a.say(b.id(), "hello");
+  sim.run_until(kSecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, a.id());
+  EXPECT_EQ(b.received[0].second, "hello");
+  EXPECT_GE(b.arrival_times[0], sim.profile().net_one_way);
+}
+
+TEST_F(NetworkTest, UnknownDestinationDroppedSilently) {
+  a.say(ProcessId{424242}, "void");
+  sim.run_until(kSecond);
+  EXPECT_EQ(sim.network().messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, DropLinkIsOneDirectional) {
+  sim.network().faults().drop_link(a.id(), b.id());
+  a.say(b.id(), "blocked");
+  b.say(a.id(), "open");
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.received.empty());
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].second, "open");
+}
+
+TEST_F(NetworkTest, ExtraDelayPostponesDelivery) {
+  sim.network().faults().add_delay(a.id(), b.id(), 100 * kMillisecond);
+  a.say(b.id(), "slow");
+  a.say(c.id(), "fast");
+  sim.run_until(kSecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_GE(b.arrival_times[0], 100 * kMillisecond);
+  EXPECT_LT(c.arrival_times[0], 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, PartitionHeals) {
+  sim.network().faults().partition({a.id()}, {b.id()}, 500 * kMillisecond);
+  a.say(b.id(), "during");
+  sim.run_until(600 * kMillisecond);
+  EXPECT_TRUE(b.received.empty());
+  a.say(b.id(), "after");
+  sim.run_until(kSecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, "after");
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  sim.network().faults().partition({a.id()}, {b.id(), c.id()},
+                                   500 * kMillisecond);
+  a.say(b.id(), "x");
+  b.say(a.id(), "y");
+  c.say(b.id(), "same side");
+  sim.run_until(100 * kMillisecond);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);  // c -> b unaffected
+}
+
+TEST_F(NetworkTest, CountsTraffic) {
+  a.say(b.id(), "12345");
+  a.say(c.id(), "12345");
+  sim.run_until(kSecond);
+  EXPECT_EQ(sim.network().messages_sent(), 2u);
+  EXPECT_EQ(sim.network().bytes_sent(), 10u);
+}
+
+TEST_F(NetworkTest, CrashedActorIgnoresDelivery) {
+  b.crash();
+  a.say(b.id(), "anyone home?");
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.received.empty());
+}
+
+}  // namespace
+}  // namespace byzcast::sim

@@ -1,0 +1,77 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byzcast::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, NestedScheduling) {
+  Scheduler s;
+  std::vector<Time> fired;
+  s.schedule_at(10, [&] {
+    fired.push_back(s.now());
+    s.schedule_after(5, [&] { fired.push_back(s.now()); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, (std::vector<Time>{10, 15}));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now(), 100);  // clock advances to the deadline
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, CountsExecutedEvents) {
+  Scheduler s;
+  for (int i = 0; i < 42; ++i) s.schedule_at(i, [] {});
+  s.run_all();
+  EXPECT_EQ(s.events_executed(), 42u);
+}
+
+TEST(SchedulerDeathTest, SchedulingInThePastAborts) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  EXPECT_DEATH(s.schedule_at(50, [] {}), "Precondition");
+}
+
+}  // namespace
+}  // namespace byzcast::sim

@@ -1,0 +1,50 @@
+// Test application that records the execution sequence of each hosting
+// replica into caller-owned storage, so tests can compare total order, FIFO
+// order and content across replicas.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bft/application.hpp"
+
+namespace byzcast::testing {
+
+struct ExecutionRecord {
+  ProcessId origin;
+  std::uint64_t seq;
+  Bytes op;
+  Time when;
+};
+
+using ExecutionTrace = std::vector<ExecutionRecord>;
+
+class RecordingApp final : public bft::Application {
+ public:
+  explicit RecordingApp(ExecutionTrace* trace, bool reply = true)
+      : trace_(trace), reply_(reply) {}
+
+  void execute(const bft::Request& req) override {
+    trace_->push_back(
+        ExecutionRecord{req.origin, req.seq, req.op, ctx_->now()});
+    if (reply_) {
+      const Digest d = Sha256::hash(req.op);
+      ctx_->send_reply(req, Bytes(d.begin(), d.begin() + 8));
+    }
+  }
+
+ private:
+  ExecutionTrace* trace_;  // non-owning, caller outlives the simulation
+  bool reply_;
+};
+
+/// App factory producing RecordingApps backed by `traces[replica_index]`.
+inline bft::AppFactory recording_factory(
+    std::map<int, ExecutionTrace>& traces, bool reply = true) {
+  return [&traces, reply](int index) {
+    return std::make_unique<RecordingApp>(&traces[index], reply);
+  };
+}
+
+}  // namespace byzcast::testing

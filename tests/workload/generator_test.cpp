@@ -1,0 +1,143 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace byzcast::workload {
+namespace {
+
+std::vector<GroupId> targets(int n) {
+  std::vector<GroupId> out;
+  for (int i = 0; i < n; ++i) out.push_back(GroupId{i});
+  return out;
+}
+
+TEST(Generator, LocalOnlyAlwaysHome) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kLocalOnly;
+  DestinationGenerator gen(cfg, targets(4), /*home=*/2);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.next(rng), std::vector<GroupId>{GroupId{2}});
+  }
+}
+
+TEST(Generator, UniformPairsAreValidAndCovering) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalUniformPairs;
+  DestinationGenerator gen(cfg, targets(4), 0);
+  Rng rng(2);
+  std::map<std::pair<int, int>, int> seen;
+  for (int i = 0; i < 6000; ++i) {
+    auto dst = gen.next(rng);
+    ASSERT_EQ(dst.size(), 2u);
+    ASSERT_NE(dst[0], dst[1]);
+    const auto key = std::minmax(dst[0].value, dst[1].value);
+    ++seen[{key.first, key.second}];
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all C(4,2) pairs occur
+  for (const auto& [pair, count] : seen) EXPECT_GT(count, 700);
+}
+
+TEST(Generator, SkewedPairsOnlyTwoDestinations) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalSkewedPairs;
+  DestinationGenerator gen(cfg, targets(4), 0);
+  Rng rng(3);
+  int first = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto dst = gen.next(rng);
+    ASSERT_EQ(dst.size(), 2u);
+    if (dst[0] == GroupId{0}) {
+      EXPECT_EQ(dst[1], GroupId{1});
+      ++first;
+    } else {
+      EXPECT_EQ(dst[0], GroupId{2});
+      EXPECT_EQ(dst[1], GroupId{3});
+    }
+  }
+  EXPECT_NEAR(first, 1000, 100);
+}
+
+TEST(Generator, MixedRatioApproximatesTenToOne) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kMixed;
+  cfg.mixed_local = 10;
+  cfg.mixed_global = 1;
+  DestinationGenerator gen(cfg, targets(4), 1);
+  Rng rng(4);
+  int local = 0;
+  const int n = 22000;
+  for (int i = 0; i < n; ++i) {
+    const auto dst = gen.next(rng);
+    if (dst.size() == 1) {
+      EXPECT_EQ(dst[0], GroupId{1});  // home group
+      ++local;
+    } else {
+      ASSERT_EQ(dst.size(), 2u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(local) / n, 10.0 / 11.0, 0.01);
+}
+
+TEST(Generator, TwoGroupPairsAreTheOnlyPair) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalUniformPairs;
+  DestinationGenerator gen(cfg, targets(2), 0);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto dst = gen.next(rng);
+    std::sort(dst.begin(), dst.end());
+    EXPECT_EQ(dst, (std::vector<GroupId>{GroupId{0}, GroupId{1}}));
+  }
+}
+
+TEST(Generator, FanoutProducesDistinctGroups) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalFanout;
+  cfg.global_fanout = 4;
+  DestinationGenerator gen(cfg, targets(8), 0);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    auto dst = gen.next(rng);
+    ASSERT_EQ(dst.size(), 4u);
+    std::sort(dst.begin(), dst.end());
+    EXPECT_EQ(std::adjacent_find(dst.begin(), dst.end()), dst.end());
+    for (const GroupId g : dst) {
+      EXPECT_GE(g.value, 0);
+      EXPECT_LT(g.value, 8);
+    }
+  }
+}
+
+TEST(Generator, FanoutFullBroadcastCoversAllGroups) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalFanout;
+  cfg.global_fanout = 8;
+  DestinationGenerator gen(cfg, targets(8), 0);
+  Rng rng(7);
+  auto dst = gen.next(rng);
+  std::sort(dst.begin(), dst.end());
+  ASSERT_EQ(dst.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)].value, i);
+}
+
+TEST(Generator, FanoutIsUniformOverGroups) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kGlobalFanout;
+  cfg.global_fanout = 2;
+  DestinationGenerator gen(cfg, targets(4), 0);
+  Rng rng(8);
+  std::map<int, int> hits;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    for (const GroupId g : gen.next(rng)) ++hits[g.value];
+  }
+  for (const auto& [g, count] : hits) {
+    EXPECT_NEAR(count, n * 2 / 4, n / 20) << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace byzcast::workload

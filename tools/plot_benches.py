@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Plots the CSV files emitted by the benchmark binaries under bench_csv/.
+
+Usage:
+    python3 tools/plot_benches.py [bench_csv_dir] [output_dir]
+
+Produces one PNG per CSV: CDFs as step plots, series tables as grouped line
+charts. Requires matplotlib; degrades to a listing when it is missing.
+"""
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_csv"
+    dst = sys.argv[2] if len(sys.argv) > 2 else "bench_plots"
+    if not os.path.isdir(src):
+        print(f"no {src}/ directory — run the bench binaries first")
+        return 1
+    files = sorted(f for f in os.listdir(src) if f.endswith(".csv"))
+    if not files:
+        print(f"no CSV files in {src}/")
+        return 1
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; CSV files available:")
+        for f in files:
+            print(" ", os.path.join(src, f))
+        return 0
+
+    os.makedirs(dst, exist_ok=True)
+    for name in files:
+        header, rows = load(os.path.join(src, name))
+        if not rows:
+            continue
+        fig, ax = plt.subplots(figsize=(6, 4))
+        if header[:2] == ["latency_ms", "cdf"]:
+            xs = [float(r[0]) for r in rows]
+            ys = [float(r[1]) for r in rows]
+            ax.step(xs, ys, where="post")
+            ax.set_xlabel("latency (ms)")
+            ax.set_ylabel("CDF")
+            ax.set_ylim(0, 1.02)
+        else:
+            # Series table: first column is x, numeric columns are lines.
+            xs = list(range(len(rows)))
+            ax.set_xticks(xs)
+            ax.set_xticklabels([r[0] for r in rows])
+            for col in range(1, len(header)):
+                try:
+                    ys = [float(str(r[col]).split()[0]) for r in rows]
+                except (ValueError, IndexError):
+                    continue
+                ax.plot(xs, ys, marker="o", label=header[col])
+            ax.set_xlabel(header[0])
+            ax.legend(fontsize=8)
+        ax.set_title(name.replace(".csv", ""))
+        ax.grid(True, alpha=0.3)
+        out = os.path.join(dst, name.replace(".csv", ".png"))
+        fig.tight_layout()
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print("wrote", out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
