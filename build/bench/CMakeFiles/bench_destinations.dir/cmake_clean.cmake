@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_destinations.dir/bench_destinations.cpp.o"
+  "CMakeFiles/bench_destinations.dir/bench_destinations.cpp.o.d"
+  "bench_destinations"
+  "bench_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

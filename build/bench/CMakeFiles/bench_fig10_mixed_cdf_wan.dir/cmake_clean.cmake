@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mixed_cdf_wan.dir/bench_fig10_mixed_cdf_wan.cpp.o"
+  "CMakeFiles/bench_fig10_mixed_cdf_wan.dir/bench_fig10_mixed_cdf_wan.cpp.o.d"
+  "bench_fig10_mixed_cdf_wan"
+  "bench_fig10_mixed_cdf_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mixed_cdf_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

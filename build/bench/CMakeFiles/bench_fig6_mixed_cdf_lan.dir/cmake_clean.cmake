@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mixed_cdf_lan.dir/bench_fig6_mixed_cdf_lan.cpp.o"
+  "CMakeFiles/bench_fig6_mixed_cdf_lan.dir/bench_fig6_mixed_cdf_lan.cpp.o.d"
+  "bench_fig6_mixed_cdf_lan"
+  "bench_fig6_mixed_cdf_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mixed_cdf_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_single_client_wan.dir/bench_fig8_single_client_wan.cpp.o"
+  "CMakeFiles/bench_fig8_single_client_wan.dir/bench_fig8_single_client_wan.cpp.o.d"
+  "bench_fig8_single_client_wan"
+  "bench_fig8_single_client_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_single_client_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_optimizer.dir/bench_table3_optimizer.cpp.o"
+  "CMakeFiles/bench_table3_optimizer.dir/bench_table3_optimizer.cpp.o.d"
+  "bench_table3_optimizer"
+  "bench_table3_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_planner.dir/tree_planner.cpp.o"
+  "CMakeFiles/tree_planner.dir/tree_planner.cpp.o.d"
+  "tree_planner"
+  "tree_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

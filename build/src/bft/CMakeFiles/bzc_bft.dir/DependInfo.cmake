@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/client_proxy.cpp" "src/bft/CMakeFiles/bzc_bft.dir/client_proxy.cpp.o" "gcc" "src/bft/CMakeFiles/bzc_bft.dir/client_proxy.cpp.o.d"
+  "/root/repo/src/bft/group.cpp" "src/bft/CMakeFiles/bzc_bft.dir/group.cpp.o" "gcc" "src/bft/CMakeFiles/bzc_bft.dir/group.cpp.o.d"
+  "/root/repo/src/bft/message.cpp" "src/bft/CMakeFiles/bzc_bft.dir/message.cpp.o" "gcc" "src/bft/CMakeFiles/bzc_bft.dir/message.cpp.o.d"
+  "/root/repo/src/bft/replica.cpp" "src/bft/CMakeFiles/bzc_bft.dir/replica.cpp.o" "gcc" "src/bft/CMakeFiles/bzc_bft.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bzc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bzc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

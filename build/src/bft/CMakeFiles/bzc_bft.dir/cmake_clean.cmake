@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_bft.dir/client_proxy.cpp.o"
+  "CMakeFiles/bzc_bft.dir/client_proxy.cpp.o.d"
+  "CMakeFiles/bzc_bft.dir/group.cpp.o"
+  "CMakeFiles/bzc_bft.dir/group.cpp.o.d"
+  "CMakeFiles/bzc_bft.dir/message.cpp.o"
+  "CMakeFiles/bzc_bft.dir/message.cpp.o.d"
+  "CMakeFiles/bzc_bft.dir/replica.cpp.o"
+  "CMakeFiles/bzc_bft.dir/replica.cpp.o.d"
+  "libbzc_bft.a"
+  "libbzc_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbzc_bft.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_common.dir/auth.cpp.o"
+  "CMakeFiles/bzc_common.dir/auth.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/bytes.cpp.o"
+  "CMakeFiles/bzc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/hmac.cpp.o"
+  "CMakeFiles/bzc_common.dir/hmac.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/log.cpp.o"
+  "CMakeFiles/bzc_common.dir/log.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/rng.cpp.o"
+  "CMakeFiles/bzc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/sha256.cpp.o"
+  "CMakeFiles/bzc_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/bzc_common.dir/stats.cpp.o"
+  "CMakeFiles/bzc_common.dir/stats.cpp.o.d"
+  "libbzc_common.a"
+  "libbzc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

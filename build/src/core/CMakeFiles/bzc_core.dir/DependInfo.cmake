@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/bzc_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/bzc_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/bzc_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/bzc_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/bzc_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/bzc_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/core/CMakeFiles/bzc_core.dir/tree.cpp.o" "gcc" "src/core/CMakeFiles/bzc_core.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bft/CMakeFiles/bzc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bzc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bzc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

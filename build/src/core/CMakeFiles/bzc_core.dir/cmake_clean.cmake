@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_core.dir/client.cpp.o"
+  "CMakeFiles/bzc_core.dir/client.cpp.o.d"
+  "CMakeFiles/bzc_core.dir/node.cpp.o"
+  "CMakeFiles/bzc_core.dir/node.cpp.o.d"
+  "CMakeFiles/bzc_core.dir/system.cpp.o"
+  "CMakeFiles/bzc_core.dir/system.cpp.o.d"
+  "CMakeFiles/bzc_core.dir/tree.cpp.o"
+  "CMakeFiles/bzc_core.dir/tree.cpp.o.d"
+  "libbzc_core.a"
+  "libbzc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_optimizer.dir/evaluate.cpp.o"
+  "CMakeFiles/bzc_optimizer.dir/evaluate.cpp.o.d"
+  "CMakeFiles/bzc_optimizer.dir/search.cpp.o"
+  "CMakeFiles/bzc_optimizer.dir/search.cpp.o.d"
+  "libbzc_optimizer.a"
+  "libbzc_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

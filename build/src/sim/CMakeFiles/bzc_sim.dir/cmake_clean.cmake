@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_sim.dir/actor.cpp.o"
+  "CMakeFiles/bzc_sim.dir/actor.cpp.o.d"
+  "CMakeFiles/bzc_sim.dir/latency.cpp.o"
+  "CMakeFiles/bzc_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/bzc_sim.dir/network.cpp.o"
+  "CMakeFiles/bzc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/bzc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/bzc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bzc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bzc_sim.dir/simulation.cpp.o.d"
+  "libbzc_sim.a"
+  "libbzc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

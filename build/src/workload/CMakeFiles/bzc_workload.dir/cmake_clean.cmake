@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bzc_workload.dir/experiment.cpp.o"
+  "CMakeFiles/bzc_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/bzc_workload.dir/generator.cpp.o"
+  "CMakeFiles/bzc_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/bzc_workload.dir/report.cpp.o"
+  "CMakeFiles/bzc_workload.dir/report.cpp.o.d"
+  "libbzc_workload.a"
+  "libbzc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bzc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

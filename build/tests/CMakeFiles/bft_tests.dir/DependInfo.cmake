@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bft/batching_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/batching_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/batching_test.cpp.o.d"
+  "/root/repo/tests/bft/broadcast_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/broadcast_test.cpp.o.d"
+  "/root/repo/tests/bft/byzantine_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/byzantine_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/byzantine_test.cpp.o.d"
+  "/root/repo/tests/bft/counters_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/counters_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/counters_test.cpp.o.d"
+  "/root/repo/tests/bft/edge_cases_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/bft/fifo_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/fifo_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/fifo_test.cpp.o.d"
+  "/root/repo/tests/bft/message_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/message_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/message_test.cpp.o.d"
+  "/root/repo/tests/bft/protocol_flow_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/protocol_flow_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/protocol_flow_test.cpp.o.d"
+  "/root/repo/tests/bft/reconfig_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/reconfig_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/reconfig_test.cpp.o.d"
+  "/root/repo/tests/bft/reply_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/reply_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/reply_test.cpp.o.d"
+  "/root/repo/tests/bft/state_transfer_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/state_transfer_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/state_transfer_test.cpp.o.d"
+  "/root/repo/tests/bft/view_change_test.cpp" "tests/CMakeFiles/bft_tests.dir/bft/view_change_test.cpp.o" "gcc" "tests/CMakeFiles/bft_tests.dir/bft/view_change_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bzc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/bzc_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bzc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bzc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bzc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bzc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_tests.dir/bft/batching_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/batching_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/broadcast_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/broadcast_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/byzantine_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/byzantine_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/counters_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/counters_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/edge_cases_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/edge_cases_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/fifo_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/fifo_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/message_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/message_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/protocol_flow_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/protocol_flow_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/reconfig_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/reconfig_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/reply_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/reply_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/state_transfer_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/state_transfer_test.cpp.o.d"
+  "CMakeFiles/bft_tests.dir/bft/view_change_test.cpp.o"
+  "CMakeFiles/bft_tests.dir/bft/view_change_test.cpp.o.d"
+  "bft_tests"
+  "bft_tests.pdb"
+  "bft_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/byzcast_basic_test.cpp" "tests/CMakeFiles/core_tests.dir/core/byzcast_basic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/byzcast_basic_test.cpp.o.d"
+  "/root/repo/tests/core/byzcast_fault_test.cpp" "tests/CMakeFiles/core_tests.dir/core/byzcast_fault_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/byzcast_fault_test.cpp.o.d"
+  "/root/repo/tests/core/byzcast_order_test.cpp" "tests/CMakeFiles/core_tests.dir/core/byzcast_order_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/byzcast_order_test.cpp.o.d"
+  "/root/repo/tests/core/deep_tree_test.cpp" "tests/CMakeFiles/core_tests.dir/core/deep_tree_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/deep_tree_test.cpp.o.d"
+  "/root/repo/tests/core/delivery_log_test.cpp" "tests/CMakeFiles/core_tests.dir/core/delivery_log_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/delivery_log_test.cpp.o.d"
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/core_tests.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/determinism_test.cpp.o.d"
+  "/root/repo/tests/core/front_running_test.cpp" "tests/CMakeFiles/core_tests.dir/core/front_running_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/front_running_test.cpp.o.d"
+  "/root/repo/tests/core/inner_target_test.cpp" "tests/CMakeFiles/core_tests.dir/core/inner_target_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/inner_target_test.cpp.o.d"
+  "/root/repo/tests/core/larger_f_test.cpp" "tests/CMakeFiles/core_tests.dir/core/larger_f_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/larger_f_test.cpp.o.d"
+  "/root/repo/tests/core/linearizability_test.cpp" "tests/CMakeFiles/core_tests.dir/core/linearizability_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/linearizability_test.cpp.o.d"
+  "/root/repo/tests/core/multicast_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multicast_test.cpp.o.d"
+  "/root/repo/tests/core/open_loop_client_test.cpp" "tests/CMakeFiles/core_tests.dir/core/open_loop_client_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/open_loop_client_test.cpp.o.d"
+  "/root/repo/tests/core/shard_application_test.cpp" "tests/CMakeFiles/core_tests.dir/core/shard_application_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/shard_application_test.cpp.o.d"
+  "/root/repo/tests/core/system_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_test.cpp.o.d"
+  "/root/repo/tests/core/tree_property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tree_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tree_property_test.cpp.o.d"
+  "/root/repo/tests/core/tree_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tree_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tree_test.cpp.o.d"
+  "/root/repo/tests/core/wan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/wan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bzc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/bzc_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bzc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bzc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bzc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bzc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
