@@ -43,6 +43,7 @@ int main() {
   write_cdf_csv("bench_csv/fig10_byzcast_global.csv", byz.latency_global);
   write_cdf_csv("bench_csv/fig10_baseline_local.csv", base.latency_local);
   write_cdf_csv("bench_csv/fig10_baseline_global.csv", base.latency_global);
+  write_metrics_sidecar("bench_csv/fig10_metrics.json", byz);
 
   std::printf("\nMedians (ms):\n");
   std::vector<std::vector<std::string>> rows;

@@ -42,6 +42,7 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   std::vector<std::pair<std::string, LatencyRecorder>> cdfs;
+  ExperimentResult probe;  // one instrumented run for the metrics sidecar
   for (const Cell& cell : cells) {
     ExperimentConfig cfg;
     cfg.protocol = cell.protocol;
@@ -56,6 +57,10 @@ int main() {
     cfg.duration = 3 * kSecond;
     cfg.seed = 7;
     const ExperimentResult res = run_experiment(cfg);
+    // The skewed/2-level cell is the interesting one observability-wise:
+    // the saturated root's queue depth and CPU-busy fraction explain the
+    // latency blow-up.
+    if (cell.protocol == Protocol::kByzCast2Level) probe = res;
     rows.push_back({cell.workload_name, cell.tree_name,
                     fmt(res.throughput, 0) + " msg/s",
                     fmt(res.latency_global.mean_ms()) + " ms",
@@ -79,6 +84,7 @@ int main() {
                    {"workload", "tree", "throughput", "mean_ms", "p50_ms",
                     "p95_ms"},
                    rows);
+  write_metrics_sidecar("bench_csv/fig3_metrics.json", probe);
 
   std::printf(
       "\nPaper Fig. 3: uniform -> 2-level lower average latency; skewed -> "

@@ -44,6 +44,7 @@ int main() {
   write_cdf_csv("bench_csv/fig6_baseline_global.csv", base.latency_global);
   write_cdf_csv("bench_csv/fig6_byzcast_local.csv", byz.latency_local);
   write_cdf_csv("bench_csv/fig6_byzcast_global.csv", byz.latency_global);
+  write_metrics_sidecar("bench_csv/fig6_metrics.json", byz);
 
   std::printf("\nConvoy-effect check (ByzCast local latency, median):\n");
   std::printf("  with 10%% global traffic : %.2f ms\n",

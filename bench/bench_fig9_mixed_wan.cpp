@@ -45,5 +45,6 @@ int main() {
   std::printf(
       "\nPaper Fig. 9: ByzCast 2x-3x faster than Baseline in throughput "
       "under the mixed workload.\n");
+  write_metrics_sidecar("bench_csv/fig9_metrics.json", byz);
   return 0;
 }

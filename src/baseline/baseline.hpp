@@ -22,9 +22,9 @@ class BaselineSystem {
   /// One auxiliary root `aux_root` ordering all traffic for `targets`.
   BaselineSystem(sim::Simulation& sim, const std::vector<GroupId>& targets,
                  GroupId aux_root, int f,
-                 const core::FaultPlan& faults = {})
+                 const core::FaultPlan& faults = {}, Observability obs = {})
       : system_(sim, core::OverlayTree::two_level(targets, aux_root), f,
-                faults, core::Routing::kViaRoot) {}
+                faults, core::Routing::kViaRoot, obs) {}
 
   [[nodiscard]] core::ByzCastSystem& system() { return system_; }
   [[nodiscard]] const core::OverlayTree& tree() const {

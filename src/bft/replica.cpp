@@ -329,6 +329,15 @@ void Replica::decide(Batch batch) {
   log_.push_back(batch);
   ++next_instance_;
 
+  if (MetricsRegistry* reg = sim().metrics()) {
+    if (batch_size_hist_ == nullptr) {
+      batch_size_hist_ = &reg->histogram(
+          "replica.batch_size." + to_string(group_),
+          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+    }
+    batch_size_hist_->observe(static_cast<double>(batch.size()));
+  }
+
   // A consensus we were still running for an instance that is now decided
   // (e.g. adopted through state transfer after an equivocating leader split
   // the proposals) is obsolete; drop it so later proposals are accepted.

@@ -26,6 +26,7 @@
 #include "bft/application.hpp"
 #include "bft/fault.hpp"
 #include "bft/message.hpp"
+#include "common/metrics.hpp"
 #include "sim/actor.hpp"
 #include "sim/simulation.hpp"
 
@@ -219,6 +220,11 @@ class Replica final : public sim::Actor, public ReplicaContext {
   /// Highest view observed in authenticated peer traffic; if it exceeds
   /// ours the liveness check runs the view catch-up path.
   std::uint64_t max_seen_view_ = 0;
+
+  // --- observability ---------------------------------------------------------
+  /// Lazily resolved handle into the simulation's MetricsRegistry (shared
+  /// by all replicas of the group); null when metrics are off.
+  Histogram* batch_size_hist_ = nullptr;
 };
 
 }  // namespace byzcast::bft

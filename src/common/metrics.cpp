@@ -1,0 +1,115 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace byzcast {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  BZC_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += v;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+Timeseries& MetricsRegistry::timeseries(const std::string& name) {
+  return timeseries_[name];
+}
+
+namespace {
+
+void json_number(std::ostream& os, double v) {
+  // JSON has no NaN/Inf; clamp to null.
+  if (v != v) {
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+void json_key(std::ostream& os, const std::string& name, bool& first) {
+  if (!first) os << ",";
+  first = false;
+  os << '"' << name << "\":";  // metric names never need escaping
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    json_key(os, name, first);
+    os << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    json_key(os, name, first);
+    json_number(os, g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    json_key(os, name, first);
+    os << "{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) os << ",";
+      json_number(os, h.bounds()[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      if (i) os << ",";
+      os << h.counts()[i];
+    }
+    os << "],\"count\":" << h.count() << ",\"sum\":";
+    json_number(os, h.sum());
+    os << "}";
+  }
+  os << "},\"timeseries\":{";
+  first = true;
+  for (const auto& [name, ts] : timeseries_) {
+    json_key(os, name, first);
+    os << "[";
+    for (std::size_t i = 0; i < ts.points().size(); ++i) {
+      if (i) os << ",";
+      os << "[";
+      json_number(os, to_ms(ts.points()[i].first));
+      os << ",";
+      json_number(os, ts.points()[i].second);
+      os << "]";
+    }
+    os << "]";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace byzcast

@@ -1,0 +1,115 @@
+// MetricsRegistry: named counters, gauges, fixed-bucket histograms and
+// timeseries that every layer (sim actors, bft replicas, core nodes, the
+// workload harness) can publish into. Designed for the hot path: callers
+// resolve a metric once by name (map lookup + string build) and then hold a
+// pointer, so recording is an increment / push_back with no hashing.
+//
+// Export is deterministic (std::map iteration order) so two runs with the
+// same seed produce byte-identical sidecars.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (e.g. an instantaneous queue depth).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Recording is a binary search
+/// over the (small, sorted) bound list — no allocation, no re-sorting.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Append-only (time, value) series; times must be nondecreasing (simulated
+/// time is monotone), which the exporters rely on.
+class Timeseries {
+ public:
+  void append(Time when, double value) { points_.emplace_back(when, value); }
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// Naming convention: "<subsystem>.<metric>.<label>", labels embedded in the
+/// name (e.g. "node.a_deliver.g0", "actor.cpu_busy.g1.r2"). See the
+/// Observability section of docs/ARCHITECTURE.md for the full catalogue.
+class MetricsRegistry {
+ public:
+  /// Each accessor creates the metric on first use and returns a stable
+  /// reference (std::map nodes never move), so callers may cache pointers.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds);
+  [[nodiscard]] Timeseries& timeseries(const std::string& name);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, Timeseries>& timeserieses() const {
+    return timeseries_;
+  }
+
+  /// Whole registry as a JSON object string (hand-rolled; no dependencies).
+  /// Timeseries times are exported in fractional milliseconds.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Timeseries> timeseries_;
+};
+
+}  // namespace byzcast

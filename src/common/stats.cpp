@@ -12,16 +12,20 @@ namespace byzcast {
 void LatencyRecorder::record(Time when, Time latency) {
   BZC_EXPECTS(latency >= 0);
   samples_.push_back(Sample{when, latency});
+  cache_valid_ = false;
 }
 
-std::vector<Time> LatencyRecorder::effective_sorted() const {
-  std::vector<Time> out;
-  out.reserve(samples_.size());
-  for (const auto& s : samples_) {
-    if (s.when >= warmup_cutoff_) out.push_back(s.latency);
+const std::vector<Time>& LatencyRecorder::effective_sorted() const {
+  if (!cache_valid_) {
+    sorted_cache_.clear();
+    sorted_cache_.reserve(samples_.size());
+    for (const auto& s : samples_) {
+      if (s.when >= warmup_cutoff_) sorted_cache_.push_back(s.latency);
+    }
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    cache_valid_ = true;
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return sorted_cache_;
 }
 
 std::size_t LatencyRecorder::count() const {
@@ -29,7 +33,7 @@ std::size_t LatencyRecorder::count() const {
 }
 
 double LatencyRecorder::mean_ms() const {
-  const auto xs = effective_sorted();
+  const auto& xs = effective_sorted();
   if (xs.empty()) return 0.0;
   const double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
   return sum / static_cast<double>(xs.size()) / 1e6;
@@ -37,7 +41,7 @@ double LatencyRecorder::mean_ms() const {
 
 double LatencyRecorder::percentile_ms(double p) const {
   BZC_EXPECTS(p >= 0.0 && p <= 100.0);
-  const auto xs = effective_sorted();
+  const auto& xs = effective_sorted();
   if (xs.empty()) return 0.0;
   // Nearest-rank with linear interpolation between adjacent samples.
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
@@ -51,7 +55,7 @@ double LatencyRecorder::percentile_ms(double p) const {
 
 std::vector<std::pair<double, double>> LatencyRecorder::cdf(
     std::size_t max_points) const {
-  const auto xs = effective_sorted();
+  const auto& xs = effective_sorted();
   std::vector<std::pair<double, double>> points;
   if (xs.empty()) return points;
   const std::size_t stride = std::max<std::size_t>(1, xs.size() / max_points);
@@ -77,13 +81,34 @@ std::string LatencyRecorder::summary() const {
   return os.str();
 }
 
+void ThroughputMeter::record(Time when) {
+  BZC_EXPECTS(events_.empty() || when >= events_.back());
+  events_.push_back(when);
+}
+
+std::size_t ThroughputMeter::count_in(Time from, Time to) const {
+  const auto lo = std::lower_bound(events_.begin(), events_.end(), from);
+  const auto hi = std::lower_bound(lo, events_.end(), to);
+  return static_cast<std::size_t>(hi - lo);
+}
+
 double ThroughputMeter::rate_per_sec(Time from, Time to) const {
   BZC_EXPECTS(from < to);
-  std::size_t n = 0;
-  for (const auto t : events_) {
-    if (t >= from && t < to) ++n;
+  return static_cast<double>(count_in(from, to)) / to_sec(to - from);
+}
+
+std::vector<std::pair<Time, double>> ThroughputMeter::timeseries(
+    Time from, Time to, Time bucket) const {
+  BZC_EXPECTS(from < to);
+  BZC_EXPECTS(bucket > 0);
+  std::vector<std::pair<Time, double>> out;
+  for (Time start = from; start < to; start += bucket) {
+    const Time end = std::min(start + bucket, to);
+    out.emplace_back(start,
+                     static_cast<double>(count_in(start, end)) /
+                         to_sec(end - start));
   }
-  return static_cast<double>(n) / to_sec(to - from);
+  return out;
 }
 
 }  // namespace byzcast

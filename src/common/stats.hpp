@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,7 +20,10 @@ class LatencyRecorder {
   /// Records a sample taken at `when` with duration `latency`.
   void record(Time when, Time latency);
 
-  void set_warmup(Time cutoff) { warmup_cutoff_ = cutoff; }
+  void set_warmup(Time cutoff) {
+    warmup_cutoff_ = cutoff;
+    cache_valid_ = false;
+  }
 
   [[nodiscard]] std::size_t count() const;
   [[nodiscard]] double mean_ms() const;
@@ -35,7 +39,11 @@ class LatencyRecorder {
   [[nodiscard]] std::string summary() const;
 
  private:
-  [[nodiscard]] std::vector<Time> effective_sorted() const;
+  /// Sorted post-warmup latencies. Cached: summary() asks for this five
+  /// times in a row and benchmarks poll percentiles mid-run, so rebuilding
+  /// (copy + O(n log n) sort) on every call was a hot-path sink. The cache
+  /// is invalidated by record() and set_warmup().
+  [[nodiscard]] const std::vector<Time>& effective_sorted() const;
 
   struct Sample {
     Time when;
@@ -43,21 +51,34 @@ class LatencyRecorder {
   };
   std::vector<Sample> samples_;
   Time warmup_cutoff_ = 0;
+  mutable std::vector<Time> sorted_cache_;
+  mutable bool cache_valid_ = false;
 };
 
 /// Counts completion events and reports a rate over the measurement window
-/// (excluding warm-up and cool-down).
+/// (excluding warm-up and cool-down). Events must be recorded in
+/// nondecreasing time order (simulated time is monotone), which lets every
+/// window query binary-search instead of scanning all events.
 class ThroughputMeter {
  public:
-  void record(Time when) { events_.push_back(when); }
+  void record(Time when);
 
   /// Events per second between `from` and `to` (simulated time).
   [[nodiscard]] double rate_per_sec(Time from, Time to) const;
 
+  /// Sampled rate timeseries: one (bucket_start, events/sec) point per
+  /// `bucket` of simulated time across [from, to). Buckets are half-open;
+  /// a final partial bucket is normalized by its true width.
+  [[nodiscard]] std::vector<std::pair<Time, double>> timeseries(
+      Time from, Time to, Time bucket) const;
+
   [[nodiscard]] std::size_t total() const { return events_.size(); }
 
  private:
-  std::vector<Time> events_;
+  /// Number of events in [from, to), by binary search.
+  [[nodiscard]] std::size_t count_in(Time from, Time to) const;
+
+  std::vector<Time> events_;  // nondecreasing
 };
 
 }  // namespace byzcast

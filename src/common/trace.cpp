@@ -1,0 +1,60 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace byzcast {
+
+const char* to_string(HopEvent e) {
+  switch (e) {
+    case HopEvent::kEnterGroup: return "enter_group";
+    case HopEvent::kOrdered: return "ordered";
+    case HopEvent::kRelayed: return "relayed";
+    case HopEvent::kADelivered: return "a_delivered";
+  }
+  return "?";
+}
+
+void TraceLog::record(const MessageId& msg, GroupId group, ProcessId replica,
+                      HopEvent event, std::uint32_t hop, Time when) {
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(TraceRecord{msg, group, replica, event, hop, when});
+}
+
+std::vector<TraceRecord> TraceLog::path(const MessageId& msg) const {
+  std::map<std::pair<GroupId, HopEvent>, TraceRecord> earliest;
+  for (const auto& r : records_) {
+    if (r.msg != msg) continue;
+    const auto key = std::make_pair(r.group, r.event);
+    const auto it = earliest.find(key);
+    if (it == earliest.end() || r.when < it->second.when) {
+      earliest.insert_or_assign(key, r);
+    }
+  }
+  std::vector<TraceRecord> out;
+  out.reserve(earliest.size());
+  for (const auto& [key, rec] : earliest) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.hop != b.hop) return a.hop < b.hop;
+              return static_cast<int>(a.event) < static_cast<int>(b.event);
+            });
+  return out;
+}
+
+MessageId TraceLog::find_multi_hop(std::size_t min_groups) const {
+  std::map<MessageId, std::set<GroupId>> groups_of;
+  for (const auto& r : records_) {
+    auto& groups = groups_of[r.msg];
+    groups.insert(r.group);
+    if (groups.size() >= min_groups) return r.msg;
+  }
+  return MessageId{};  // origin invalid: no multi-hop trace recorded
+}
+
+}  // namespace byzcast

@@ -1,0 +1,82 @@
+// Hop-level tracing of atomically multicast messages. Every replica that
+// advances a message through Algorithm 1 stamps an event here (keyed by the
+// message's globally unique MessageId), so the full path of a global message
+// down the overlay tree — which group ordered it at which simulated time,
+// where it was relayed, where it was a-delivered — is reconstructable after
+// the run. The log is shared (non-owning pointers) by all nodes of a system,
+// exactly like core::DeliveryLog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast {
+
+class MetricsRegistry;
+
+/// One step of a message's life inside one group, in Algorithm 1 terms.
+enum class HopEvent : std::uint8_t {
+  kEnterGroup,   // first x_k-delivered copy seen at this group (l.5)
+  kOrdered,      // genuinely ordered here: f+1 parent copies or k=0 (l.9)
+  kRelayed,      // forwarded into a child group's broadcast (l.12)
+  kADelivered,   // a-delivered at this destination group (l.14)
+};
+
+[[nodiscard]] const char* to_string(HopEvent e);
+
+struct TraceRecord {
+  MessageId msg;
+  GroupId group;      // where the event happened
+  ProcessId replica;  // which replica stamped it
+  HopEvent event;
+  std::uint32_t hop = 0;  // tree depth below the entry group (from the wire)
+  Time when = 0;
+};
+
+/// Append-only, capacity-bounded event log. When the cap is hit, recording
+/// stops (keeping the earliest messages' traces complete) and the number of
+/// dropped events is counted, so exports can report the truncation instead
+/// of silently presenting partial coverage.
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+  explicit TraceLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void record(const MessageId& msg, GroupId group, ProcessId replica,
+              HopEvent event, std::uint32_t hop, Time when);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Reconstructed path of one message: the earliest stamp per
+  /// (group, event), ordered by time then hop depth. A complete 2-group
+  /// global trace reads enter/ordered at the lca, relayed at the lca, then
+  /// enter/ordered/a-delivered at each destination child.
+  [[nodiscard]] std::vector<TraceRecord> path(const MessageId& msg) const;
+
+  /// Id of some message whose trace contains >= `min_hops` distinct groups
+  /// (a multi-hop, i.e. relayed, message); nullopt-like invalid id if none.
+  [[nodiscard]] MessageId find_multi_hop(std::size_t min_groups = 2) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Bundle of non-owning observability sinks threaded through composition
+/// roots (ByzCastSystem, Simulation). Null members disable that sink; the
+/// default-constructed bundle makes every stamp a no-op.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  TraceLog* trace = nullptr;
+};
+
+}  // namespace byzcast

@@ -18,6 +18,10 @@ struct MulticastMessage {
   MessageId id;                // origin client + client-unique sequence
   std::vector<GroupId> dst;    // sorted, unique, non-empty
   Bytes payload;
+  /// Carried trace record: tree depth below the entry group, incremented by
+  /// each relay hop. Deterministic across the replicas of a group (all
+  /// parent copies agree on it), so reply digests stay quorum-compatible.
+  std::uint32_t hop = 0;
 
   [[nodiscard]] bool is_local() const { return dst.size() == 1; }
   [[nodiscard]] bool is_global() const { return dst.size() > 1; }
@@ -34,6 +38,7 @@ struct MulticastMessage {
     w.message_id(id);
     w.vec(dst, [](Writer& ww, GroupId g) { ww.group_id(g); });
     w.bytes(payload);
+    w.u32(hop);
     return w.take();
   }
 
@@ -43,6 +48,7 @@ struct MulticastMessage {
     m.id = r.message_id();
     m.dst = r.vec<GroupId>([](Reader& rr) { return rr.group_id(); });
     m.payload = r.bytes();
+    m.hop = r.u32();
     return m;
   }
 

@@ -24,12 +24,14 @@ Bytes ack_bytes(const MulticastMessage& m) {
 
 ByzCastNode::ByzCastNode(const OverlayTree& tree,
                          const GroupRegistry& registry, DeliveryLog& log,
-                         bft::FaultSpec faults, Routing routing)
+                         bft::FaultSpec faults, Routing routing,
+                         Observability obs)
     : tree_(tree),
       registry_(registry),
       log_(log),
       faults_(faults),
-      routing_(routing) {}
+      routing_(routing),
+      obs_(obs) {}
 
 bool ByzCastNode::valid_destinations(const MulticastMessage& m) const {
   if (m.dst.empty()) return false;
@@ -40,9 +42,31 @@ bool ByzCastNode::valid_destinations(const MulticastMessage& m) const {
          std::adjacent_find(m.dst.begin(), m.dst.end()) == m.dst.end();
 }
 
+void ByzCastNode::stamp(const MulticastMessage& m, HopEvent event) const {
+  if (obs_.trace == nullptr) return;
+  obs_.trace->record(m.id, ctx_->group(), ctx_->self(), event, m.hop,
+                     ctx_->now());
+}
+
+void ByzCastNode::sweep_stale_copies() {
+  const Time now = ctx_->now();
+  if (now - last_sweep_ < pending_expiry_) return;
+  last_sweep_ = now;
+  // Entries below the f+1 threshold for a whole expiry period are almost
+  // certainly fabricated (no correct parent replica ever relays them, so
+  // they can never complete); reclaim them. A genuine message whose copies
+  // straggle across the cutoff is re-counted from scratch if more copies
+  // arrive — safe, merely slower.
+  std::erase_if(copies_, [&](const auto& entry) {
+    return now - entry.second.first_seen >= pending_expiry_;
+  });
+}
+
 void ByzCastNode::execute(const bft::Request& req) {
   MulticastMessage m = MulticastMessage::decode(req.op);
   if (!valid_destinations(m)) return;
+
+  sweep_stale_copies();
 
   const GroupId my_group = ctx_->group();
   const auto parent = tree_.parent(my_group);
@@ -54,9 +78,13 @@ void ByzCastNode::execute(const bft::Request& req) {
       ctx_->consume_app_cpu(1);  // late duplicate: digest lookup only
       return;
     }
-    auto& senders = copies_[m.id];
-    senders.insert(req.origin);
-    if (static_cast<int>(senders.size()) >= ctx_->f() + 1) {
+    auto& pending = copies_[m.id];
+    if (pending.senders.empty()) {
+      pending.first_seen = ctx_->now();
+      stamp(m, HopEvent::kEnterGroup);
+    }
+    pending.senders.insert(req.origin);
+    if (static_cast<int>(pending.senders.size()) >= ctx_->f() + 1) {
       // (f+1)-th x_k-delivery of m: at least one correct parent replica
       // relayed it, so m was genuinely ordered above us (Algorithm 1 l.9).
       copies_.erase(m.id);
@@ -72,11 +100,27 @@ void ByzCastNode::execute(const bft::Request& req) {
       routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(m.dst);
   if (entry != my_group) return;
   if (handled_.contains(m.id)) return;  // client retransmission
+  stamp(m, HopEvent::kEnterGroup);
   handle(m);
 }
 
 void ByzCastNode::handle(const MulticastMessage& m) {
   handled_.insert(m.id);
+  // Any copies counted before the threshold (or before a direct-path
+  // handle) are no longer needed: late duplicates take the handled_ fast
+  // path and never re-open the entry.
+  copies_.erase(m.id);
+
+  stamp(m, HopEvent::kOrdered);
+  if (obs_.metrics != nullptr) {
+    if (ordered_ctr_ == nullptr) {
+      const std::string g = to_string(ctx_->group());
+      ordered_ctr_ = &obs_.metrics->counter("node.ordered." + g);
+      relayed_ctr_ = &obs_.metrics->counter("node.relayed." + g);
+      adeliver_ctr_ = &obs_.metrics->counter("node.a_deliver." + g);
+    }
+    ordered_ctr_->inc();
+  }
 
   if (!faults_.drop_relays) forward(m);
 
@@ -89,6 +133,7 @@ void ByzCastNode::handle(const MulticastMessage& m) {
         fabricate_counter_};
     fake.dst = m.dst;
     fake.payload = to_bytes("forged");
+    fake.hop = m.hop;
     forward(fake);
   }
 
@@ -98,6 +143,8 @@ void ByzCastNode::handle(const MulticastMessage& m) {
   if (is_destination && !a_delivered_.contains(m.id)) {
     a_delivered_.insert(m.id);
     log_.record(my_group, ctx_->self(), m.id, ctx_->now());
+    stamp(m, HopEvent::kADelivered);
+    if (adeliver_ctr_ != nullptr) adeliver_ctr_->inc();
     // Reply to the multicast origin; clients gather f+1 matching replies
     // from every destination group.
     bft::Request synthetic;
@@ -138,11 +185,15 @@ void ByzCastNode::forward(const MulticastMessage& m) {
 void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m) {
   const auto it = registry_.find(child);
   BZC_ASSERT(it != registry_.end());
+  stamp(m, HopEvent::kRelayed);
+  if (relayed_ctr_ != nullptr) relayed_ctr_->inc();
+  MulticastMessage next_hop = m;
+  ++next_hop.hop;
   bft::Request relay;
   relay.group = child;
   relay.origin = ctx_->self();
   relay.seq = relay_seq_[child]++;
-  relay.op = m.encode();
+  relay.op = next_hop.encode();
   for (const ProcessId replica : it->second.replicas) {
     ctx_->send_request(replica, relay);
   }

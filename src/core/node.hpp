@@ -21,6 +21,8 @@
 #include "bft/application.hpp"
 #include "bft/fault.hpp"
 #include "bft/replica.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/delivery_log.hpp"
 #include "core/multicast.hpp"
 #include "core/tree.hpp"
@@ -56,10 +58,11 @@ class ByzCastNode final : public bft::Application {
  public:
   /// `tree`, `registry` and `log` must outlive the node and are shared by
   /// the whole system. `registry` may still be filling while nodes are
-  /// constructed; it is only read once messages flow.
+  /// constructed; it is only read once messages flow. `obs` sinks (when
+  /// non-null) also must outlive the node.
   ByzCastNode(const OverlayTree& tree, const GroupRegistry& registry,
               DeliveryLog& log, bft::FaultSpec faults,
-              Routing routing = Routing::kGenuine);
+              Routing routing = Routing::kGenuine, Observability obs = {});
 
   void execute(const bft::Request& req) override;
 
@@ -72,23 +75,44 @@ class ByzCastNode final : public bft::Application {
   [[nodiscard]] std::uint64_t a_delivered_count() const {
     return a_delivered_.size();
   }
+  /// Messages still accumulating parent copies (bounded: handled ids are
+  /// dropped immediately and stale ids are swept after `pending_expiry`).
+  [[nodiscard]] std::size_t pending_copy_count() const {
+    return copies_.size();
+  }
+
+  /// How long an id may sit below the f+1 copy threshold before the sweep
+  /// reclaims it. Entries that can still complete are recreated by later
+  /// copies; entries for fabricated messages (never relayed by any correct
+  /// parent replica) are what this bounds. Must be much larger than a
+  /// quorum round-trip so genuine stragglers are not penalized.
+  void set_pending_expiry(Time expiry) { pending_expiry_ = expiry; }
 
  private:
   void handle(const MulticastMessage& m);
   void forward(const MulticastMessage& m);
   void send_copy(GroupId child, const MulticastMessage& m);
   [[nodiscard]] bool valid_destinations(const MulticastMessage& m) const;
+  void sweep_stale_copies();
+  void stamp(const MulticastMessage& m, HopEvent event) const;
 
   const OverlayTree& tree_;
   const GroupRegistry& registry_;
   DeliveryLog& log_;
   bft::FaultSpec faults_;
   Routing routing_;
+  Observability obs_;
 
   // f+1 copy counting (per multicast message, distinct parent replicas).
-  std::unordered_map<MessageId, std::set<ProcessId>> copies_;
+  struct PendingCopies {
+    std::set<ProcessId> senders;
+    Time first_seen = 0;
+  };
+  std::unordered_map<MessageId, PendingCopies> copies_;
   std::unordered_set<MessageId> handled_;
   std::unordered_set<MessageId> a_delivered_;
+  Time pending_expiry_ = 60 * kSecond;
+  Time last_sweep_ = 0;
 
   // One FIFO relay stream per child group.
   std::map<GroupId, std::uint64_t> relay_seq_;
@@ -96,6 +120,12 @@ class ByzCastNode final : public bft::Application {
   // Fault machinery.
   std::uint64_t fabricate_counter_ = 0;
   std::optional<MulticastMessage> front_run_buffer_;
+
+  // Lazily resolved metric handles (need ctx_ for the group label); stable
+  // pointers into obs_.metrics, null when metrics are off.
+  mutable Counter* ordered_ctr_ = nullptr;
+  mutable Counter* relayed_ctr_ = nullptr;
+  mutable Counter* adeliver_ctr_ = nullptr;
 
   ShardApplication* shard_app_ = nullptr;  // non-owning
 };

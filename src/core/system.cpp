@@ -5,9 +5,13 @@
 namespace byzcast::core {
 
 ByzCastSystem::ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
-                             const FaultPlan& faults, Routing routing)
-    : sim_(sim), tree_(std::move(tree)), f_(f), routing_(routing) {
+                             const FaultPlan& faults, Routing routing,
+                             Observability obs)
+    : sim_(sim), tree_(std::move(tree)), f_(f), routing_(routing), obs_(obs) {
   BZC_EXPECTS(tree_.finalized());
+  if (obs_.metrics != nullptr || obs_.trace != nullptr) {
+    sim_.attach_observability(obs_);
+  }
   for (const GroupId g : tree_.all_groups()) {
     const std::vector<bft::FaultSpec> group_faults = faults.for_group(g);
     const bft::AppFactory factory = [this, &group_faults](int index) {
@@ -15,7 +19,7 @@ ByzCastSystem::ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
           group_faults.empty() ? bft::FaultSpec::correct()
                                : group_faults[static_cast<std::size_t>(index)];
       return std::make_unique<ByzCastNode>(tree_, registry_, log_, spec,
-                                           routing_);
+                                           routing_, obs_);
     };
     auto grp = std::make_unique<bft::Group>(sim_, g, f_, factory,
                                             group_faults);

@@ -30,9 +30,12 @@ struct FaultPlan {
 
 class ByzCastSystem {
  public:
+  /// `obs` sinks (when non-null) are shared by every node of the system and
+  /// must outlive it; they are also attached to `sim` so the bft layer can
+  /// publish. Null sinks (the default) disable observability at zero cost.
   ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
                 const FaultPlan& faults = {},
-                Routing routing = Routing::kGenuine);
+                Routing routing = Routing::kGenuine, Observability obs = {});
 
   [[nodiscard]] const OverlayTree& tree() const { return tree_; }
   [[nodiscard]] const GroupRegistry& registry() const { return registry_; }
@@ -53,6 +56,7 @@ class ByzCastSystem {
   OverlayTree tree_;
   int f_;
   Routing routing_;
+  Observability obs_;
   GroupRegistry registry_;
   DeliveryLog log_;
   std::map<GroupId, std::unique_ptr<bft::Group>> groups_;

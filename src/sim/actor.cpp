@@ -31,6 +31,7 @@ void Actor::maybe_drain() {
   WireMessage msg = std::move(inbox_.front());
   inbox_.pop_front();
   const Time cost = service_cost(msg);
+  busy_total_ += cost;
   sim_.scheduler().schedule_after(
       cost, [this, m = std::move(msg)]() mutable {
         if (!crashed_) {
@@ -38,6 +39,7 @@ void Actor::maybe_drain() {
           on_message(m);
           const Time extra = extra_busy_;
           extra_busy_ = 0;
+          busy_total_ += extra;
           if (extra > 0) {
             // Stay busy for the CPU consumed while handling (e.g. sends).
             sim_.scheduler().schedule_after(extra, [this] {

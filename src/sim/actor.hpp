@@ -38,6 +38,13 @@ class Actor {
   void crash() { crashed_ = true; }
   [[nodiscard]] bool crashed() const { return crashed_; }
 
+  // --- observability -------------------------------------------------------
+  /// Messages waiting behind the one currently in service.
+  [[nodiscard]] std::size_t inbox_depth() const { return inbox_.size(); }
+  /// Cumulative CPU time this actor has been busy (service + declared extra
+  /// work). Samplers diff successive readings to get a busy fraction.
+  [[nodiscard]] Time busy_time() const { return busy_total_; }
+
  protected:
   /// Handles one message, after its service time elapsed. The MAC has NOT
   /// been verified; call `verify` if authenticity matters (it always does
@@ -80,6 +87,7 @@ class Actor {
   bool draining_ = false;
   bool crashed_ = false;
   Time extra_busy_ = 0;
+  Time busy_total_ = 0;
 };
 
 }  // namespace byzcast::sim

@@ -1,0 +1,51 @@
+#include "sim/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::sim {
+
+MetricsSampler::MetricsSampler(Simulation& sim, MetricsRegistry& registry,
+                               Time interval)
+    : sim_(sim), registry_(registry), interval_(interval) {
+  BZC_EXPECTS(interval > 0);
+}
+
+void MetricsSampler::watch(Actor& actor, const std::string& label) {
+  Watched w;
+  w.actor = &actor;
+  w.queue_depth = &registry_.timeseries("actor.queue_depth." + label);
+  w.cpu_busy = &registry_.timeseries("actor.cpu_busy." + label);
+  w.last_busy = actor.busy_time();
+  watched_.push_back(w);
+}
+
+void MetricsSampler::start(Time horizon) {
+  sim_.scheduler().schedule_after(interval_, [this, horizon] {
+    tick(horizon);
+  });
+}
+
+void MetricsSampler::tick(Time horizon) {
+  const Time now = sim_.now();
+  ++ticks_;
+  for (auto& w : watched_) {
+    w.queue_depth->append(now, static_cast<double>(w.actor->inbox_depth()));
+    const Time busy = w.actor->busy_time();
+    // Busy time can exceed the interval when a long service period was
+    // accounted at its start; clamp so the fraction stays in [0, 1].
+    const double frac = std::min(
+        1.0, static_cast<double>(busy - w.last_busy) /
+                 static_cast<double>(interval_));
+    w.cpu_busy->append(now, frac);
+    w.last_busy = busy;
+  }
+  if (now + interval_ <= horizon) {
+    sim_.scheduler().schedule_after(interval_, [this, horizon] {
+      tick(horizon);
+    });
+  }
+}
+
+}  // namespace byzcast::sim

@@ -7,6 +7,7 @@
 
 #include "common/auth.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
 #include "sim/profile.hpp"
@@ -34,6 +35,13 @@ class Simulation {
   /// as WAN region assignment (actors receive their pids at construction).
   [[nodiscard]] LatencyModel& latency_model() { return *latency_; }
 
+  /// Attaches observability sinks (owned by the caller, must outlive the
+  /// simulation). Actors and replicas publish through these; by default
+  /// both are null and every stamp is a no-op.
+  void attach_observability(Observability obs) { obs_ = obs; }
+  [[nodiscard]] MetricsRegistry* metrics() const { return obs_.metrics; }
+  [[nodiscard]] TraceLog* trace() const { return obs_.trace; }
+
   /// Derives an independent RNG stream (per-actor randomness).
   [[nodiscard]] Rng fork_rng() { return master_rng_.fork(); }
 
@@ -53,6 +61,7 @@ class Simulation {
   std::unique_ptr<Network> network_;
   std::shared_ptr<KeyStore> keys_;
   std::int32_t next_pid_ = 0;
+  Observability obs_;
 };
 
 }  // namespace byzcast::sim

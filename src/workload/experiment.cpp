@@ -7,6 +7,7 @@
 #include "bft/group.hpp"
 #include "common/contracts.hpp"
 #include "core/system.hpp"
+#include "sim/sampler.hpp"
 #include "sim/simulation.hpp"
 
 namespace byzcast::workload {
@@ -132,6 +133,33 @@ void assign_group_regions(sim::WanLatency& wan,
   }
 }
 
+std::string replica_label(GroupId g, int index) {
+  return to_string(g) + ".r" + std::to_string(index);
+}
+
+/// Per-group a-delivery counters restricted to the measurement window, and
+/// per-replica protocol counters, pulled into the registry after the run.
+void export_run_counters(MetricsRegistry& reg, core::ByzCastSystem& sys,
+                         Time warmup, Time horizon) {
+  for (const auto& rec : sys.delivery_log().records()) {
+    if (rec.when >= warmup && rec.when < horizon) {
+      reg.counter("group.a_deliveries." + to_string(rec.group)).inc();
+    }
+  }
+  for (const auto& [gid, info] : sys.registry()) {
+    auto& grp = sys.group(gid);
+    for (int i = 0; i < grp.n(); ++i) {
+      const auto& rep = grp.replica(i);
+      const std::string label = replica_label(gid, i);
+      reg.counter("replica.executed." + label).inc(rep.executed_requests());
+      reg.counter("replica.decided." + label).inc(rep.decided_instances());
+      reg.gauge("replica.cpu_busy_mean." + label)
+          .set(static_cast<double>(rep.busy_time()) /
+               static_cast<double>(horizon));
+    }
+  }
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
@@ -168,6 +196,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.latency_global.set_warmup(config.warmup);
 
   const Time horizon = config.warmup + config.duration;
+
+  Observability obs;
+  std::unique_ptr<sim::MetricsSampler> sampler;
+  if (config.observability) {
+    result.metrics = std::make_shared<MetricsRegistry>();
+    result.trace = std::make_shared<TraceLog>(config.trace_capacity);
+    obs.metrics = result.metrics.get();
+    obs.trace = result.trace.get();
+    sim->attach_observability(obs);
+    sampler = std::make_unique<sim::MetricsSampler>(*sim, *result.metrics,
+                                                    config.sample_interval);
+  }
   const std::vector<GroupId> targets = make_target_ids(config.num_groups);
   const int total_clients = config.clients_per_group * config.num_groups;
 
@@ -195,9 +235,26 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                               c % wan_model->num_regions())});
       }
     }
+    if (sampler) {
+      for (int i = 0; i < group.n(); ++i) {
+        sampler->watch(group.replica(i), replica_label(group.id(), i));
+      }
+      sampler->start(horizon);
+    }
     for (auto& slot : clients) slot.issue(sinks, *sim, config.payload_size);
     sim->run_until(horizon);
     result.wire_messages = sim->network().messages_sent();
+    if (obs.metrics != nullptr) {
+      for (int i = 0; i < group.n(); ++i) {
+        const auto& rep = group.replica(i);
+        const std::string label = replica_label(group.id(), i);
+        obs.metrics->counter("replica.executed." + label)
+            .inc(rep.executed_requests());
+        obs.metrics->gauge("replica.cpu_busy_mean." + label)
+            .set(static_cast<double>(rep.busy_time()) /
+                 static_cast<double>(horizon));
+      }
+    }
   } else {
     // Assemble the tree-based protocols.
     std::unique_ptr<core::ByzCastSystem> system;
@@ -207,7 +264,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     switch (config.protocol) {
       case Protocol::kByzCast2Level:
         system = std::make_unique<core::ByzCastSystem>(
-            *sim, core::OverlayTree::two_level(targets, aux_root), config.f);
+            *sim, core::OverlayTree::two_level(targets, aux_root), config.f,
+            core::FaultPlan{}, core::Routing::kGenuine, obs);
         sys = system.get();
         break;
       case Protocol::kByzCast3Level: {
@@ -216,17 +274,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         const GroupId h3{config.num_groups + 2};
         system = std::make_unique<core::ByzCastSystem>(
             *sim, core::OverlayTree::three_level(targets, h1, h2, h3),
-            config.f);
+            config.f, core::FaultPlan{}, core::Routing::kGenuine, obs);
         sys = system.get();
         break;
       }
       case Protocol::kBaseline:
         base = std::make_unique<baseline::BaselineSystem>(
-            *sim, targets, aux_root, config.f);
+            *sim, targets, aux_root, config.f, core::FaultPlan{}, obs);
         sys = &base->system();
         break;
       case Protocol::kBftSmart:
         BZC_ASSERT(false);
+    }
+
+    if (sampler) {
+      for (const auto& [gid, info] : sys->registry()) {
+        auto& grp = sys->group(gid);
+        for (int i = 0; i < grp.n(); ++i) {
+          sampler->watch(grp.replica(i), replica_label(gid, i));
+        }
+      }
+      sampler->start(horizon);
     }
 
     std::vector<CoreClientSlot> clients;
@@ -265,12 +333,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
     }
     result.wire_messages = sim->network().messages_sent();
+    if (obs.metrics != nullptr) {
+      export_run_counters(*obs.metrics, *sys, config.warmup, horizon);
+    }
   }
 
   result.throughput = sinks.all.rate_per_sec(config.warmup, horizon);
   result.throughput_local = sinks.local.rate_per_sec(config.warmup, horizon);
   result.throughput_global =
       sinks.global.rate_per_sec(config.warmup, horizon);
+  if (obs.metrics != nullptr) {
+    // Sampled completion-rate timeseries over the measurement window — the
+    // "throughput over time" view that exposes when saturation sets in.
+    auto& ts = obs.metrics->timeseries("workload.throughput.all");
+    for (const auto& [when, rate] :
+         sinks.all.timeseries(config.warmup, horizon,
+                              config.sample_interval)) {
+      ts.append(when, rate);
+    }
+  }
   return result;
 }
 

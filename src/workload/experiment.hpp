@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "workload/generator.hpp"
 
@@ -46,6 +48,14 @@ struct ExperimentConfig {
   Time warmup = 1 * kSecond;
   Time duration = 4 * kSecond;  // measurement window after warmup
   std::uint64_t seed = 42;
+  /// Observability: when true the run publishes per-group counters, hop
+  /// traces and sampled per-replica queue depth / CPU-busy fraction into
+  /// ExperimentResult::metrics / ::trace (see docs/ARCHITECTURE.md,
+  /// "Observability"). Costs a few percent of host time; disable for huge
+  /// parameter sweeps where only end-to-end numbers matter.
+  bool observability = true;
+  Time sample_interval = 100 * kMillisecond;
+  std::size_t trace_capacity = TraceLog::kDefaultCapacity;
 };
 
 struct ExperimentResult {
@@ -58,6 +68,10 @@ struct ExperimentResult {
   std::uint64_t completed = 0;       // total completions (whole run)
   std::uint64_t a_deliveries = 0;    // ByzCast/Baseline only
   std::uint64_t wire_messages = 0;   // network traffic (whole run)
+  /// Populated when config.observability is on (shared_ptr keeps the result
+  /// cheaply copyable); null otherwise.
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<TraceLog> trace;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);

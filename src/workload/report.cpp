@@ -83,6 +83,50 @@ void write_series_csv(const std::string& path,
   }
 }
 
+void write_metrics_sidecar(const std::string& path,
+                           const ExperimentResult& result) {
+  if (!result.metrics) return;
+  auto out = open_csv(path);
+  if (!out) return;
+  out << "{\"summary\":{";
+  out << "\"throughput\":" << result.throughput;
+  out << ",\"throughput_local\":" << result.throughput_local;
+  out << ",\"throughput_global\":" << result.throughput_global;
+  out << ",\"completed\":" << result.completed;
+  out << ",\"a_deliveries\":" << result.a_deliveries;
+  out << ",\"wire_messages\":" << result.wire_messages;
+  out << ",\"latency_mean_ms\":" << result.latency_all.mean_ms();
+  out << ",\"latency_p95_ms\":" << result.latency_all.percentile_ms(95);
+  out << "},\"metrics\":" << result.metrics->to_json();
+
+  out << ",\"trace\":{";
+  if (result.trace) {
+    out << "\"events_recorded\":" << result.trace->records().size();
+    out << ",\"events_dropped\":" << result.trace->dropped();
+    const MessageId pick = result.trace->find_multi_hop();
+    out << ",\"example_multi_hop\":";
+    if (pick.origin.valid()) {
+      out << "{\"msg\":\"" << to_string(pick) << "\",\"hops\":[";
+      bool first = true;
+      for (const auto& rec : result.trace->path(pick)) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"group\":" << rec.group.value
+            << ",\"replica\":" << rec.replica.value << ",\"event\":\""
+            << to_string(rec.event) << "\",\"hop\":" << rec.hop
+            << ",\"t_ms\":" << to_ms(rec.when) << "}";
+      }
+      out << "]}";
+    } else {
+      out << "null";
+    }
+  } else {
+    out << "\"events_recorded\":0,\"events_dropped\":0,"
+           "\"example_multi_hop\":null";
+  }
+  out << "}}\n";
+}
+
 void print_cdf(const std::string& label, const LatencyRecorder& recorder,
                std::size_t max_points) {
   std::printf("%s latency CDF (n=%zu):\n", label.c_str(), recorder.count());

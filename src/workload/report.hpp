@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "workload/experiment.hpp"
 
 namespace byzcast::workload {
 
@@ -34,5 +35,15 @@ void write_cdf_csv(const std::string& path, const LatencyRecorder& recorder,
 void write_series_csv(const std::string& path,
                       const std::vector<std::string>& columns,
                       const std::vector<std::vector<std::string>>& rows);
+
+/// Writes the machine-readable metrics sidecar for one experiment run as
+/// JSON: the whole MetricsRegistry (per-group a-delivery counters,
+/// per-replica CPU-busy / queue-depth timeseries, batch-size histograms),
+/// run summary numbers, and one reconstructed hop trace of a multi-hop
+/// (global) message when the run produced one. Benches emit this next to
+/// their CSVs; tools/plot_benches.py consumes it. No-op (removing any stale
+/// file is NOT attempted) when the run had observability disabled.
+void write_metrics_sidecar(const std::string& path,
+                           const ExperimentResult& result);
 
 }  // namespace byzcast::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 
 namespace byzcast {
@@ -70,6 +72,90 @@ TEST(ThroughputMeter, EmptyWindow) {
   ThroughputMeter meter;
   meter.record(5 * kSecond);
   EXPECT_EQ(meter.rate_per_sec(0, kSecond), 0.0);
+}
+
+// Regression for the sorted-view cache: interleaving record() calls with
+// percentile queries must yield exactly what a fresh recorder (fed the same
+// samples, queried once) computes — the cache may never serve stale data.
+TEST(LatencyRecorder, CachedPercentilesMatchFreshAfterInterleavedRecords) {
+  LatencyRecorder cached;
+  Rng rng(42);
+  std::vector<Time> latencies;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const Time lat = static_cast<Time>(1 + rng.next_below(500)) *
+                       kMillisecond;
+      latencies.push_back(lat);
+      cached.record(/*when=*/round * kSecond + i, lat);
+    }
+    // Query between batches so the cache is rebuilt, then dirtied again.
+    LatencyRecorder fresh;
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+      fresh.record(static_cast<Time>(i), latencies[i]);
+    }
+    for (const double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(cached.percentile_ms(p), fresh.percentile_ms(p))
+          << "round " << round << " p" << p;
+    }
+    EXPECT_DOUBLE_EQ(cached.mean_ms(), fresh.mean_ms()) << "round " << round;
+    EXPECT_EQ(cached.summary(), fresh.summary()) << "round " << round;
+  }
+}
+
+TEST(LatencyRecorder, CacheInvalidatedByWarmupChange) {
+  LatencyRecorder rec;
+  rec.record(1 * kSecond, 100 * kMillisecond);
+  rec.record(11 * kSecond, 10 * kMillisecond);
+  EXPECT_NEAR(rec.mean_ms(), 55.0, 1e-9);  // builds the cache over both
+  rec.set_warmup(10 * kSecond);            // must invalidate it
+  EXPECT_EQ(rec.count(), 1u);
+  EXPECT_NEAR(rec.mean_ms(), 10.0, 1e-9);
+  EXPECT_NEAR(rec.percentile_ms(50), 10.0, 1e-9);
+}
+
+TEST(ThroughputMeter, WindowBoundariesAreHalfOpen) {
+  ThroughputMeter meter;
+  meter.record(0);
+  meter.record(kSecond);          // exactly on the upper bound: excluded
+  meter.record(kSecond);
+  meter.record(2 * kSecond - 1);  // just inside
+  EXPECT_NEAR(meter.rate_per_sec(0, kSecond), 1.0, 1e-9);
+  EXPECT_NEAR(meter.rate_per_sec(kSecond, 2 * kSecond), 3.0, 1e-9);
+}
+
+TEST(ThroughputMeter, TimeseriesBucketsAndPartialTail) {
+  ThroughputMeter meter;
+  // 10 events in [0s,1s), 20 in [1s,2s), 5 in the half-width tail [2s,2.5s).
+  for (int i = 0; i < 10; ++i) meter.record(i * 100 * kMillisecond);
+  for (int i = 0; i < 20; ++i) meter.record(kSecond + i * 50 * kMillisecond);
+  for (int i = 0; i < 5; ++i) {
+    meter.record(2 * kSecond + i * 100 * kMillisecond);
+  }
+  const auto series = meter.timeseries(0, 2500 * kMillisecond, kSecond);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].first, 0);
+  EXPECT_NEAR(series[0].second, 10.0, 1e-9);
+  EXPECT_EQ(series[1].first, kSecond);
+  EXPECT_NEAR(series[1].second, 20.0, 1e-9);
+  EXPECT_EQ(series[2].first, 2 * kSecond);
+  // Partial 0.5 s bucket holding 5 events still reads 10 events/sec.
+  EXPECT_NEAR(series[2].second, 10.0, 1e-9);
+}
+
+TEST(ThroughputMeter, TimeseriesMatchesWindowQueries) {
+  ThroughputMeter meter;
+  Rng rng(7);
+  Time t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<Time>(rng.next_below(3)) * kMillisecond;
+    meter.record(t);
+  }
+  const Time horizon = t + kMillisecond;
+  const auto series = meter.timeseries(0, horizon, 500 * kMillisecond);
+  for (const auto& [start, rate] : series) {
+    const Time end = std::min(start + 500 * kMillisecond, horizon);
+    EXPECT_NEAR(rate, meter.rate_per_sec(start, end), 1e-9);
+  }
 }
 
 }  // namespace

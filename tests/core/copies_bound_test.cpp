@@ -1,0 +1,105 @@
+// Regression tests for the copies_ memory leak: entries that reach the f+1
+// threshold (or a direct-path handle) are erased immediately, and entries
+// that can never complete — fabricated messages relayed by at most f
+// Byzantine parents — are reclaimed by the time-based sweep instead of
+// accumulating for the lifetime of the run.
+#include <gtest/gtest.h>
+
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+
+core::FaultPlan fabricating_aux_replica(int replica_index) {
+  core::FaultPlan plan;
+  std::vector<bft::FaultSpec> faults(4);
+  faults[static_cast<std::size_t>(replica_index)].fabricate_relay = true;
+  plan.by_group[GroupId{testing::kAuxBase}] = faults;
+  return plan;
+}
+
+std::size_t total_pending(ByzCastHarness& h) {
+  std::size_t total = 0;
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    for (int i = 0; i < 4; ++i) {
+      total += h.system.node(g, i).pending_copy_count();
+    }
+  }
+  return total;
+}
+
+TEST(CopiesBound, HandledEntriesErasedInFaultFreeRun) {
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  ByzCastHarness h(cfg);
+  h.run_tracked(4, 10, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 40);
+  // Every global message reached the f+1 threshold and was erased on
+  // handle(); nothing lingers once the run has drained.
+  EXPECT_EQ(total_pending(h), 0u);
+}
+
+TEST(CopiesBound, FabricatedEntriesSweptNotAccumulated) {
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.faults = fabricating_aux_replica(2);
+  ByzCastHarness h(cfg);
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    for (int i = 0; i < 4; ++i) {
+      h.system.node(g, i).set_pending_expiry(10 * kSecond);
+    }
+  }
+  const auto global_pair = [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  };
+  // Wave 1: the Byzantine auxiliary replica fabricates one fake per 3
+  // handled messages; each fake reaches both target groups with a single
+  // sender, so it parks in copies_ below the f+1 threshold.
+  h.run_tracked(4, 30, global_pair, /*horizon=*/120 * kSecond);
+  EXPECT_EQ(h.completions, 120);
+  const std::size_t parked = h.system.node(GroupId{0}, 0).pending_copy_count();
+  EXPECT_GT(parked, 10u);  // ~40 fakes accumulated during the burst
+
+  // Wave 2, issued 120 simulated seconds later: the first execute() at each
+  // target replica runs the lazy sweep, and every wave-1 fake is now far
+  // older than the 10 s expiry. Only wave-2 fabrications may remain.
+  h.run(1, 3, global_pair, /*horizon=*/240 * kSecond);
+  EXPECT_EQ(h.completions, 123);
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    for (int i = 0; i < 4; ++i) {
+      const std::size_t pending = h.system.node(g, i).pending_copy_count();
+      EXPECT_LT(pending, parked) << "group " << g.value << " replica " << i;
+      EXPECT_LE(pending, 4u) << "group " << g.value << " replica " << i;
+    }
+  }
+  for (const auto& rec : h.system.delivery_log().records()) {
+    EXPECT_LT(rec.msg.origin.value, kFabricatedOriginBase);
+  }
+}
+
+TEST(CopiesBound, LateCopiesAfterHandleDoNotReopenEntry) {
+  // With f+1 = 2 of 4 parent replicas sufficient, the remaining 2 copies of
+  // every global message arrive after handle(); the handled_ fast path must
+  // not re-insert into copies_.
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  ByzCastHarness h(cfg);
+  h.run_tracked(2, 20, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  EXPECT_EQ(h.completions, 40);
+  EXPECT_EQ(total_pending(h), 0u);
+  for (const GroupId g : {GroupId{0}, GroupId{1}}) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(h.system.node(g, i).handled_count(), 40u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace byzcast::core

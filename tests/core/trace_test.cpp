@@ -1,0 +1,119 @@
+// Hop tracing end to end: a 2-group global message multicast through the
+// two-level tree must yield exactly the Algorithm 1 path — enter/ordered at
+// the lca (the auxiliary group), a relay into each destination child, then
+// enter/ordered/a-delivered at both children, with the wire hop counter 0 at
+// the lca and 1 below it.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+
+TEST(Trace, TwoGroupGlobalMessagePath) {
+  MetricsRegistry metrics;
+  TraceLog trace;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs = Observability{&metrics, &trace};
+  ByzCastHarness h(cfg);
+  h.run_tracked(1, 1, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}, GroupId{1}};
+  });
+  ASSERT_EQ(h.completions, 1);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  const MessageId id = h.sent[0].id;
+  EXPECT_EQ(trace.find_multi_hop(2), id);
+  EXPECT_EQ(trace.find_multi_hop(3), id);  // lca + both children
+
+  const std::vector<TraceRecord> path = trace.path(id);
+  // 3 events at the lca + 3 at each destination child.
+  ASSERT_EQ(path.size(), 9u);
+
+  const GroupId lca{testing::kAuxBase};
+  const auto expect_hop = [&](std::size_t i, GroupId group, HopEvent event,
+                              std::uint32_t hop) {
+    EXPECT_EQ(path[i].group, group) << "hop " << i;
+    EXPECT_EQ(path[i].event, event) << "hop " << i;
+    EXPECT_EQ(path[i].hop, hop) << "hop " << i;
+    EXPECT_EQ(path[i].msg, id) << "hop " << i;
+  };
+  // The lca's prefix is fully ordered: enter -> ordered -> relayed, hop 0.
+  expect_hop(0, lca, HopEvent::kEnterGroup, 0);
+  expect_hop(1, lca, HopEvent::kOrdered, 0);
+  expect_hop(2, lca, HopEvent::kRelayed, 0);
+
+  // Each child then sees enter -> ordered -> a-delivered at hop 1; the two
+  // children interleave freely, so check per group instead of by index.
+  for (const GroupId child : {GroupId{0}, GroupId{1}}) {
+    std::vector<HopEvent> events;
+    for (std::size_t i = 3; i < path.size(); ++i) {
+      if (path[i].group != child) continue;
+      events.push_back(path[i].event);
+      EXPECT_EQ(path[i].hop, 1u) << "child " << child.value;
+      EXPECT_GE(path[i].when, path[2].when);
+    }
+    EXPECT_EQ(events,
+              (std::vector<HopEvent>{HopEvent::kEnterGroup, HopEvent::kOrdered,
+                                     HopEvent::kADelivered}))
+        << "child " << child.value;
+  }
+
+  // Timestamps along the reconstructed path never go backwards.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LE(path[i - 1].when, path[i].when);
+  }
+
+  // The per-group counters published alongside the trace agree with it:
+  // every replica of every group ordered the one message, and both target
+  // groups a-delivered it (4 replicas each).
+  EXPECT_EQ(metrics.counter("node.ordered.g100").value(), 4u);
+  EXPECT_EQ(metrics.counter("node.ordered.g0").value(), 4u);
+  EXPECT_EQ(metrics.counter("node.a_deliver.g0").value(), 4u);
+  EXPECT_EQ(metrics.counter("node.a_deliver.g1").value(), 4u);
+  EXPECT_EQ(metrics.counter("node.a_deliver.g100").value(), 0u);
+}
+
+TEST(Trace, LocalMessageNeverLeavesItsGroup) {
+  MetricsRegistry metrics;
+  TraceLog trace;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs = Observability{&metrics, &trace};
+  ByzCastHarness h(cfg);
+  h.run_tracked(1, 1, [](int, int, Rng&) {
+    return std::vector<GroupId>{GroupId{0}};
+  });
+  ASSERT_EQ(h.completions, 1);
+
+  // lca({g0}) = g0 itself: a single-group path, all at hop 0, no relay.
+  const std::vector<TraceRecord> path = trace.path(h.sent[0].id);
+  ASSERT_EQ(path.size(), 3u);
+  for (const TraceRecord& rec : path) {
+    EXPECT_EQ(rec.group, GroupId{0});
+    EXPECT_EQ(rec.hop, 0u);
+    EXPECT_NE(rec.event, HopEvent::kRelayed);
+  }
+  EXPECT_FALSE(trace.find_multi_hop(2) == h.sent[0].id);
+}
+
+TEST(Trace, CapacityBoundDropsAreCounted) {
+  TraceLog trace(/*capacity=*/4);
+  const MessageId id{ProcessId{7}, 1};
+  for (int i = 0; i < 10; ++i) {
+    trace.record(id, GroupId{0}, ProcessId{1}, HopEvent::kOrdered, 0,
+                 i * kMillisecond);
+  }
+  EXPECT_EQ(trace.records().size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+}
+
+}  // namespace
+}  // namespace byzcast::core

@@ -23,6 +23,9 @@ struct HarnessConfig {
   core::Routing routing = core::Routing::kGenuine;
   core::FaultPlan faults;
   std::uint64_t seed = 1;
+  /// Optional metric/trace sinks, shared by every node; must outlive the
+  /// harness when set.
+  Observability obs;
 };
 
 /// Auxiliary group ids start at 100 to stay visually distinct from targets.
@@ -54,7 +57,7 @@ class ByzCastHarness {
       : config_(config),
         sim(config.seed, sim::Profile::lan()),
         system(sim, make_tree(config.tree, config.num_targets), config.f,
-               config.faults, config.routing) {}
+               config.faults, config.routing, config.obs) {}
 
   [[nodiscard]] std::vector<GroupId> targets() const {
     return system.tree().target_groups();

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 
 namespace byzcast::workload {
 namespace {
@@ -56,6 +58,48 @@ TEST(Report, CdfCsvWritesFile) {
   std::string line;
   while (std::getline(in, line)) ++lines;
   EXPECT_GT(lines, 5);
+}
+
+TEST(Report, MetricsSidecarWritesObservabilityJson) {
+  ExperimentConfig cfg;
+  cfg.protocol = Protocol::kByzCast2Level;
+  cfg.num_groups = 2;
+  cfg.clients_per_group = 2;
+  cfg.workload.pattern = Pattern::kGlobalUniformPairs;
+  cfg.warmup = 200 * kMillisecond;
+  cfg.duration = 1 * kSecond;
+  cfg.seed = 5;
+  const ExperimentResult result = run_experiment(cfg);
+  ASSERT_NE(result.metrics, nullptr);
+  ASSERT_NE(result.trace, nullptr);
+
+  const std::string path = ::testing::TempDir() + "bzc_metrics_test.json";
+  write_metrics_sidecar(path, result);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Acceptance-criterion contents: per-group a-delivery counters, per-replica
+  // CPU-busy fractions, and a reconstructed multi-hop trace.
+  EXPECT_NE(json.find("\"group.a_deliveries.g0\""), std::string::npos);
+  EXPECT_NE(json.find("\"group.a_deliveries.g1\""), std::string::npos);
+  EXPECT_NE(json.find("\"replica.cpu_busy_mean.g0.r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"actor.queue_depth.g0.r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"example_multi_hop\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_delivered\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, MetricsSidecarIsNoOpWithoutObservability) {
+  ExperimentResult result;  // metrics/trace left null
+  const std::string path =
+      ::testing::TempDir() + "bzc_metrics_absent_test.json";
+  write_metrics_sidecar(path, result);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
 }
 
 TEST(Report, SeriesCsvWritesRows) {

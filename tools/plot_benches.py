@@ -5,9 +5,13 @@ Usage:
     python3 tools/plot_benches.py [bench_csv_dir] [output_dir]
 
 Produces one PNG per CSV: CDFs as step plots, series tables as grouped line
-charts. Requires matplotlib; degrades to a listing when it is missing.
+charts. Also parses the *_metrics.json observability sidecars (summaries,
+per-group a-delivery counters, CPU-busy / queue-depth timeseries, example
+multi-hop trace) and plots the timeseries. Requires matplotlib; degrades to
+a listing when it is missing.
 """
 import csv
+import json
 import os
 import sys
 
@@ -18,6 +22,75 @@ def load(path):
     return rows[0], rows[1:]
 
 
+def load_sidecar(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def summarize_sidecar(name, doc):
+    """Prints a compact human summary of one *_metrics.json sidecar."""
+    print(f"\n{name}:")
+    summary = doc.get("summary", {})
+    if summary:
+        thr = summary.get("throughput")
+        lat = summary.get("latency_mean_ms")
+        print(f"  throughput: {thr:.0f} msg/s, mean latency {lat:.2f} ms"
+              if thr is not None and lat is not None else f"  summary: {summary}")
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    adeliv = {k: v for k, v in counters.items()
+              if k.startswith("group.a_deliveries.")}
+    if adeliv:
+        parts = ", ".join(f"{k.rsplit('.', 1)[-1]}={v}"
+                          for k, v in sorted(adeliv.items()))
+        print(f"  a-deliveries per group: {parts}")
+    gauges = metrics.get("gauges", {})
+    busy = {k: v for k, v in gauges.items()
+            if k.startswith("replica.cpu_busy_mean.")}
+    if busy:
+        mean = sum(busy.values()) / len(busy)
+        peak = max(busy.values())
+        print(f"  replica CPU busy: mean {mean:.1%}, peak {peak:.1%} "
+              f"({len(busy)} replicas)")
+    trace = doc.get("trace", {})
+    hops = (trace.get("example_multi_hop") or {}).get("hops", [])
+    if hops:
+        path = " -> ".join(f"{h['event']}@{h['group']}" for h in hops)
+        print(f"  example trace ({len(hops)} hops): {path}")
+    dropped = trace.get("events_dropped", 0)
+    if dropped:
+        print(f"  WARNING: {dropped} trace events dropped (capacity)")
+
+
+def plot_sidecar_timeseries(name, doc, dst, plt):
+    """One PNG per sidecar: CPU-busy (top) and queue-depth (bottom) samples."""
+    ts = doc.get("metrics", {}).get("timeseries", {})
+    busy = {k: v for k, v in ts.items() if k.startswith("actor.cpu_busy.")}
+    depth = {k: v for k, v in ts.items() if k.startswith("actor.queue_depth.")}
+    if not busy and not depth:
+        return
+    fig, axes = plt.subplots(2, 1, figsize=(7, 6), sharex=True)
+    for ax, series, ylabel in ((axes[0], busy, "CPU busy fraction"),
+                               (axes[1], depth, "inbox queue depth")):
+        for key in sorted(series):
+            points = series[key]
+            xs = [p[0] / 1000.0 for p in points]  # ms -> s
+            ys = [p[1] for p in points]
+            ax.plot(xs, ys, linewidth=0.8, label=key.rsplit(".", 2)[-2] + "." +
+                    key.rsplit(".", 1)[-1])
+        ax.set_ylabel(ylabel)
+        ax.grid(True, alpha=0.3)
+        if len(series) <= 12 and series:
+            ax.legend(fontsize=6, ncol=4)
+    axes[1].set_xlabel("time (s)")
+    axes[0].set_title(name.replace(".json", ""))
+    out = os.path.join(dst, name.replace(".json", ".png"))
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 def main():
     src = sys.argv[1] if len(sys.argv) > 1 else "bench_csv"
     dst = sys.argv[2] if len(sys.argv) > 2 else "bench_plots"
@@ -25,9 +98,20 @@ def main():
         print(f"no {src}/ directory — run the bench binaries first")
         return 1
     files = sorted(f for f in os.listdir(src) if f.endswith(".csv"))
-    if not files:
-        print(f"no CSV files in {src}/")
+    sidecars = sorted(f for f in os.listdir(src)
+                      if f.endswith("_metrics.json"))
+    if not files and not sidecars:
+        print(f"no CSV or metrics files in {src}/")
         return 1
+
+    docs = {}
+    for name in sidecars:
+        try:
+            docs[name] = load_sidecar(os.path.join(src, name))
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"skipping malformed sidecar {name}: {err}")
+    for name, doc in docs.items():
+        summarize_sidecar(name, doc)
 
     try:
         import matplotlib
@@ -35,8 +119,8 @@ def main():
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
-        print("matplotlib not installed; CSV files available:")
-        for f in files:
+        print("\nmatplotlib not installed; files available:")
+        for f in files + sidecars:
             print(" ", os.path.join(src, f))
         return 0
 
@@ -73,6 +157,9 @@ def main():
         fig.savefig(out, dpi=120)
         plt.close(fig)
         print("wrote", out)
+
+    for name, doc in docs.items():
+        plot_sidecar_timeseries(name, doc, dst, plt)
     return 0
 
 
