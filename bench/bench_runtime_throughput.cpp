@@ -1,0 +1,212 @@
+// Wall-clock throughput of the runtime backend: real msgs/s sustained by
+// closed-loop clients over 1..N target groups at f=1, local-only and mixed
+// (50% global pairs) workloads, on real threads (thread-per-group + one
+// client worker). The simulator's counterpart figures are Fig. 4/5; here the
+// numbers are host-dependent wall-clock measurements, not simulated-time
+// reproductions — the point is exercising the concurrent backend end to end
+// and giving the optimizer a real-hardware reference curve.
+//
+// Emits bench_csv/runtime_throughput.csv (series), the standard metrics
+// sidecar bench_csv/runtime_metrics.json (from the largest mixed config),
+// and BENCH_runtime.json (machine-readable summary of every config).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/tree.hpp"
+#include "runtime/parallel_system.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+constexpr int kClients = 2;
+constexpr int kMsgsPerClient = 150;
+constexpr std::size_t kPayload = 64;
+
+struct ConfigResult {
+  int groups = 0;
+  std::string pattern;
+  std::size_t workers = 0;
+  int completed = 0;
+  double elapsed_ms = 0.0;
+  double throughput = 0.0;  // client completions / wall second
+  double latency_mean_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t wire_messages = 0;
+};
+
+core::OverlayTree make_tree(int groups) {
+  std::vector<GroupId> targets;
+  for (int i = 0; i < groups; ++i) targets.push_back(GroupId{i});
+  return groups == 1 ? core::OverlayTree::single(targets[0])
+                     : core::OverlayTree::two_level(targets, GroupId{100});
+}
+
+/// Runs one closed-loop configuration; `global_fraction` of messages go to
+/// a random pair of distinct groups, the rest to one random group. When
+/// `sidecar` is non-null the run records observability into it.
+ConfigResult run_config(int groups, double global_fraction,
+                        workload::ExperimentResult* sidecar) {
+  runtime::ParallelOptions opts;
+  opts.runtime.seed = 97;
+  if (sidecar != nullptr) {
+    sidecar->metrics = std::make_shared<MetricsRegistry>();
+    sidecar->trace = std::make_shared<TraceLog>();
+    opts.obs = Observability{sidecar->metrics.get(), sidecar->trace.get()};
+  }
+  runtime::ParallelSystem system(make_tree(groups), /*f=*/1, opts);
+
+  std::vector<core::Client*> clients;
+  std::vector<Rng> rngs;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(&system.add_client("client" + std::to_string(c)));
+    rngs.push_back(system.env().fork_rng());
+  }
+
+  const Bytes payload(kPayload, std::uint8_t{0xab});
+  const int total = kClients * kMsgsPerClient;
+  std::vector<int> sent(kClients, 0);  // each slot touched by one worker
+  std::atomic<int> done{0};
+  std::mutex lat_mu;
+  LatencyRecorder latency;
+
+  // issue(c) always runs on client c's worker, so the re-issue from the
+  // completion callback may call a_multicast directly.
+  std::function<void(int)> issue = [&](int c) {
+    auto& count = sent[static_cast<std::size_t>(c)];
+    if (count == kMsgsPerClient) return;
+    ++count;
+    Rng& rng = rngs[static_cast<std::size_t>(c)];
+    std::vector<GroupId> dst;
+    if (groups > 1 && rng.next_bool(global_fraction)) {
+      const auto a = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(groups)));
+      const auto b = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(groups - 1)));
+      dst = {GroupId{a}, GroupId{b < a ? b : b + 1}};
+    } else {
+      dst = {GroupId{static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(groups)))}};
+    }
+    clients[static_cast<std::size_t>(c)]->a_multicast(
+        std::move(dst), payload,
+        [&, c](const core::MulticastMessage&, Time lat) {
+          {
+            const std::lock_guard<std::mutex> lock(lat_mu);
+            latency.record(system.env().now(), lat);
+          }
+          done.fetch_add(1);
+          issue(c);
+        });
+  };
+
+  system.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    system.env().run_on(clients[static_cast<std::size_t>(c)]->id(),
+                        [&issue, c] { issue(c); });
+  }
+  const auto deadline = t0 + std::chrono::minutes(5);
+  while (done.load() < total && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  system.stop();
+
+  ConfigResult r;
+  r.groups = groups;
+  r.pattern = global_fraction > 0.0 ? "mixed" : "local";
+  r.workers = system.env().executor().workers();
+  r.completed = done.load();
+  r.elapsed_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.throughput = r.completed / (r.elapsed_ms / 1000.0);
+  r.latency_mean_ms = latency.mean_ms();
+  r.latency_p95_ms = latency.percentile_ms(95);
+  r.deliveries = system.delivery_log().total_deliveries();
+  r.wire_messages = system.env().network().sent();
+  if (sidecar != nullptr) {
+    sidecar->throughput = r.throughput;
+    sidecar->completed = static_cast<std::uint64_t>(r.completed);
+    sidecar->a_deliveries = r.deliveries;
+    sidecar->wire_messages = r.wire_messages;
+    sidecar->latency_all = latency;
+  }
+  return r;
+}
+
+void write_bench_json(const std::vector<ConfigResult>& results) {
+  std::ofstream out("BENCH_runtime.json");
+  if (!out) return;
+  out << "{\"bench\":\"runtime_throughput\",\"backend\":\"runtime\","
+      << "\"f\":1,\"clients\":" << kClients
+      << ",\"msgs_per_client\":" << kMsgsPerClient << ",\"configs\":[";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"groups\":" << r.groups << ",\"pattern\":\"" << r.pattern
+        << "\",\"workers\":" << r.workers << ",\"completed\":" << r.completed
+        << ",\"elapsed_ms\":" << r.elapsed_ms
+        << ",\"throughput_msgs_s\":" << r.throughput
+        << ",\"latency_mean_ms\":" << r.latency_mean_ms
+        << ",\"latency_p95_ms\":" << r.latency_p95_ms
+        << ",\"a_deliveries\":" << r.deliveries
+        << ",\"wire_messages\":" << r.wire_messages << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+int main() {
+  using workload::fmt;
+  workload::print_header(
+      "Runtime backend: wall-clock throughput, 1..4 groups, f=1");
+
+  std::vector<ConfigResult> results;
+  workload::ExperimentResult probe;
+  std::vector<std::vector<std::string>> rows;
+  for (const int groups : {1, 2, 4}) {
+    const auto local = run_config(groups, 0.0, nullptr);
+    results.push_back(local);
+    std::vector<std::string> row = {std::to_string(groups),
+                                    fmt(local.throughput, 0)};
+    if (groups > 1) {
+      // The 4-group mixed run feeds the observability sidecar.
+      const auto mixed =
+          run_config(groups, 0.5, groups == 4 ? &probe : nullptr);
+      results.push_back(mixed);
+      row.push_back(fmt(mixed.throughput, 0));
+    } else {
+      row.push_back("-");
+    }
+    rows.push_back(row);
+  }
+  workload::print_table({"groups", "local msgs/s", "mixed msgs/s"}, rows);
+
+  const auto& last = results.back();
+  std::printf(
+      "\n%d-group mixed run: %zu workers, %d msgs in %.0f ms "
+      "(mean %.2f ms, p95 %.2f ms). Wall-clock numbers are host-dependent; "
+      "compare shapes, not absolutes, against the simulated Fig. 4/5.\n",
+      last.groups, last.workers, last.completed, last.elapsed_ms,
+      last.latency_mean_ms, last.latency_p95_ms);
+
+  workload::write_series_csv("bench_csv/runtime_throughput.csv",
+                             {"groups", "local msgs/s", "mixed msgs/s"},
+                             rows);
+  workload::write_metrics_sidecar("bench_csv/runtime_metrics.json", probe);
+  write_bench_json(results);
+  return 0;
+}

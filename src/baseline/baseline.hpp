@@ -20,10 +20,10 @@ namespace byzcast::baseline {
 class BaselineSystem {
  public:
   /// One auxiliary root `aux_root` ordering all traffic for `targets`.
-  BaselineSystem(sim::Simulation& sim, const std::vector<GroupId>& targets,
+  BaselineSystem(sim::ExecutionEnv& env, const std::vector<GroupId>& targets,
                  GroupId aux_root, int f,
                  const core::FaultPlan& faults = {}, Observability obs = {})
-      : system_(sim, core::OverlayTree::two_level(targets, aux_root), f,
+      : system_(env, core::OverlayTree::two_level(targets, aux_root), f,
                 faults, core::Routing::kViaRoot, obs) {}
 
   [[nodiscard]] core::ByzCastSystem& system() { return system_; }

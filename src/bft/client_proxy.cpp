@@ -4,10 +4,10 @@
 
 namespace byzcast::bft {
 
-ClientProxy::ClientProxy(sim::Simulation& sim, GroupInfo group,
+ClientProxy::ClientProxy(sim::ExecutionEnv& env, GroupInfo group,
                          std::string name)
-    : Actor(sim, std::move(name)), group_(std::move(group)) {
-  retry_interval_ = 2 * sim.profile().leader_timeout;
+    : Actor(env, std::move(name)), group_(std::move(group)) {
+  retry_interval_ = 2 * env.profile().leader_timeout;
 }
 
 void ClientProxy::invoke(Bytes op, Completion on_done) {
@@ -41,7 +41,7 @@ void ClientProxy::arm_retry(std::uint64_t seq) {
 }
 
 Time ClientProxy::service_cost(const sim::WireMessage&) const {
-  return sim().profile().cpu_client_reply;
+  return env().profile().cpu_client_reply;
 }
 
 void ClientProxy::on_message(const sim::WireMessage& msg) {

@@ -20,7 +20,7 @@ class ClientProxy final : public sim::Actor {
  public:
   using Completion = std::function<void(const Bytes& result, Time latency)>;
 
-  ClientProxy(sim::Simulation& sim, GroupInfo group, std::string name);
+  ClientProxy(sim::ExecutionEnv& env, GroupInfo group, std::string name);
 
   /// Broadcasts `op` in the group; at most one invocation may be outstanding
   /// (closed loop), which is how the paper's clients behave.

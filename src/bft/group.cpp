@@ -4,7 +4,7 @@
 
 namespace byzcast::bft {
 
-Group::Group(sim::Simulation& sim, GroupId id, int f,
+Group::Group(sim::ExecutionEnv& env, GroupId id, int f,
              const AppFactory& make_app,
              const std::vector<FaultSpec>& faults) {
   BZC_EXPECTS(f >= 1);
@@ -19,7 +19,7 @@ Group::Group(sim::Simulation& sim, GroupId id, int f,
         faults.empty() ? FaultSpec::correct()
                        : faults[static_cast<std::size_t>(i)];
     replicas_.push_back(
-        std::make_unique<Replica>(sim, id, f, i, make_app(i), spec));
+        std::make_unique<Replica>(env, id, f, i, make_app(i), spec));
     info_.replicas.push_back(replicas_.back()->id());
   }
   for (auto& replica : replicas_) replica->start(info_);
@@ -30,11 +30,11 @@ void Group::set_admin(ProcessId admin) {
   for (auto& replica : replicas_) replica->set_admin(admin);
 }
 
-int Group::add_standby(sim::Simulation& sim,
+int Group::add_standby(sim::ExecutionEnv& env,
                        std::unique_ptr<Application> app) {
   const int index = static_cast<int>(replicas_.size());
   replicas_.push_back(std::make_unique<Replica>(
-      sim, info_.id, info_.f, index, std::move(app), FaultSpec::correct()));
+      env, info_.id, info_.f, index, std::move(app), FaultSpec::correct()));
   if (admin_.valid()) replicas_.back()->set_admin(admin_);
   replicas_.back()->start_standby(info_);
   return index;

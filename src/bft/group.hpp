@@ -10,7 +10,7 @@
 #include "bft/application.hpp"
 #include "bft/fault.hpp"
 #include "bft/replica.hpp"
-#include "sim/simulation.hpp"
+#include "sim/env.hpp"
 
 namespace byzcast::bft {
 
@@ -19,7 +19,7 @@ class Group {
   /// Creates and starts 3f+1 replicas. `faults[i]` (when provided) applies
   /// to replica i; at most f replicas should be faulty for the protocol's
   /// guarantees to hold.
-  Group(sim::Simulation& sim, GroupId id, int f, const AppFactory& make_app,
+  Group(sim::ExecutionEnv& env, GroupId id, int f, const AppFactory& make_app,
         const std::vector<FaultSpec>& faults = {});
 
   /// The INITIAL membership (what clients are configured with). After a
@@ -44,7 +44,7 @@ class Group {
 
   /// Creates a standby replica (not in the membership) that can be swapped
   /// in by an ordered reconfiguration. Returns its index (>= n()).
-  int add_standby(sim::Simulation& sim, std::unique_ptr<Application> app);
+  int add_standby(sim::ExecutionEnv& env, std::unique_ptr<Application> app);
 
  private:
   GroupInfo info_;

@@ -7,9 +7,9 @@
 
 namespace byzcast::bft {
 
-Replica::Replica(sim::Simulation& sim, GroupId group, int f, int index,
+Replica::Replica(sim::ExecutionEnv& env, GroupId group, int f, int index,
                  std::unique_ptr<Application> app, FaultSpec faults)
-    : Actor(sim, to_string(group) + "/r" + std::to_string(index)),
+    : Actor(env, to_string(group) + "/r" + std::to_string(index)),
       group_(group),
       f_(f),
       index_(index),
@@ -106,7 +106,7 @@ void Replica::broadcast(const Bytes& payload) {
 
 Time Replica::service_cost(const sim::WireMessage& msg) const {
   if (msg.payload.empty()) return 0;
-  const auto& pr = sim().profile();
+  const auto& pr = env().profile();
   switch (peek_type(msg.payload)) {
     case MsgType::kRequest:
       return pr.cpu_request_admission;
@@ -197,7 +197,7 @@ void Replica::maybe_start_consensus() {
   // same consensus instance (BFT-SMaRt's batching behaviour), and a single
   // client's latency includes the leader's proposal work.
   propose_scheduled_ = true;
-  schedule_in(sim().profile().cpu_propose_fixed, [this] {
+  schedule_in(env().profile().cpu_propose_fixed, [this] {
     propose_scheduled_ = false;
     if (crashed()) return;
     do_propose();
@@ -207,7 +207,7 @@ void Replica::maybe_start_consensus() {
 void Replica::do_propose() {
   if (!is_leader() || !view_active_ || open_.has_value() || pending_.empty())
     return;
-  const auto& pr = sim().profile();
+  const auto& pr = env().profile();
   Batch batch;
   const std::size_t take =
       std::min<std::size_t>(pending_.size(), pr.batch_max);
@@ -329,7 +329,7 @@ void Replica::decide(Batch batch) {
   log_.push_back(batch);
   ++next_instance_;
 
-  if (MetricsRegistry* reg = sim().metrics()) {
+  if (MetricsRegistry* reg = env().metrics()) {
     if (batch_size_hist_ == nullptr) {
       batch_size_hist_ = &reg->histogram(
           "replica.batch_size." + to_string(group_),
@@ -403,7 +403,7 @@ void Replica::execute_one(const Request& req) {
   w.bytes(req.op);
   history_digest_ = Sha256::hash(w.data());
 
-  consume_cpu(sim().profile().cpu_execute_per_msg);
+  consume_cpu(env().profile().cpu_execute_per_msg);
   if (req.reconfig) {
     apply_reconfig(req);
   } else {
@@ -433,7 +433,7 @@ void Replica::apply_reconfig(const Request& req) {
 }
 
 void Replica::maybe_checkpoint() {
-  if (log_.size() < sim().profile().checkpoint_period) return;
+  if (log_.size() < env().profile().checkpoint_period) return;
   checkpoint_snapshot_ = make_snapshot();
   checkpoint_instance_ = next_instance_;
   log_base_ = next_instance_;
@@ -460,7 +460,7 @@ void Replica::send_request(ProcessId to, const Request& req) {
 // --- view change --------------------------------------------------------------
 
 void Replica::arm_liveness_timer() {
-  const Time period = sim().profile().leader_timeout / 2;
+  const Time period = env().profile().leader_timeout / 2;
   schedule_in(period, [this] {
     if (crashed()) return;
     on_liveness_check();
@@ -469,7 +469,7 @@ void Replica::arm_liveness_timer() {
 }
 
 void Replica::on_liveness_check() {
-  const Time timeout = sim().profile().leader_timeout;
+  const Time timeout = env().profile().leader_timeout;
   // Anti-entropy: credible evidence says the group decided past us, and the
   // earlier (rate-limited) transfer did not close the gap — retry.
   if (max_seen_instance_ > next_instance_) {
@@ -629,7 +629,7 @@ void Replica::leader_try_sync() {
   if (!has_chosen) {
     // Fresh batch from pending requests (possibly empty: a no-op instance
     // that simply re-activates the view).
-    const auto& pr = sim().profile();
+    const auto& pr = env().profile();
     const std::size_t take =
         std::min<std::size_t>(pending_.size(), pr.batch_max);
     chosen.reserve(take);

@@ -28,7 +28,7 @@
 #include "bft/message.hpp"
 #include "common/metrics.hpp"
 #include "sim/actor.hpp"
-#include "sim/simulation.hpp"
+#include "sim/env.hpp"
 
 namespace byzcast::bft {
 
@@ -47,7 +47,7 @@ struct GroupInfo {
 
 class Replica final : public sim::Actor, public ReplicaContext {
  public:
-  Replica(sim::Simulation& sim, GroupId group, int f, int index,
+  Replica(sim::ExecutionEnv& env, GroupId group, int f, int index,
           std::unique_ptr<Application> app, FaultSpec faults);
 
   /// Wires the full membership once all replicas of the group exist, and

@@ -13,29 +13,48 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++total_;
   sum_ += v;
 }
 
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(name, Histogram(std::move(bounds)))
-      .first->second;
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
 }
 
 Timeseries& MetricsRegistry::timeseries(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   return timeseries_[name];
 }
 

@@ -4,12 +4,22 @@
 // resolve a metric once by name (map lookup + string build) and then hold a
 // pointer, so recording is an increment / push_back with no hashing.
 //
+// Concurrency: recording is safe from multiple threads (the wall-clock
+// runtime backend records from every worker). Counters and gauges are
+// relaxed atomics; histogram and timeseries recording and metric resolution
+// take a small mutex. Readers (value(), counts(), to_json(), ...) are meant
+// for after the recording threads have quiesced — they see a consistent
+// snapshot then; mid-run reads are safe but may interleave with writers.
+// The single-threaded simulator pays one uncontended atomic/lock per record.
+//
 // Export is deterministic (std::map iteration order) so two runs with the
 // same seed produce byte-identical sidecars.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,21 +31,27 @@ namespace byzcast {
 /// Monotonically increasing event count.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written value (e.g. an instantaneous queue depth).
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
@@ -48,30 +64,36 @@ class Histogram {
   void observe(double v);
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
-  /// bounds().size() + 1 entries; the last is the overflow bucket.
-  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
-    return counts_;
-  }
-  [[nodiscard]] std::uint64_t count() const { return total_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  /// Snapshot of the bucket counts: bounds().size() + 1 entries; the last is
+  /// the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   double sum_ = 0.0;
 };
 
-/// Append-only (time, value) series; times must be nondecreasing (simulated
-/// time is monotone), which the exporters rely on.
+/// Append-only (time, value) series; times must be nondecreasing per
+/// recording thread (simulated time is monotone; the wall clock too), which
+/// the exporters rely on.
 class Timeseries {
  public:
-  void append(Time when, double value) { points_.emplace_back(when, value); }
+  void append(Time when, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    points_.emplace_back(when, value);
+  }
+  /// Read after recording has quiesced.
   [[nodiscard]] const std::vector<std::pair<Time, double>>& points() const {
     return points_;
   }
 
  private:
+  std::mutex mu_;
   std::vector<std::pair<Time, double>> points_;
 };
 
@@ -82,6 +104,7 @@ class MetricsRegistry {
  public:
   /// Each accessor creates the metric on first use and returns a stable
   /// reference (std::map nodes never move), so callers may cache pointers.
+  /// Resolution is thread-safe; it is a cold path (callers cache).
   [[nodiscard]] Counter& counter(const std::string& name);
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] Histogram& histogram(const std::string& name,
@@ -106,6 +129,7 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
  private:
+  mutable std::mutex mu_;  // guards map insertion only
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

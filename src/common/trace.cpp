@@ -18,6 +18,7 @@ const char* to_string(HopEvent e) {
 
 void TraceLog::record(const MessageId& msg, GroupId group, ProcessId replica,
                       HopEvent event, std::uint32_t hop, Time when) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (records_.size() >= capacity_) {
     ++dropped_;
     return;

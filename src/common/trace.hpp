@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,10 @@ struct TraceRecord {
 /// stops (keeping the earliest messages' traces complete) and the number of
 /// dropped events is counted, so exports can report the truncation instead
 /// of silently presenting partial coverage.
+///
+/// record() is safe from multiple threads (wall-clock runtime workers stamp
+/// concurrently); the readers return references / scan the log and must only
+/// run after recording has quiesced.
 class TraceLog {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 18;
@@ -50,6 +55,7 @@ class TraceLog {
   void record(const MessageId& msg, GroupId group, ProcessId replica,
               HopEvent event, std::uint32_t hop, Time when);
 
+  /// Read after recording has quiesced.
   [[nodiscard]] const std::vector<TraceRecord>& records() const {
     return records_;
   }
@@ -66,6 +72,7 @@ class TraceLog {
   [[nodiscard]] MessageId find_multi_hop(std::size_t min_groups = 2) const;
 
  private:
+  std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceRecord> records_;
   std::uint64_t dropped_ = 0;

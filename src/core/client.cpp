@@ -4,14 +4,14 @@
 
 namespace byzcast::core {
 
-Client::Client(sim::Simulation& sim, const OverlayTree& tree,
+Client::Client(sim::ExecutionEnv& env, const OverlayTree& tree,
                const GroupRegistry& registry, std::string name,
                Routing routing)
-    : Actor(sim, std::move(name)),
+    : Actor(env, std::move(name)),
       tree_(tree),
       registry_(registry),
       routing_(routing) {
-  retry_interval_ = 2 * sim.profile().leader_timeout;
+  retry_interval_ = 2 * env.profile().leader_timeout;
 }
 
 void Client::a_multicast(std::vector<GroupId> dst, Bytes payload,
@@ -58,7 +58,7 @@ void Client::arm_retry(std::uint64_t uid) {
 }
 
 Time Client::service_cost(const sim::WireMessage&) const {
-  return sim().profile().cpu_client_reply;
+  return env().profile().cpu_client_reply;
 }
 
 void Client::on_message(const sim::WireMessage& msg) {

@@ -25,7 +25,7 @@ class Client final : public sim::Actor {
   using Completion =
       std::function<void(const MulticastMessage& m, Time latency)>;
 
-  Client(sim::Simulation& sim, const OverlayTree& tree,
+  Client(sim::ExecutionEnv& env, const OverlayTree& tree,
          const GroupRegistry& registry, std::string name,
          Routing routing = Routing::kGenuine);
 

@@ -1,8 +1,15 @@
 // Global record of every a-deliver event in a run. Shared (non-owning) by
 // all ByzCast nodes of a system; tests use it to check the five atomic
 // multicast properties and benchmarks use it for throughput accounting.
+//
+// Concurrency: record() and total_deliveries() are safe from multiple
+// threads (replicas on the wall-clock runtime backend record concurrently,
+// and the driving thread polls total_deliveries() for quiescence). The
+// structural readers — records(), sequence() — return references into the
+// log and must only be called after the recording threads have quiesced.
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -20,27 +27,36 @@ struct DeliveryRecord {
 class DeliveryLog {
  public:
   void record(GroupId group, ProcessId replica, MessageId msg, Time when) {
+    const std::lock_guard<std::mutex> lock(mu_);
     records_.push_back(DeliveryRecord{group, replica, msg, when});
     by_replica_[replica].push_back(msg);
   }
 
+  /// Read after recording has quiesced.
   [[nodiscard]] const std::vector<DeliveryRecord>& records() const {
     return records_;
   }
 
-  /// a-delivery sequence of one replica, in delivery order.
+  /// a-delivery sequence of one replica, in delivery order. Read after
+  /// recording has quiesced.
   [[nodiscard]] const std::vector<MessageId>& sequence(
       ProcessId replica) const {
-    static const std::vector<MessageId> kEmpty;
     const auto it = by_replica_.find(replica);
     return it == by_replica_.end() ? kEmpty : it->second;
   }
 
+  /// Safe mid-run: the quiescence poll of the runtime backend.
   [[nodiscard]] std::size_t total_deliveries() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return records_.size();
   }
 
  private:
+  // A plain static member, not a function-local static: the miss path of
+  // sequence() must not go through a magic-static initialization guard.
+  inline static const std::vector<MessageId> kEmpty{};
+
+  mutable std::mutex mu_;
   std::vector<DeliveryRecord> records_;
   std::unordered_map<ProcessId, std::vector<MessageId>> by_replica_;
 };

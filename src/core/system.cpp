@@ -4,15 +4,18 @@
 
 namespace byzcast::core {
 
-ByzCastSystem::ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
+ByzCastSystem::ByzCastSystem(sim::ExecutionEnv& env, OverlayTree tree, int f,
                              const FaultPlan& faults, Routing routing,
                              Observability obs)
-    : sim_(sim), tree_(std::move(tree)), f_(f), routing_(routing), obs_(obs) {
+    : env_(env), tree_(std::move(tree)), f_(f), routing_(routing), obs_(obs) {
   BZC_EXPECTS(tree_.finalized());
   if (obs_.metrics != nullptr || obs_.trace != nullptr) {
-    sim_.attach_observability(obs_);
+    env_.attach_observability(obs_);
   }
   for (const GroupId g : tree_.all_groups()) {
+    // One placement domain per overlay group: concurrent backends map this
+    // to their default thread-per-group executor assignment.
+    env_.set_placement_domain(g.value);
     const std::vector<bft::FaultSpec> group_faults = faults.for_group(g);
     const bft::AppFactory factory = [this, &group_faults](int index) {
       const bft::FaultSpec spec =
@@ -21,7 +24,7 @@ ByzCastSystem::ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
       return std::make_unique<ByzCastNode>(tree_, registry_, log_, spec,
                                            routing_, obs_);
     };
-    auto grp = std::make_unique<bft::Group>(sim_, g, f_, factory,
+    auto grp = std::make_unique<bft::Group>(env_, g, f_, factory,
                                             group_faults);
     registry_.emplace(g, grp->info());
     groups_.emplace(g, std::move(grp));
@@ -34,7 +37,8 @@ ByzCastNode& ByzCastSystem::node(GroupId g, int index) {
 }
 
 std::unique_ptr<Client> ByzCastSystem::make_client(const std::string& name) {
-  return std::make_unique<Client>(sim_, tree_, registry_, name, routing_);
+  env_.set_placement_domain(next_client_domain_++);
+  return std::make_unique<Client>(env_, tree_, registry_, name, routing_);
 }
 
 }  // namespace byzcast::core

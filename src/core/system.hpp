@@ -13,7 +13,7 @@
 #include "core/delivery_log.hpp"
 #include "core/node.hpp"
 #include "core/tree.hpp"
-#include "sim/simulation.hpp"
+#include "sim/env.hpp"
 
 namespace byzcast::core {
 
@@ -31,9 +31,11 @@ struct FaultPlan {
 class ByzCastSystem {
  public:
   /// `obs` sinks (when non-null) are shared by every node of the system and
-  /// must outlive it; they are also attached to `sim` so the bft layer can
+  /// must outlive it; they are also attached to `env` so the bft layer can
   /// publish. Null sinks (the default) disable observability at zero cost.
-  ByzCastSystem(sim::Simulation& sim, OverlayTree tree, int f,
+  /// `env` is either a deterministic sim::Simulation or the wall-clock
+  /// runtime::RuntimeEnv — the system wiring is backend-agnostic.
+  ByzCastSystem(sim::ExecutionEnv& env, OverlayTree tree, int f,
                 const FaultPlan& faults = {},
                 Routing routing = Routing::kGenuine, Observability obs = {});
 
@@ -52,7 +54,7 @@ class ByzCastSystem {
   [[nodiscard]] std::unique_ptr<Client> make_client(const std::string& name);
 
  private:
-  sim::Simulation& sim_;
+  sim::ExecutionEnv& env_;
   OverlayTree tree_;
   int f_;
   Routing routing_;
@@ -60,6 +62,9 @@ class ByzCastSystem {
   GroupRegistry registry_;
   DeliveryLog log_;
   std::map<GroupId, std::unique_ptr<bft::Group>> groups_;
+  /// Placement domain handed to the env for the next client (clients get
+  /// their own domains so concurrent backends can spread them over workers).
+  std::int32_t next_client_domain_ = 1'000'000;
 };
 
 }  // namespace byzcast::core

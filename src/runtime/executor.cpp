@@ -1,0 +1,92 @@
+#include "runtime/executor.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::runtime {
+
+namespace {
+
+// Identity of the worker running the current thread. A plain thread_local:
+// one executor's workers never run inside another's, and the pointer pair
+// lets post() recognize self-posts even with several executors alive (tests
+// construct more than one).
+struct WorkerContext {
+  const Executor* executor = nullptr;
+  std::size_t index = Executor::npos;
+  std::deque<Executor::Task>* local = nullptr;
+};
+
+thread_local WorkerContext t_ctx;
+
+}  // namespace
+
+Executor::Executor(std::size_t workers, std::size_t mailbox_capacity) {
+  BZC_EXPECTS(workers > 0);
+  mailboxes_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox<Task>>(mailbox_capacity));
+  }
+}
+
+Executor::~Executor() { stop(); }
+
+void Executor::start() {
+  if (started_) return;
+  started_ = true;
+  threads_.reserve(mailboxes_.size());
+  for (std::size_t i = 0; i < mailboxes_.size(); ++i) {
+    threads_.emplace_back([this, i] { run(i); });
+  }
+}
+
+void Executor::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& mb : mailboxes_) mb->close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Executor::current_worker() const {
+  return t_ctx.executor == this ? t_ctx.index : npos;
+}
+
+bool Executor::post(std::size_t worker, Task task) {
+  BZC_EXPECTS(worker < mailboxes_.size());
+  if (t_ctx.executor == this && t_ctx.index == worker) {
+    // Self-post: run-queue jump keeps drain continuations ahead of newly
+    // arriving mailbox traffic and cannot block on our own capacity.
+    t_ctx.local->push_back(std::move(task));
+    return true;
+  }
+  return mailboxes_[worker]->force_push(std::move(task));
+}
+
+bool Executor::post_external(std::size_t worker, Task task) {
+  BZC_EXPECTS(worker < mailboxes_.size());
+  BZC_EXPECTS(t_ctx.executor == nullptr);  // workers must never block here
+  return mailboxes_[worker]->push(std::move(task));
+}
+
+void Executor::run(std::size_t index) {
+  std::deque<Task> local;
+  t_ctx = WorkerContext{this, index, &local};
+  Mailbox<Task>& mailbox = *mailboxes_[index];
+  while (true) {
+    if (!local.empty()) {
+      Task task = std::move(local.front());
+      local.pop_front();
+      task();
+      continue;
+    }
+    Task task;
+    if (!mailbox.pop(task)) break;  // closed and drained; local is empty too
+    task();
+  }
+  t_ctx = WorkerContext{};
+}
+
+}  // namespace byzcast::runtime

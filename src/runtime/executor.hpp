@@ -1,0 +1,72 @@
+// Executor: a fixed pool of worker threads, each owning one bounded MPSC
+// mailbox of tasks. Every actor is pinned to exactly one worker, so all of
+// an actor's message handling and timer callbacks run on that worker — the
+// per-actor serialization the protocol code was written against, with
+// parallelism *across* actors on different workers.
+//
+// Posting rules (see Mailbox for the blocking disciplines):
+//  * post() from the target's own worker thread goes to a thread-local run
+//    queue, not the mailbox — a worker must never block on its own full
+//    mailbox, and drain continuations (scheduled with zero delay) must run
+//    before newly arriving messages to preserve the actor drain discipline.
+//  * post() from any other thread force-pushes (interior traffic).
+//  * post_external() blocks while full: the backpressure edge for load
+//    injectors.
+//
+// stop() closes all mailboxes, lets each worker drain what is already
+// queued, and joins. Tasks posted after stop() are dropped (false).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace byzcast::runtime {
+
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  static constexpr std::size_t kDefaultMailboxCapacity = 4096;
+
+  explicit Executor(std::size_t workers,
+                    std::size_t mailbox_capacity = kDefaultMailboxCapacity);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  void start();
+  /// Idempotent; drains queued tasks, then joins all workers.
+  void stop();
+
+  [[nodiscard]] std::size_t workers() const { return mailboxes_.size(); }
+
+  /// Runs `task` on worker `worker`. Never blocks. Returns false iff the
+  /// executor is stopped (task dropped).
+  bool post(std::size_t worker, Task task);
+
+  /// Blocking bounded post for threads outside the pool (the load edge).
+  /// Returns false iff stopped.
+  bool post_external(std::size_t worker, Task task);
+
+  /// Index of the worker running the calling thread, or npos for outside
+  /// threads.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t current_worker() const;
+
+ private:
+  void run(std::size_t index);
+
+  std::vector<std::unique_ptr<Mailbox<Task>>> mailboxes_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace byzcast::runtime

@@ -1,0 +1,101 @@
+// Bounded multi-producer single-consumer mailbox: the inbox of one executor
+// worker. Producers are other workers, the timer wheel and the load-injecting
+// edge thread; the single consumer is the owning worker's run loop.
+//
+// Two producer entry points with different blocking disciplines:
+//
+//  * push()       — blocks while the mailbox is full. Only the *edge* (a
+//                   thread outside the executor, e.g. the benchmark driver)
+//                   may use it: blocking there is backpressure. A worker
+//                   must never call it, or two full mailboxes pushing into
+//                   each other deadlock.
+//  * force_push() — never blocks; capacity is advisory for interior traffic
+//                   (worker-to-worker sends, timer fires). Protocol traffic
+//                   is bounded by the protocol itself once the edge is
+//                   throttled, so the overshoot is small.
+//
+// close() wakes everyone; pop() then drains what is left and returns false.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::runtime {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity) : capacity_(capacity) {
+    BZC_EXPECTS(capacity > 0);
+  }
+
+  /// Blocking bounded push (edge producers only). Returns false iff the
+  /// mailbox was closed — the item is dropped then.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push that ignores capacity (interior producers: workers,
+  /// timer wheel). Returns false iff closed.
+  bool force_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the mailbox is closed *and*
+  /// drained; returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes all waiters. Items already queued stay
+  /// poppable (the consumer drains them before its loop exits).
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace byzcast::runtime

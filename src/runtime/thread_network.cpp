@@ -1,0 +1,78 @@
+#include "runtime/thread_network.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "sim/actor.hpp"
+
+namespace byzcast::runtime {
+
+ThreadNetwork::ThreadNetwork(Executor& executor, TimerWheel& wheel,
+                             Time delay)
+    : executor_(executor), wheel_(wheel), delay_(delay) {
+  BZC_EXPECTS(delay >= 0);
+}
+
+void ThreadNetwork::attach(ProcessId id, sim::Actor* actor,
+                           std::size_t worker) {
+  BZC_EXPECTS(actor != nullptr);
+  BZC_EXPECTS(worker < executor_.workers());
+  const std::lock_guard<std::mutex> lock(mu_);
+  BZC_EXPECTS(!actors_.contains(id));
+  actors_[id] = Slot{actor, worker};
+}
+
+void ThreadNetwork::detach(ProcessId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  actors_.erase(id);
+}
+
+std::size_t ThreadNetwork::worker_of(ProcessId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = actors_.find(id);
+  return it == actors_.end() ? Executor::npos : it->second.worker;
+}
+
+void ThreadNetwork::send(sim::WireMessage msg) {
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+  const std::size_t worker = worker_of(msg.to);
+  if (worker == Executor::npos) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Executor::Task task = [this, m = std::move(msg)]() mutable {
+    deliver(std::move(m));
+  };
+  if (delay_ == 0) {
+    if (!executor_.post(worker, std::move(task))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // The wheel fires on its tick thread; the callback only posts, so the
+  // actual delivery work still happens on the destination worker.
+  wheel_.schedule(delay_, [this, worker, task = std::move(task)]() mutable {
+    if (!executor_.post(worker, std::move(task))) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+void ThreadNetwork::deliver(sim::WireMessage msg) {
+  sim::Actor* actor = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = actors_.find(msg.to);
+    if (it == actors_.end()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    actor = it->second.actor;
+  }
+  // Safe outside the lock: we are on the actor's own worker, and teardown
+  // stops the executor before destroying actors.
+  actor->enqueue(std::move(msg));
+}
+
+}  // namespace byzcast::runtime

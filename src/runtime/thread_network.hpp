@@ -1,0 +1,77 @@
+// ThreadNetwork: the wall-clock implementation of the ExecutionEnv message
+// seam. Where sim::Network turns a send into a scheduler event, this turns
+// it into a task posted to the destination actor's executor worker, so
+// delivery runs serialized with everything else that actor does. An optional
+// fixed one-way delay routes the post through the timing wheel, modelling a
+// network where real threads still do the real work but messages take real
+// time to cross.
+//
+// The destination actor is re-resolved at delivery time (on its own worker):
+// a message in flight toward an actor that detached meanwhile counts as a
+// drop, never a dangling pointer — the exact rule sim::Network applies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/timer_wheel.hpp"
+#include "sim/wire.hpp"
+
+namespace byzcast::sim {
+class Actor;
+}  // namespace byzcast::sim
+
+namespace byzcast::runtime {
+
+class ThreadNetwork {
+ public:
+  /// `delay` is the injected one-way latency for every message; 0 delivers
+  /// as soon as the destination worker gets to the task.
+  ThreadNetwork(Executor& executor, TimerWheel& wheel, Time delay);
+
+  /// Registers `actor`, pinned to `worker`. Wiring-thread calls; the table
+  /// is mutex-guarded so workers may resolve concurrently.
+  void attach(ProcessId id, sim::Actor* actor, std::size_t worker);
+  void detach(ProcessId id);
+
+  /// Routes toward msg.to from any thread. Unknown destinations drop.
+  void send(sim::WireMessage msg);
+
+  /// Worker an attached actor is pinned to; Executor::npos if unknown.
+  [[nodiscard]] std::size_t worker_of(ProcessId id) const;
+
+  [[nodiscard]] std::uint64_t sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    sim::Actor* actor = nullptr;
+    std::size_t worker = Executor::npos;
+  };
+
+  void deliver(sim::WireMessage msg);
+
+  Executor& executor_;
+  TimerWheel& wheel_;
+  const Time delay_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ProcessId, Slot> actors_;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace byzcast::runtime

@@ -1,0 +1,91 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::runtime {
+
+TimerWheel::TimerWheel(Time tick, std::size_t slots)
+    : tick_(tick), slots_(slots) {
+  BZC_EXPECTS(tick > 0);
+  BZC_EXPECTS(slots > 0);
+}
+
+TimerWheel::~TimerWheel() { stop(); }
+
+void TimerWheel::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void TimerWheel::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slot : slots_) slot.clear();
+  pending_ = 0;
+}
+
+void TimerWheel::schedule(Time delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  // +1: the current tick is already in progress, so rounding up alone could
+  // fire one tick early. Always-late beats sometimes-early for timeouts.
+  const auto ticks =
+      static_cast<std::size_t>((delay + tick_ - 1) / tick_) + 1;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  const std::size_t slot = (cursor_ + ticks) % slots_.size();
+  slots_[slot].push_back(Entry{ticks / slots_.size(), std::move(fn)});
+  ++pending_;
+}
+
+std::size_t TimerWheel::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void TimerWheel::run() {
+  using std::chrono::nanoseconds;
+  using std::chrono::steady_clock;
+  const auto tick = nanoseconds(tick_);
+  auto next = steady_clock::now() + tick;
+  std::vector<std::function<void()>> due;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_until(lock, next, [this] { return stopping_; });
+      if (stopping_) return;
+      cursor_ = (cursor_ + 1) % slots_.size();
+      auto& slot = slots_[cursor_];
+      for (std::size_t i = 0; i < slot.size();) {
+        if (slot[i].rounds == 0) {
+          due.push_back(std::move(slot[i].fn));
+          slot[i] = std::move(slot.back());
+          slot.pop_back();
+        } else {
+          --slot[i].rounds;
+          ++i;
+        }
+      }
+      pending_ -= due.size();
+    }
+    for (auto& fn : due) fn();  // outside the lock: fns re-enter schedule()
+    due.clear();
+    next += tick;
+    // Oversubscribed host: if we fell behind, skip the missed boundaries
+    // rather than firing a burst of catch-up ticks (timers stay >= delay).
+    const auto now = steady_clock::now();
+    if (next < now) next = now + tick;
+  }
+}
+
+}  // namespace byzcast::runtime

@@ -1,0 +1,75 @@
+// Single-level timing wheel driven by one tick thread. All runtime timers —
+// protocol timeouts (leader liveness, client retries) and injected network
+// latency — funnel through here; callbacks are expected to be cheap posts
+// into an executor mailbox, never protocol work (that would serialize the
+// whole system behind the tick thread).
+//
+// Resolution is the tick period (default 1 ms): a delay of d fires after
+// ceil(d / tick) + 1 ticks at the latest correct boundary — always >= d,
+// never early. That slack is fine for its two users: protocol timeouts are
+// hundreds of milliseconds, and injected latency models a network where
+// sub-tick precision is meaningless.
+//
+// Timers may be armed before start() (system wiring arms leader timeouts
+// while the wheel is still cold); they begin counting ticks once the thread
+// runs. stop() joins the thread and drops every pending timer — the runtime
+// tears down executor-first, so late fires would only race destruction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast::runtime {
+
+class TimerWheel {
+ public:
+  static constexpr std::size_t kDefaultSlots = 256;
+
+  explicit TimerWheel(Time tick = kMillisecond,
+                      std::size_t slots = kDefaultSlots);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  void start();
+  /// Idempotent; joins the tick thread and drops all pending timers.
+  void stop();
+
+  /// Arms `fn` to run on the tick thread >= `delay` from now. Thread-safe;
+  /// callable before start() and from expiring callbacks. After stop() the
+  /// timer is silently dropped.
+  void schedule(Time delay, std::function<void()> fn);
+
+  [[nodiscard]] Time tick() const { return tick_; }
+  /// Timers armed and not yet fired or dropped (test/debug aid).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Entry {
+    std::size_t rounds;  // full wheel revolutions left before firing
+    std::function<void()> fn;
+  };
+
+  void run();
+
+  const Time tick_;
+  std::vector<std::vector<Entry>> slots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t cursor_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace byzcast::runtime

@@ -1,0 +1,30 @@
+// WallClock: monotone real time as byzcast::Time nanoseconds since the
+// clock's construction, so runtime timestamps start near zero exactly like
+// simulated ones and the existing exporters/plots need no unit changes.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace byzcast::runtime {
+
+class WallClock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] Time now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace byzcast::runtime

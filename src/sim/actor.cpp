@@ -1,21 +1,21 @@
 #include "sim/actor.hpp"
 
-#include "sim/simulation.hpp"
-
 namespace byzcast::sim {
 
-Actor::Actor(Simulation& sim, std::string name)
-    : sim_(sim),
-      id_(sim.allocate_pid()),
+Actor::Actor(ExecutionEnv& env, std::string name)
+    : env_(env),
+      id_(env.allocate_pid()),
       name_(std::move(name)),
-      auth_(sim.keys(), id_),
-      rng_(sim.fork_rng()) {
-  sim_.network().attach(id_, this);
+      auth_(env.keys(), id_),
+      rng_(env.fork_rng()),
+      alive_(std::make_shared<int>(0)) {
+  env_.attach(id_, this);
 }
 
-Actor::~Actor() { sim_.network().detach(id_); }
-
-Time Actor::now() const { return sim_.now(); }
+Actor::~Actor() {
+  alive_.reset();  // pending timers fire into a no-op from here on
+  env_.detach(id_);
+}
 
 Time Actor::service_cost(const WireMessage&) const { return 0; }
 
@@ -32,8 +32,13 @@ void Actor::maybe_drain() {
   inbox_.pop_front();
   const Time cost = service_cost(msg);
   busy_total_ += cost;
-  sim_.scheduler().schedule_after(
-      cost, [this, m = std::move(msg)]() mutable {
+  // The drain continuations are internal deferred work and carry the same
+  // alive guard as user timers: teardown with messages still queued leaves
+  // only no-op events behind.
+  env_.schedule(
+      id_, cost,
+      [this, weak = std::weak_ptr<void>(alive_), m = std::move(msg)]() mutable {
+        if (weak.expired()) return;
         if (!crashed_) {
           extra_busy_ = 0;
           on_message(m);
@@ -42,10 +47,12 @@ void Actor::maybe_drain() {
           busy_total_ += extra;
           if (extra > 0) {
             // Stay busy for the CPU consumed while handling (e.g. sends).
-            sim_.scheduler().schedule_after(extra, [this] {
-              draining_ = false;
-              maybe_drain();
-            });
+            env_.schedule(id_, extra,
+                          [this, weak = std::weak_ptr<void>(alive_)] {
+                            if (weak.expired()) return;
+                            draining_ = false;
+                            maybe_drain();
+                          });
             return;
           }
         }
@@ -56,13 +63,13 @@ void Actor::maybe_drain() {
 
 void Actor::send(ProcessId to, Bytes payload) {
   if (crashed_) return;
-  consume_cpu(sim_.profile().cpu_send);
+  consume_cpu(env_.profile().cpu_send);
   WireMessage msg;
   msg.from = id_;
   msg.to = to;
   msg.mac = auth_.sign(to, payload);
   msg.payload = std::move(payload);
-  sim_.network().send(std::move(msg));
+  env_.send_message(std::move(msg));
 }
 
 bool Actor::verify(const WireMessage& msg) const {
@@ -70,7 +77,10 @@ bool Actor::verify(const WireMessage& msg) const {
 }
 
 void Actor::schedule_in(Time delay, std::function<void()> fn) {
-  sim_.scheduler().schedule_after(delay, std::move(fn));
+  env_.schedule(id_, delay,
+                [weak = std::weak_ptr<void>(alive_), fn = std::move(fn)] {
+                  if (!weak.expired()) fn();
+                });
 }
 
 }  // namespace byzcast::sim

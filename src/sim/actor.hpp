@@ -1,28 +1,33 @@
-// Actor: one simulated process. Incoming messages queue at the actor and are
-// served one at a time; each message occupies the CPU for a subclass-declared
-// service cost before its effects become visible. This single-server queue is
-// what produces realistic saturation and latency growth under load.
+// Actor: one protocol process, runnable on any ExecutionEnv backend.
+// Incoming messages queue at the actor and are served one at a time; each
+// message occupies the CPU for a subclass-declared service cost before its
+// effects become visible. On the deterministic simulator this single-server
+// queue is what produces realistic saturation and latency growth under load;
+// on the wall-clock runtime the costs are zero and the real CPU does the
+// work, but the one-message-at-a-time discipline is preserved by the
+// per-actor executor serialization.
 //
-// Lifetime rule: actors must outlive any scheduler activity they triggered;
-// systems own their actors for the whole run and destroy them only after the
-// scheduler stops.
+// Lifetime: timer callbacks armed via schedule_in carry a weak reference to
+// the actor's alive token and become no-ops once the actor is destroyed, so
+// an actor may be torn down while scheduler activity it triggered is still
+// pending. (Message delivery is guarded the same way by the network: a
+// destination destroyed in flight counts as a drop.)
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/auth.hpp"
 #include "common/rng.hpp"
-#include "sim/network.hpp"
+#include "sim/env.hpp"
 
 namespace byzcast::sim {
 
-class Simulation;
-
 class Actor {
  public:
-  Actor(Simulation& sim, std::string name);
+  Actor(ExecutionEnv& env, std::string name);
   virtual ~Actor();
 
   Actor(const Actor&) = delete;
@@ -31,7 +36,9 @@ class Actor {
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Called by the network at message arrival time.
+  /// Called by the network at message arrival time. Concurrent backends
+  /// must call this serialized on the actor's executor, never directly
+  /// from a sender's thread.
   void enqueue(WireMessage msg);
 
   /// A crashed actor ignores everything from now on.
@@ -64,25 +71,32 @@ class Actor {
 
   /// Schedules `fn` to run after `delay`; fires regardless of the actor's
   /// queue (used for timeouts). The callback must check state freshness.
+  /// If the actor is destroyed before the timer fires, the callback is
+  /// dropped (alive-token check at fire time).
   void schedule_in(Time delay, std::function<void()> fn);
 
   /// Adds `cost` to the actor's current busy period (models extra CPU work
   /// performed while handling the current message).
   void consume_cpu(Time cost) { extra_busy_ += cost; }
 
-  [[nodiscard]] Time now() const;
+  [[nodiscard]] Time now() const { return env_.now(); }
   [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] Simulation& sim() { return sim_; }
-  [[nodiscard]] const Simulation& sim() const { return sim_; }
+  /// The hosting execution environment (cost model, metrics, ...). Named
+  /// `env` because it may be the simulator or the wall-clock runtime.
+  [[nodiscard]] ExecutionEnv& env() { return env_; }
+  [[nodiscard]] const ExecutionEnv& env() const { return env_; }
 
  private:
   void maybe_drain();
 
-  Simulation& sim_;
+  ExecutionEnv& env_;
   ProcessId id_;
   std::string name_;
   Authenticator auth_;
   Rng rng_;
+  /// Liveness witness for deferred work: callbacks hold a weak_ptr and
+  /// no-op once the actor is gone. Reset first in the destructor.
+  std::shared_ptr<void> alive_;
   std::deque<WireMessage> inbox_;
   bool draining_ = false;
   bool crashed_ = false;

@@ -68,17 +68,24 @@ void Network::send(WireMessage msg) {
     ++dropped_;
     return;
   }
-  const auto it = actors_.find(msg.to);
-  if (it == actors_.end()) {
+  if (!actors_.contains(msg.to)) {
     ++dropped_;
     return;
   }
-  Actor* const dest = it->second;
   const Time latency = latency_.sample(msg.from, msg.to, msg.payload.size(),
                                        rng_) +
                        faults_.extra_delay(msg.from, msg.to);
-  scheduler_.schedule_after(
-      latency, [dest, m = std::move(msg)]() mutable { dest->enqueue(std::move(m)); });
+  // The destination is resolved again at delivery time: an actor destroyed
+  // while the message was in flight counts as a drop instead of a dangling
+  // pointer (mirrors Actor's alive-token rule for timers).
+  scheduler_.schedule_after(latency, [this, m = std::move(msg)]() mutable {
+    const auto it = actors_.find(m.to);
+    if (it == actors_.end()) {
+      ++dropped_;
+      return;
+    }
+    it->second->enqueue(std::move(m));
+  });
 }
 
 }  // namespace byzcast::sim

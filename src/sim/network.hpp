@@ -14,19 +14,11 @@
 #include "common/types.hpp"
 #include "sim/latency.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/wire.hpp"
 
 namespace byzcast::sim {
 
 class Actor;
-
-/// One message on the wire. `payload` is codec-encoded protocol content;
-/// `mac` authenticates (from -> to, payload).
-struct WireMessage {
-  ProcessId from;
-  ProcessId to;
-  Bytes payload;
-  Digest mac{};
-};
 
 /// Network-level fault injection. All rules are evaluated at send time.
 class NetworkFaults {

@@ -75,6 +75,30 @@ struct Profile {
     p.leader_timeout = 8 * kSecond;
     return p;
   }
+
+  /// Wall-clock preset for the runtime backend: every cpu_* / net_* cost is
+  /// zero because real threads spend real CPU and the ThreadNetwork adds any
+  /// injected latency itself. Only the protocol knobs remain meaningful;
+  /// fast MACs keep the authentication hot path cheap on real hardware.
+  [[nodiscard]] static Profile wallclock() {
+    Profile p;
+    p.net_one_way = 0;
+    p.net_jitter_mean = 0;
+    p.net_per_byte = 0;
+    p.cpu_request_admission = 0;
+    p.cpu_propose_fixed = 0;
+    p.cpu_propose_per_msg = 0;
+    p.cpu_validate_fixed = 0;
+    p.cpu_validate_per_msg = 0;
+    p.cpu_vote = 0;
+    p.cpu_execute_per_msg = 0;
+    p.cpu_duplicate_copy = 0;
+    p.cpu_send = 0;
+    p.cpu_client_reply = 0;
+    p.fast_macs = true;
+    p.leader_timeout = 2 * kSecond;
+    return p;
+  }
 };
 
 }  // namespace byzcast::sim

@@ -1,0 +1,22 @@
+// The one message type that crosses the process boundary, shared by every
+// execution backend (deterministic simulator and wall-clock runtime). Lives
+// in its own header so backends can exchange messages without pulling in the
+// simulator's scheduler or latency machinery.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/sha256.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::sim {
+
+/// One message on the wire. `payload` is codec-encoded protocol content;
+/// `mac` authenticates (from -> to, payload).
+struct WireMessage {
+  ProcessId from;
+  ProcessId to;
+  Bytes payload;
+  Digest mac{};
+};
+
+}  // namespace byzcast::sim

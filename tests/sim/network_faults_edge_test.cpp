@@ -1,0 +1,107 @@
+// Edge cases of sim::NetworkFaults: the partition heal boundary is
+// inclusive (a send at exactly heal_at goes through), partitions cut both
+// directions while same-side traffic flows, and probabilistic loss is a
+// deterministic function of the simulation seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/actor.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace byzcast::sim {
+namespace {
+
+class Recorder final : public Actor {
+ public:
+  Recorder(Simulation& sim, std::string name) : Actor(sim, std::move(name)) {}
+
+  void say(ProcessId to, const std::string& text) {
+    send(to, to_bytes(text));
+  }
+
+  std::vector<std::string> received;
+
+ protected:
+  void on_message(const WireMessage& msg) override {
+    if (!verify(msg)) return;
+    received.push_back(to_text(msg.payload));
+  }
+};
+
+TEST(NetworkFaultsEdge, PartitionHealBoundaryIsInclusive) {
+  Simulation sim(1, Profile::lan());
+  Recorder a(sim, "a");
+  Recorder b(sim, "b");
+  const Time heal_at = 100 * kMillisecond;
+  sim.network().faults().partition({a.id()}, {b.id()}, heal_at);
+  // One send one nanosecond before the heal instant, one exactly at it:
+  // should_drop treats now >= heal_at as healed, so only the first is lost.
+  sim.scheduler().schedule_after(heal_at - kNanosecond,
+                                 [&] { a.say(b.id(), "pre-heal"); });
+  sim.scheduler().schedule_after(heal_at,
+                                 [&] { a.say(b.id(), "at-heal"); });
+  sim.run_until(kSecond);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0], "at-heal");
+}
+
+TEST(NetworkFaultsEdge, PartitionCutsBothWaysButNotWithinASide) {
+  Simulation sim(1, Profile::lan());
+  Recorder a1(sim, "a1");
+  Recorder a2(sim, "a2");
+  Recorder b1(sim, "b1");
+  sim.network().faults().partition({a1.id(), a2.id()}, {b1.id()},
+                                   /*heal_at=*/kSecond);
+  a1.say(b1.id(), "cross-ab");
+  b1.say(a1.id(), "cross-ba");
+  a1.say(a2.id(), "same-side");
+  sim.run_until(500 * kMillisecond);
+  EXPECT_TRUE(b1.received.empty());
+  EXPECT_TRUE(a1.received.empty());
+  ASSERT_EQ(a2.received.size(), 1u);
+  EXPECT_EQ(a2.received[0], "same-side");
+}
+
+TEST(NetworkFaultsEdge, DropLinkIsAsymmetricAndComposesWithPartialLoss) {
+  Simulation sim(1, Profile::lan());
+  Recorder a(sim, "a");
+  Recorder b(sim, "b");
+  sim.network().faults().drop_link(a.id(), b.id());
+  for (int i = 0; i < 5; ++i) {
+    a.say(b.id(), "down");   // severed direction: always dropped
+    b.say(a.id(), "up" + std::to_string(i));  // reverse: untouched
+  }
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 5u);
+}
+
+// Runs `count` sends through a lossy network and reports which arrived.
+std::vector<std::string> lossy_run(std::uint64_t seed, int count) {
+  Simulation sim(seed, Profile::lan());
+  Recorder a(sim, "a");
+  Recorder b(sim, "b");
+  sim.network().faults().set_loss_probability(0.5);
+  for (int i = 0; i < count; ++i) a.say(b.id(), "m" + std::to_string(i));
+  sim.run_until(kSecond);
+  return b.received;
+}
+
+TEST(NetworkFaultsEdge, LossPatternIsDeterministicUnderFixedSeed) {
+  const auto first = lossy_run(42, 64);
+  const auto second = lossy_run(42, 64);
+  EXPECT_EQ(first, second);  // byte-identical replay
+  // Sanity on the probability: with p=0.5 over 64 trials, losing none or
+  // all has probability 2^-63 — treat either as a wiring bug.
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_LT(first.size(), 64u);
+
+  const auto other_seed = lossy_run(43, 64);
+  EXPECT_NE(first, other_seed) << "seed does not influence the loss pattern";
+}
+
+}  // namespace
+}  // namespace byzcast::sim

@@ -62,6 +62,71 @@ def summarize_sidecar(name, doc):
         print(f"  WARNING: {dropped} trace events dropped (capacity)")
 
 
+def find_runtime_bench(src):
+    """Locates BENCH_runtime.json (written by bench_runtime_throughput) next
+    to the CSV dir or in the working directory."""
+    for candidate in (os.path.join(src, "BENCH_runtime.json"),
+                      "BENCH_runtime.json"):
+        if os.path.isfile(candidate):
+            try:
+                return load_sidecar(candidate)
+            except (json.JSONDecodeError, OSError) as err:
+                print(f"skipping malformed {candidate}: {err}")
+    return None
+
+
+def summarize_runtime_bench(doc):
+    configs = doc.get("configs", [])
+    print("\nBENCH_runtime.json (wall-clock backend):")
+    for c in configs:
+        print(f"  {c.get('groups')} groups {c.get('pattern'):<5} "
+              f"{c.get('workers')} workers: "
+              f"{c.get('throughput_msgs_s', 0):.0f} msg/s, "
+              f"mean {c.get('latency_mean_ms', 0):.2f} ms, "
+              f"p95 {c.get('latency_p95_ms', 0):.2f} ms")
+
+
+def plot_runtime_bench(doc, src, dst, plt):
+    """Wall-clock throughput vs groups, with the simulated LAN scalability
+    curve (fig4) on a twin axis when its CSV is present — shapes compare,
+    absolute units differ (real threads vs calibrated simulation)."""
+    configs = doc.get("configs", [])
+    series = {}
+    for c in configs:
+        series.setdefault(c.get("pattern", "?"), []).append(
+            (c.get("groups", 0), c.get("throughput_msgs_s", 0.0)))
+    if not series:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for pattern in sorted(series):
+        points = sorted(series[pattern])
+        ax.plot([p[0] for p in points], [p[1] for p in points], marker="o",
+                label=f"runtime {pattern}")
+    ax.set_xlabel("target groups")
+    ax.set_ylabel("wall-clock msg/s")
+    ax.grid(True, alpha=0.3)
+
+    sim_csv = os.path.join(src, "fig4a_local.csv")
+    if os.path.isfile(sim_csv):
+        header, rows = load(sim_csv)
+        if rows and "byzcast" in header:
+            col = header.index("byzcast")
+            xs = [float(r[0]) for r in rows]
+            ys = [float(r[col]) for r in rows]
+            ax2 = ax.twinx()
+            ax2.plot(xs, ys, marker="s", linestyle="--", color="gray",
+                     label="sim local (fig4)")
+            ax2.set_ylabel("simulated msg/s")
+            ax2.legend(fontsize=8, loc="lower right")
+    ax.legend(fontsize=8, loc="upper left")
+    ax.set_title("runtime backend throughput")
+    out = os.path.join(dst, "runtime_throughput_bench.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 def plot_sidecar_timeseries(name, doc, dst, plt):
     """One PNG per sidecar: CPU-busy (top) and queue-depth (bottom) samples."""
     ts = doc.get("metrics", {}).get("timeseries", {})
@@ -112,6 +177,9 @@ def main():
             print(f"skipping malformed sidecar {name}: {err}")
     for name, doc in docs.items():
         summarize_sidecar(name, doc)
+    runtime_bench = find_runtime_bench(src)
+    if runtime_bench:
+        summarize_runtime_bench(runtime_bench)
 
     try:
         import matplotlib
@@ -160,6 +228,8 @@ def main():
 
     for name, doc in docs.items():
         plot_sidecar_timeseries(name, doc, dst, plt)
+    if runtime_bench:
+        plot_runtime_bench(runtime_bench, src, dst, plt)
     return 0
 
 
