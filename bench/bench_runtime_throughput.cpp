@@ -8,18 +8,28 @@
 //
 // Emits bench_csv/runtime_throughput.csv (series), the standard metrics
 // sidecar bench_csv/runtime_metrics.json (from the largest mixed config),
-// and BENCH_runtime.json (machine-readable summary of every config).
+// BENCH_runtime.json (machine-readable summary of every config), and
+// BENCH_wire.json (before/after comparison against the BENCH_runtime.json
+// found at startup — i.e. the previous run's numbers — plus the verdict of
+// the five atomic-multicast property checkers over each config's
+// DeliveryLog; a throughput number from a run that broke ordering would be
+// meaningless).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/multicast.hpp"
+#include "core/properties.hpp"
 #include "core/tree.hpp"
 #include "runtime/parallel_system.hpp"
 #include "workload/report.hpp"
@@ -43,6 +53,8 @@ struct ConfigResult {
   double latency_p95_ms = 0.0;
   std::uint64_t deliveries = 0;
   std::uint64_t wire_messages = 0;
+  bool properties_ok = false;
+  std::string properties_error;
 };
 
 core::OverlayTree make_tree(int groups) {
@@ -76,6 +88,9 @@ ConfigResult run_config(int groups, double global_fraction,
   const Bytes payload(kPayload, std::uint8_t{0xab});
   const int total = kClients * kMsgsPerClient;
   std::vector<int> sent(kClients, 0);  // each slot touched by one worker
+  // Canonical destination of every issued message, recorded at issue time
+  // for the property checkers (slot c only touched by client c's worker).
+  std::vector<std::vector<std::vector<GroupId>>> issued(kClients);
   std::atomic<int> done{0};
   std::mutex lat_mu;
   LatencyRecorder latency;
@@ -98,6 +113,10 @@ ConfigResult run_config(int groups, double global_fraction,
       dst = {GroupId{static_cast<std::int32_t>(
           rng.next_below(static_cast<std::uint64_t>(groups)))}};
     }
+    core::MulticastMessage canon;
+    canon.dst = dst;
+    canon.canonicalize();
+    issued[static_cast<std::size_t>(c)].push_back(std::move(canon.dst));
     clients[static_cast<std::size_t>(c)]->a_multicast(
         std::move(dst), payload,
         [&, c](const core::MulticastMessage&, Time lat) {
@@ -135,6 +154,29 @@ ConfigResult run_config(int groups, double global_fraction,
   r.latency_p95_ms = latency.percentile_ms(95);
   r.deliveries = system.delivery_log().total_deliveries();
   r.wire_messages = system.env().network().sent();
+
+  // Validate the run's DeliveryLog against the §II-B properties (threads
+  // have quiesced after stop(), so the structural readers are safe).
+  core::PropertyInput in;
+  in.log = &system.delivery_log();
+  for (int c = 0; c < kClients; ++c) {
+    const auto& dsts = issued[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < dsts.size(); ++k) {
+      in.sent.push_back(core::SentMessage{
+          MessageId{clients[static_cast<std::size_t>(c)]->id(),
+                    static_cast<std::uint64_t>(k)},
+          dsts[k]});
+    }
+  }
+  for (int g = 0; g < groups; ++g) {
+    auto& grp = system.system().group(GroupId{g});
+    for (const int i : grp.correct_indices()) {
+      in.correct_replicas[GroupId{g}].push_back(grp.replica(i).id());
+    }
+  }
+  const core::PropertyResult verdict = core::check_all_properties(in);
+  r.properties_ok = verdict.ok;
+  r.properties_error = verdict.error;
   if (sidecar != nullptr) {
     sidecar->throughput = r.throughput;
     sidecar->completed = static_cast<std::uint64_t>(r.completed);
@@ -143,6 +185,81 @@ ConfigResult run_config(int groups, double global_fraction,
     sidecar->latency_all = latency;
   }
   return r;
+}
+
+/// Prior throughput per (groups, pattern), scraped from the
+/// BENCH_runtime.json present at startup (the previous run of this binary —
+/// e.g. the committed pre-zero-copy baseline). Empty when absent.
+std::map<std::pair<int, std::string>, double> read_baseline() {
+  std::map<std::pair<int, std::string>, double> out;
+  std::ifstream file("BENCH_runtime.json");
+  if (!file) return out;
+  std::stringstream ss;
+  ss << file.rdbuf();
+  const std::string text = ss.str();
+  // The file is machine-written by write_bench_json below, so a flat scan
+  // for its fixed key order is sufficient — no JSON library needed.
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"groups\":", pos)) != std::string::npos) {
+    const std::size_t end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos);
+    pos = end;
+    const auto field = [&obj](const std::string& key) -> std::string {
+      const std::size_t at = obj.find("\"" + key + "\":");
+      if (at == std::string::npos) return {};
+      std::size_t start = at + key.size() + 3;
+      if (start < obj.size() && obj[start] == '"') {
+        const std::size_t close = obj.find('"', start + 1);
+        return obj.substr(start + 1, close - start - 1);
+      }
+      const std::size_t close = obj.find_first_of(",}", start);
+      return obj.substr(start, close - start);
+    };
+    const std::string groups = field("groups");
+    const std::string pattern = field("pattern");
+    const std::string thr = field("throughput_msgs_s");
+    if (groups.empty() || pattern.empty() || thr.empty()) continue;
+    out[{std::stoi(groups), pattern}] = std::stod(thr);
+  }
+  return out;
+}
+
+/// Before/after record of the zero-copy wire fabric change: prior numbers
+/// (when a baseline file existed), this run's numbers, the improvement, and
+/// whether the run's DeliveryLog passed the atomic multicast checkers.
+void write_wire_json(
+    const std::vector<ConfigResult>& results,
+    const std::map<std::pair<int, std::string>, double>& baseline) {
+  std::ofstream out("BENCH_wire.json");
+  if (!out) return;
+  out << "{\"bench\":\"wire_fabric_before_after\",\"backend\":\"runtime\","
+      << "\"f\":1,\"clients\":" << kClients
+      << ",\"msgs_per_client\":" << kMsgsPerClient
+      << ",\"baseline_source\":\""
+      << (baseline.empty() ? "none" : "BENCH_runtime.json") << "\","
+      << "\"configs\":[";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"groups\":" << r.groups << ",\"pattern\":\"" << r.pattern
+        << "\",\"throughput_after_msgs_s\":" << r.throughput;
+    const auto it = baseline.find({r.groups, r.pattern});
+    if (it != baseline.end() && it->second > 0.0) {
+      const double pct = 100.0 * (r.throughput - it->second) / it->second;
+      out << ",\"throughput_before_msgs_s\":" << it->second
+          << ",\"improvement_pct\":" << pct;
+    }
+    out << ",\"latency_mean_ms\":" << r.latency_mean_ms
+        << ",\"latency_p95_ms\":" << r.latency_p95_ms
+        << ",\"properties_ok\":" << (r.properties_ok ? "true" : "false");
+    if (!r.properties_ok) {
+      out << ",\"properties_error\":\"" << r.properties_error << "\"";
+    }
+    out << "}";
+  }
+  out << "]}\n";
 }
 
 void write_bench_json(const std::vector<ConfigResult>& results) {
@@ -173,6 +290,9 @@ int main() {
   using workload::fmt;
   workload::print_header(
       "Runtime backend: wall-clock throughput, 1..4 groups, f=1");
+
+  // Prior numbers (if any) before this run overwrites BENCH_runtime.json.
+  const auto baseline = read_baseline();
 
   std::vector<ConfigResult> results;
   workload::ExperimentResult probe;
@@ -208,5 +328,26 @@ int main() {
                              rows);
   workload::write_metrics_sidecar("bench_csv/runtime_metrics.json", probe);
   write_bench_json(results);
-  return 0;
+  write_wire_json(results, baseline);
+
+  int failures = 0;
+  for (const auto& r : results) {
+    if (r.completed != kClients * kMsgsPerClient) {
+      std::printf("WARN: %d-group %s run completed %d/%d\n", r.groups,
+                  r.pattern.c_str(), r.completed, kClients * kMsgsPerClient);
+      ++failures;
+    }
+    if (!r.properties_ok) {
+      std::printf("FAIL: %d-group %s run violates properties: %s\n",
+                  r.groups, r.pattern.c_str(), r.properties_error.c_str());
+      ++failures;
+    }
+    const auto it = baseline.find({r.groups, r.pattern});
+    if (it != baseline.end() && it->second > 0.0) {
+      std::printf("%d-group %s: %.0f -> %.0f msgs/s (%+.1f%%)\n", r.groups,
+                  r.pattern.c_str(), it->second, r.throughput,
+                  100.0 * (r.throughput - it->second) / it->second);
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bft/message.hpp"
 #include "common/bytes.hpp"
@@ -32,6 +33,14 @@ class ReplicaContext {
   /// Sends an already-encoded request into another group's broadcast (the
   /// ByzCast relay path: this replica acts as a client of the child group).
   virtual void send_request(ProcessId to, const Request& req) = 0;
+
+  /// Fans the same request to every destination. Replica overrides this to
+  /// encode once and share the buffer across all 3f+1 sends; the default
+  /// keeps narrow test doubles working.
+  virtual void send_request(const std::vector<ProcessId>& dsts,
+                            const Request& req) {
+    for (const ProcessId to : dsts) send_request(to, req);
+  }
 
   /// Accounts extra CPU spent by the application while executing.
   virtual void consume_app_cpu(Time cost) = 0;

@@ -22,6 +22,7 @@ Group::Group(sim::ExecutionEnv& env, GroupId id, int f,
         std::make_unique<Replica>(env, id, f, i, make_app(i), spec));
     info_.replicas.push_back(replicas_.back()->id());
   }
+  info_.index_members();
   for (auto& replica : replicas_) replica->start(info_);
 }
 

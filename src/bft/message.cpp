@@ -43,8 +43,21 @@ Request Request::decode(Reader& r) {
   return req;
 }
 
+namespace {
+
+/// Exact encoded size of a batch (count prefix + fixed request header +
+/// length-prefixed op per request).
+std::size_t encoded_batch_size(const Batch& batch) {
+  std::size_t est = 4;
+  for (const auto& req : batch) est += 21 + req.op.size();
+  return est;
+}
+
+}  // namespace
+
 Bytes encode_batch(const Batch& batch) {
   Writer w;
+  w.reserve(encoded_batch_size(batch));
   w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
   return w.take();
 }
@@ -54,16 +67,25 @@ Batch decode_batch(Reader& r) {
 }
 
 Digest batch_digest(const Batch& batch) {
+  // Cold-path convenience (state transfer, view change). The propose path
+  // encodes the batch once and hashes those bytes directly; receivers hash
+  // the wire slice at kProposeBatchOffset — same value, no re-encode.
   const Bytes encoded = encode_batch(batch);
   return Sha256::hash(encoded);
 }
 
 Bytes Propose::encode() const {
+  return encode_with(view, instance, encode_batch(batch));
+}
+
+Bytes Propose::encode_with(std::uint64_t view, std::uint64_t instance,
+                           BytesView encoded_batch) {
   Writer w;
+  w.reserve(kProposeBatchOffset + encoded_batch.size());
   w.u8(static_cast<std::uint8_t>(MsgType::kPropose));
   w.u64(view);
   w.u64(instance);
-  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  w.raw(encoded_batch);
   return w.take();
 }
 

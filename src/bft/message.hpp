@@ -61,6 +61,11 @@ using Batch = std::vector<Request>;
 [[nodiscard]] Bytes encode_batch(const Batch& batch);
 [[nodiscard]] Batch decode_batch(Reader& r);
 
+/// Byte offset of the encoded batch inside an encoded PROPOSE:
+/// [tag u8][view u64][instance u64] precede it. Receivers hash the wire
+/// slice starting here instead of re-encoding the decoded batch.
+inline constexpr std::size_t kProposeBatchOffset = 17;
+
 /// Leader's proposal for one consensus instance.
 struct Propose {
   std::uint64_t view = 0;
@@ -68,6 +73,12 @@ struct Propose {
   Batch batch;
 
   [[nodiscard]] Bytes encode() const;
+  /// Encodes a PROPOSE by splicing an already-encoded batch (the same bytes
+  /// batch_digest hashed), so the propose path serializes the batch once.
+  /// Layout is identical to encode().
+  [[nodiscard]] static Bytes encode_with(std::uint64_t view,
+                                         std::uint64_t instance,
+                                         BytesView encoded_batch);
   [[nodiscard]] static Propose decode(Reader& r);
 };
 

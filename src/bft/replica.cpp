@@ -57,6 +57,7 @@ void Replica::restore_snapshot(BytesView snapshot) {
   }
   info_.replicas =
       sr.vec<ProcessId>([](Reader& rr) { return rr.process_id(); });
+  info_.index_members();
   if (info_.is_member(id())) {
     standby_ = false;
   } else if (!standby_) {
@@ -71,6 +72,7 @@ void Replica::start(const GroupInfo& info) {
   BZC_EXPECTS(static_cast<int>(info.replicas.size()) == 3 * f_ + 1);
   BZC_EXPECTS(info.replicas[static_cast<std::size_t>(index_)] == id());
   info_ = info;
+  info_.index_members();
   started_ = true;
   if (faults_.silent) {
     crash();
@@ -87,6 +89,7 @@ void Replica::start_standby(const GroupInfo& info) {
   BZC_EXPECTS(info.id == group_ && info.f == f_);
   BZC_EXPECTS(!info.is_member(id()));
   info_ = info;
+  info_.index_members();
   started_ = true;
   standby_ = true;
   arm_liveness_timer();  // drives anti-entropy once evidence arrives
@@ -98,7 +101,7 @@ ProcessId Replica::leader_of(std::uint64_t view) const {
 
 bool Replica::is_leader() const { return leader_of(view_) == id(); }
 
-void Replica::broadcast(const Bytes& payload) {
+void Replica::broadcast(const Buffer& payload) {
   for (const ProcessId peer : info_.replicas) {
     if (peer != id()) send(peer, payload);
   }
@@ -226,18 +229,22 @@ void Replica::do_propose() {
     }
     const Propose pa{view_, next_instance_, batch};
     const Propose pb{view_, next_instance_, alt};
-    const Bytes ea = pa.encode();
-    const Bytes eb = pb.encode();
+    const Buffer ea{pa.encode()};
+    const Buffer eb{pb.encode()};
     std::size_t k = 0;
     for (const ProcessId peer : info_.replicas) {
       if (peer == id()) continue;
       send(peer, (k++ % 2 == 0) ? ea : eb);
     }
-  } else {
-    const Propose p{view_, next_instance_, batch};
-    broadcast(p.encode());
+    accept_proposal(view_, next_instance_, std::move(batch));
+    return;
   }
-  accept_proposal(view_, next_instance_, std::move(batch));
+  // One serialization feeds both the consensus digest and the wire encoding,
+  // and the encoded PROPOSE fans out as one shared buffer.
+  const Bytes encoded_batch = encode_batch(batch);
+  const Digest digest = Sha256::hash(encoded_batch);
+  broadcast(Propose::encode_with(view_, next_instance_, encoded_batch));
+  accept_proposal(view_, next_instance_, std::move(batch), &digest);
 }
 
 // --- consensus ---------------------------------------------------------------
@@ -246,11 +253,16 @@ void Replica::handle_propose(const sim::WireMessage& msg, Reader& r) {
   Propose p = Propose::decode(r);
   if (msg.from != leader_of(p.view)) return;  // only the view's leader
   if (p.view > view_) max_seen_view_ = std::max(max_seen_view_, p.view);
-  accept_proposal(p.view, p.instance, std::move(p.batch));
+  // The wire bytes past the fixed header ARE the encoded batch; hashing the
+  // slice gives batch_digest(p.batch) without a second serialization (the
+  // codec is canonical: decode∘encode is the identity on encodings).
+  const Digest digest =
+      Sha256::hash(msg.payload.view().subspan(kProposeBatchOffset));
+  accept_proposal(p.view, p.instance, std::move(p.batch), &digest);
 }
 
 void Replica::accept_proposal(std::uint64_t view, std::uint64_t instance,
-                              Batch batch) {
+                              Batch batch, const Digest* digest) {
   if (instance < next_instance_) return;  // already decided
   if (instance > next_instance_) {
     max_seen_instance_ = std::max(max_seen_instance_, instance);
@@ -263,7 +275,7 @@ void Replica::accept_proposal(std::uint64_t view, std::uint64_t instance,
   OpenConsensus oc;
   oc.instance = instance;
   oc.view = view;
-  oc.digest = batch_digest(batch);
+  oc.digest = digest != nullptr ? *digest : batch_digest(batch);
   oc.proposal = std::move(batch);
   oc.sent_write = true;
   open_ = std::move(oc);
@@ -421,6 +433,7 @@ void Replica::apply_reconfig(const Request& req) {
     if (!p.valid()) return;
   }
   info_.replicas = std::move(next);
+  info_.index_members();
   if (!info_.is_member(id())) {
     // We were reconfigured out; retire (BFT-SMaRt shuts the replica down).
     removed_ = true;
@@ -455,6 +468,12 @@ void Replica::send_reply(const Request& req, Bytes result) {
 
 void Replica::send_request(ProcessId to, const Request& req) {
   send(to, encode_request(req));
+}
+
+void Replica::send_request(const std::vector<ProcessId>& dsts,
+                           const Request& req) {
+  const Buffer encoded{encode_request(req)};
+  for (const ProcessId to : dsts) send(to, encoded);
 }
 
 // --- view change --------------------------------------------------------------

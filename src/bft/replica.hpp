@@ -14,6 +14,7 @@
 // (f+1 matching responses; snapshot + log tail).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
@@ -37,11 +38,24 @@ struct GroupInfo {
   GroupId id;
   int f = 1;
   std::vector<ProcessId> replicas;  // size 3f+1, index = replica index
+  /// Hash index over `replicas`, rebuilt by index_members(). Kept as a
+  /// separate member (instead of a constructor invariant) because GroupInfo
+  /// is aggregate-initialized throughout; is_member falls back to a linear
+  /// scan whenever the index is stale.
+  std::unordered_set<ProcessId> members;
 
   [[nodiscard]] int n() const { return static_cast<int>(replicas.size()); }
   [[nodiscard]] int quorum() const { return 2 * f + 1; }
   [[nodiscard]] bool is_member(ProcessId p) const {
+    if (members.size() == replicas.size() && !replicas.empty()) {
+      return members.contains(p);
+    }
     return std::find(replicas.begin(), replicas.end(), p) != replicas.end();
+  }
+  /// Rebuilds `members` from `replicas`; call after any membership change.
+  void index_members() {
+    members.clear();
+    members.insert(replicas.begin(), replicas.end());
   }
 };
 
@@ -76,6 +90,8 @@ class Replica final : public sim::Actor, public ReplicaContext {
   [[nodiscard]] Rng& app_rng() override { return rng(); }
   void send_reply(const Request& req, Bytes result) override;
   void send_request(ProcessId to, const Request& req) override;
+  void send_request(const std::vector<ProcessId>& dsts,
+                    const Request& req) override;
   void consume_app_cpu(Time cost) override { consume_cpu(cost); }
 
   // --- introspection (tests, benchmarks) ---------------------------------
@@ -131,7 +147,8 @@ class Replica final : public sim::Actor, public ReplicaContext {
   };
 
   [[nodiscard]] ProcessId leader_of(std::uint64_t view) const;
-  void broadcast(const Bytes& payload);
+  /// Fans `payload` to every peer: one materialized buffer, N-1 ref bumps.
+  void broadcast(const Buffer& payload);
 
   void handle_request(const sim::WireMessage& msg, Reader& r);
   void handle_propose(const sim::WireMessage& msg, Reader& r);
@@ -146,8 +163,11 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void admit_request(Request req);
   void maybe_start_consensus();
   void do_propose();
+  /// `digest` is the precomputed digest of the batch's encoded form (from
+  /// the wire slice or the leader's own encode); null means compute it here
+  /// (cold paths: SYNC, view change).
   void accept_proposal(std::uint64_t view, std::uint64_t instance,
-                       Batch batch);
+                       Batch batch, const Digest* digest = nullptr);
   void check_quorums();
   void decide(Batch batch);
   void execute_batch(const Batch& batch);

@@ -6,7 +6,9 @@
 // process's Authenticator).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/sha256.hpp"
@@ -43,6 +45,22 @@ class KeyStore {
 };
 
 /// A per-process capability for creating and checking MACs.
+///
+/// Successful kHmac verifications are memoized: the tree relay path makes a
+/// replica see the same (sender, payload) pair more than once (retransmits,
+/// a request forwarded up the tree coming back down), and re-running
+/// HMAC-SHA256 for bytes it already authenticated is pure waste. A cache hit
+/// requires the stored 32-byte MAC to equal the presented one AND the
+/// payload fingerprint+length to match, so accepting from the cache is
+/// exactly as strong as accepting a replay of an already-verified message —
+/// which the channel model permits anyway (replay protection lives in the
+/// protocol layer: request dedup, FIFO sequence numbers). kFast mode is not
+/// cached: its MAC is itself one cheap hash pass, the same cost as the
+/// fingerprint.
+///
+/// The cache is not locked: an Authenticator belongs to one actor, and both
+/// backends serialize everything an actor does (the simulator's scheduler /
+/// the runtime's per-actor worker pinning).
 class Authenticator {
  public:
   Authenticator(std::shared_ptr<const KeyStore> keys, ProcessId self)
@@ -57,9 +75,22 @@ class Authenticator {
   [[nodiscard]] bool verify(ProcessId from, BytesView data,
                             const Digest& mac) const;
 
+  /// Verifications answered from the memo (observability / tests).
+  [[nodiscard]] std::uint64_t verify_cache_hits() const { return hits_; }
+
  private:
+  struct CacheSlot {
+    std::int32_t from = -1;
+    std::uint32_t size = 0;
+    std::uint64_t fingerprint = 0;
+    Digest mac{};
+  };
+  static constexpr std::size_t kCacheSlots = 1024;  // direct-mapped, bounded
+
   std::shared_ptr<const KeyStore> keys_;
   ProcessId self_;
+  mutable std::vector<CacheSlot> cache_;  // lazily sized on first verify
+  mutable std::uint64_t hits_ = 0;
 };
 
 }  // namespace byzcast

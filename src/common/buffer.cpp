@@ -1,0 +1,41 @@
+#include "common/buffer.hpp"
+
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace byzcast {
+
+namespace {
+
+std::atomic<std::uint64_t> g_materializations{0};
+
+}  // namespace
+
+Buffer::Buffer(Bytes bytes)
+    : owner_(std::make_shared<const Bytes>(std::move(bytes))) {
+  data_ = owner_->data();
+  size_ = owner_->size();
+  g_materializations.fetch_add(1, std::memory_order_relaxed);
+}
+
+Buffer Buffer::copy_of(BytesView data) {
+  return Buffer(Bytes(data.begin(), data.end()));
+}
+
+Buffer Buffer::slice(std::size_t offset, std::size_t len) const {
+  BZC_EXPECTS(offset <= size_ && len <= size_ - offset);
+  return Buffer(owner_, data_ + offset, len);
+}
+
+bool operator==(const Buffer& a, const Buffer& b) {
+  if (a.aliases(b)) return true;
+  if (a.size_ != b.size_) return false;
+  return a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0;
+}
+
+std::uint64_t Buffer::materializations() {
+  return g_materializations.load(std::memory_order_relaxed);
+}
+
+}  // namespace byzcast

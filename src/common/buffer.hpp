@@ -1,0 +1,76 @@
+// Buffer: a ref-counted immutable byte payload shared across the message
+// fabric. Constructing one from Bytes "materializes" a heap buffer exactly
+// once; every copy afterwards is a shared_ptr bump, so an N-recipient
+// broadcast carries one allocation instead of N deep vector copies. A slice
+// shares the parent's ownership, which lets receivers hash or re-wrap a
+// sub-range (e.g. the encoded batch inside a PROPOSE) without copying and
+// without lifetime hazards: the slice keeps the backing storage alive even
+// after every full-range Buffer is gone.
+//
+// Thread-safety: the payload bytes are immutable after construction and the
+// control block is std::shared_ptr, so Buffers may be copied and read from
+// any thread concurrently (the cross-thread handoff path through
+// runtime::Mailbox relies on exactly this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace byzcast {
+
+class Buffer {
+ public:
+  /// Empty buffer (no storage, no materialization counted).
+  Buffer() = default;
+
+  /// Wraps `bytes` without copying. Intentionally implicit: every encoder
+  /// returns Bytes, and the conversion point is exactly where the one deep
+  /// buffer per logical payload comes into existence (counted — benchmarks
+  /// assert fan-out paths materialize once).
+  Buffer(Bytes bytes);  // NOLINT(google-explicit-constructor)
+
+  /// Deep-copies `data` into a fresh buffer (also counts a materialization).
+  [[nodiscard]] static Buffer copy_of(BytesView data);
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  std::uint8_t operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] BytesView view() const { return BytesView(data_, size_); }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// Sub-range [offset, offset+len) sharing this buffer's ownership. The
+  /// slice stays valid after the parent Buffer is destroyed.
+  [[nodiscard]] Buffer slice(std::size_t offset, std::size_t len) const;
+  /// Sub-range from `offset` to the end.
+  [[nodiscard]] Buffer slice(std::size_t offset) const {
+    return slice(offset, size_ - offset);
+  }
+
+  /// True when both views alias the same storage range (no byte compare).
+  [[nodiscard]] bool aliases(const Buffer& other) const {
+    return data_ == other.data_ && size_ == other.size_;
+  }
+
+  /// Content equality (bytewise; aliasing buffers short-circuit).
+  friend bool operator==(const Buffer& a, const Buffer& b);
+
+  /// Process-wide count of deep buffers created (Bytes wraps + copy_of).
+  /// Benchmarks diff this across a fan-out to prove encode-once behaviour.
+  [[nodiscard]] static std::uint64_t materializations();
+
+ private:
+  Buffer(std::shared_ptr<const Bytes> owner, const std::uint8_t* data,
+         std::size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  std::shared_ptr<const Bytes> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace byzcast

@@ -40,6 +40,13 @@ class Writer {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
+  /// Appends raw bytes with no length prefix (splicing an already-encoded
+  /// fragment, e.g. an encoded batch into a PROPOSE).
+  void raw(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+  /// Pre-sizes the underlying buffer for `n` more bytes.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void str(const std::string& s) {
     bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
                     s.size()));

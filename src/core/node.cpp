@@ -15,8 +15,11 @@ bool intersects(const std::set<GroupId>& reach,
                      [&reach](GroupId g) { return reach.contains(g); });
 }
 
-Bytes ack_bytes(const MulticastMessage& m) {
-  const Digest d = Sha256::hash(m.encode());
+Bytes ack_bytes(BytesView raw_op) {
+  // Digest of the encoded multicast message exactly as it was ordered; the
+  // encoding is canonical, so hashing the delivered bytes equals hashing a
+  // re-encode — minus one serialization per a-delivery.
+  const Digest d = Sha256::hash(raw_op);
   return Bytes(d.begin(), d.begin() + 8);
 }
 
@@ -88,7 +91,7 @@ void ByzCastNode::execute(const bft::Request& req) {
       // (f+1)-th x_k-delivery of m: at least one correct parent replica
       // relayed it, so m was genuinely ordered above us (Algorithm 1 l.9).
       copies_.erase(m.id);
-      handle(m);
+      handle(m, req.op);
     }
     return;
   }
@@ -101,10 +104,10 @@ void ByzCastNode::execute(const bft::Request& req) {
   if (entry != my_group) return;
   if (handled_.contains(m.id)) return;  // client retransmission
   stamp(m, HopEvent::kEnterGroup);
-  handle(m);
+  handle(m, req.op);
 }
 
-void ByzCastNode::handle(const MulticastMessage& m) {
+void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op) {
   handled_.insert(m.id);
   // Any copies counted before the threshold (or before a direct-path
   // handle) are no longer needed: late duplicates take the handled_ fast
@@ -152,14 +155,26 @@ void ByzCastNode::handle(const MulticastMessage& m) {
     synthetic.origin = m.id.origin;
     synthetic.seq = m.id.seq;
     Bytes reply =
-        shard_app_ ? shard_app_->apply(my_group, m) : ack_bytes(m);
+        shard_app_ ? shard_app_->apply(my_group, m) : ack_bytes(raw_op);
     ctx_->send_reply(synthetic, std::move(reply));
   }
 }
 
+namespace {
+
+/// Encodes `m` with its hop count bumped for the next tree level.
+Bytes encode_bumped(const MulticastMessage& m) {
+  MulticastMessage next_hop = m;
+  ++next_hop.hop;
+  return next_hop.encode();
+}
+
+}  // namespace
+
 void ByzCastNode::forward(const MulticastMessage& m) {
   const GroupId my_group = ctx_->group();
   bool first_relevant_child = true;
+  Bytes next_op;  // the bumped-hop encoding, shared by every child relay
   for (const GroupId child : tree_.children(my_group)) {
     if (!intersects(tree_.reach(child), m.dst)) continue;
     if (faults_.front_run && first_relevant_child) {
@@ -172,31 +187,30 @@ void ByzCastNode::forward(const MulticastMessage& m) {
       } else {
         const MulticastMessage held = *front_run_buffer_;
         front_run_buffer_.reset();
-        send_copy(child, m);
-        send_copy(child, held);
+        send_copy(child, m, encode_bumped(m));
+        send_copy(child, held, encode_bumped(held));
       }
       continue;
     }
     first_relevant_child = false;
-    send_copy(child, m);
+    if (next_op.empty()) next_op = encode_bumped(m);
+    send_copy(child, m, next_op);
   }
 }
 
-void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m) {
+void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m,
+                            const Bytes& encoded_op) {
   const auto it = registry_.find(child);
   BZC_ASSERT(it != registry_.end());
   stamp(m, HopEvent::kRelayed);
   if (relayed_ctr_ != nullptr) relayed_ctr_->inc();
-  MulticastMessage next_hop = m;
-  ++next_hop.hop;
   bft::Request relay;
   relay.group = child;
   relay.origin = ctx_->self();
   relay.seq = relay_seq_[child]++;
-  relay.op = next_hop.encode();
-  for (const ProcessId replica : it->second.replicas) {
-    ctx_->send_request(replica, relay);
-  }
+  relay.op = encoded_op;
+  // One encode of the relayed request, 3f+1 shared-buffer sends.
+  ctx_->send_request(it->second.replicas, relay);
 }
 
 }  // namespace byzcast::core

@@ -89,9 +89,12 @@ class ByzCastNode final : public bft::Application {
   void set_pending_expiry(Time expiry) { pending_expiry_ = expiry; }
 
  private:
-  void handle(const MulticastMessage& m);
+  /// `raw_op` is the encoded form of `m` as carried by the triggering
+  /// request; the a-deliver ack hashes it instead of re-encoding `m`.
+  void handle(const MulticastMessage& m, BytesView raw_op);
   void forward(const MulticastMessage& m);
-  void send_copy(GroupId child, const MulticastMessage& m);
+  void send_copy(GroupId child, const MulticastMessage& m,
+                 const Bytes& encoded_op);
   [[nodiscard]] bool valid_destinations(const MulticastMessage& m) const;
   void sweep_stale_copies();
   void stamp(const MulticastMessage& m, HopEvent event) const;

@@ -1,0 +1,211 @@
+// Checkers for the five atomic multicast properties of §II-B, evaluated over
+// a run's DeliveryLog. Callers supply which replicas are correct and which
+// messages were a-multicast by correct clients. Header-only and gtest-free so
+// both the test suite (via tests/support/properties.hpp) and the benchmark
+// harness can validate a run's log; each checker returns ok/error prose.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/delivery_log.hpp"
+#include "core/multicast.hpp"
+
+namespace byzcast::core {
+
+struct SentMessage {
+  MessageId id;
+  std::vector<GroupId> dst;  // canonical
+};
+
+struct PropertyInput {
+  const DeliveryLog* log = nullptr;
+  /// Messages a-multicast by correct clients (completed or not).
+  std::vector<SentMessage> sent;
+  /// Correct replicas per *target* group.
+  std::map<GroupId, std::vector<ProcessId>> correct_replicas;
+};
+
+/// Outcome of one property check; converts to bool (true = property holds).
+struct PropertyResult {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+  static PropertyResult pass() { return {}; }
+  static PropertyResult fail(std::string why) {
+    return PropertyResult{false, std::move(why)};
+  }
+};
+
+namespace detail {
+
+inline std::map<MessageId, SentMessage> index_sent(const PropertyInput& in) {
+  std::map<MessageId, SentMessage> out;
+  for (const auto& s : in.sent) out[s.id] = s;
+  return out;
+}
+
+inline std::map<ProcessId, GroupId> replica_groups(const PropertyInput& in) {
+  std::map<ProcessId, GroupId> out;
+  for (const auto& [g, replicas] : in.correct_replicas) {
+    for (const ProcessId p : replicas) out[p] = g;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Integrity: a correct replica a-delivers a message at most once, only if
+/// its group is in m.dst, and only if m was a-multicast (no fabricated ids).
+inline PropertyResult check_integrity(const PropertyInput& in) {
+  const auto sent = detail::index_sent(in);
+  const auto groups = detail::replica_groups(in);
+  std::set<std::pair<ProcessId, MessageId>> seen;
+  for (const auto& rec : in.log->records()) {
+    const auto git = groups.find(rec.replica);
+    if (git == groups.end()) continue;  // faulty replica: no guarantees
+    if (!seen.emplace(rec.replica, rec.msg).second) {
+      return PropertyResult::fail("replica " + to_string(rec.replica) +
+                                  " a-delivered " + to_string(rec.msg) +
+                                  " twice");
+    }
+    const auto sit = sent.find(rec.msg);
+    if (sit == sent.end()) {
+      return PropertyResult::fail(
+          "message " + to_string(rec.msg) +
+          " a-delivered but never a-multicast by a correct client");
+    }
+    const auto& dst = sit->second.dst;
+    if (std::find(dst.begin(), dst.end(), git->second) == dst.end()) {
+      return PropertyResult::fail("replica " + to_string(rec.replica) +
+                                  " of group " + to_string(git->second) +
+                                  " a-delivered " + to_string(rec.msg) +
+                                  " not addressed to its group");
+    }
+  }
+  return PropertyResult::pass();
+}
+
+/// Validity + agreement at quiescence: every sent message is a-delivered by
+/// every correct replica of every destination group.
+inline PropertyResult check_validity_agreement(const PropertyInput& in) {
+  std::set<std::pair<ProcessId, MessageId>> delivered;
+  for (const auto& rec : in.log->records()) {
+    delivered.emplace(rec.replica, rec.msg);
+  }
+  for (const auto& s : in.sent) {
+    for (const GroupId g : s.dst) {
+      const auto it = in.correct_replicas.find(g);
+      if (it == in.correct_replicas.end()) continue;
+      for (const ProcessId p : it->second) {
+        if (!delivered.contains({p, s.id})) {
+          return PropertyResult::fail("correct replica " + to_string(p) +
+                                      " of group " + to_string(g) +
+                                      " never a-delivered " + to_string(s.id));
+        }
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+/// Prefix order: two correct replicas never a-deliver two common messages in
+/// different relative orders.
+inline PropertyResult check_prefix_order(const PropertyInput& in) {
+  const auto groups = detail::replica_groups(in);
+  std::vector<ProcessId> replicas;
+  for (const auto& [p, g] : groups) replicas.push_back(p);
+
+  std::map<ProcessId, std::unordered_map<MessageId, std::size_t>> position;
+  for (const ProcessId p : replicas) {
+    const auto& seq = in.log->sequence(p);
+    for (std::size_t i = 0; i < seq.size(); ++i) position[p][seq[i]] = i;
+  }
+
+  for (std::size_t a = 0; a < replicas.size(); ++a) {
+    for (std::size_t b = a + 1; b < replicas.size(); ++b) {
+      const ProcessId p = replicas[a];
+      const ProcessId q = replicas[b];
+      const auto& ppos = position[p];
+      const auto& qpos = position[q];
+      // Common messages in p's order must have increasing q positions.
+      std::vector<std::pair<std::size_t, std::size_t>> common;
+      for (const auto& [msg, pi] : ppos) {
+        const auto qit = qpos.find(msg);
+        if (qit != qpos.end()) common.emplace_back(pi, qit->second);
+      }
+      std::sort(common.begin(), common.end());
+      for (std::size_t i = 1; i < common.size(); ++i) {
+        if (common[i].second < common[i - 1].second) {
+          return PropertyResult::fail("prefix order violated between " +
+                                      to_string(p) + " and " + to_string(q));
+        }
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+/// Acyclic order: the union of the correct replicas' delivery orders is a
+/// DAG (checked over consecutive-delivery edges; each replica's order is a
+/// path, so any cycle in < appears as a cycle here).
+inline PropertyResult check_acyclic_order(const PropertyInput& in) {
+  const auto groups = detail::replica_groups(in);
+  std::map<MessageId, std::set<MessageId>> edges;
+  std::set<MessageId> nodes;
+  for (const auto& [p, g] : groups) {
+    const auto& seq = in.log->sequence(p);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      nodes.insert(seq[i]);
+      if (i > 0 && !(seq[i - 1] == seq[i])) {
+        edges[seq[i - 1]].insert(seq[i]);
+      }
+    }
+  }
+  // Kahn's algorithm.
+  std::map<MessageId, std::size_t> indegree;
+  for (const auto& n : nodes) indegree[n] = 0;
+  for (const auto& [from, tos] : edges) {
+    for (const auto& to : tos) ++indegree[to];
+  }
+  std::queue<MessageId> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.push(n);
+  }
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const MessageId n = ready.front();
+    ready.pop();
+    ++emitted;
+    const auto it = edges.find(n);
+    if (it == edges.end()) continue;
+    for (const auto& to : it->second) {
+      if (--indegree[to] == 0) ready.push(to);
+    }
+  }
+  if (emitted != nodes.size()) {
+    return PropertyResult::fail(
+        "a-delivery precedence relation contains a cycle (" +
+        std::to_string(nodes.size() - emitted) + " messages involved)");
+  }
+  return PropertyResult::pass();
+}
+
+/// Runs all five property checks (validity and agreement are combined);
+/// returns the first failure, pass otherwise.
+inline PropertyResult check_all_properties(const PropertyInput& in) {
+  if (auto r = check_integrity(in); !r) return r;
+  if (auto r = check_validity_agreement(in); !r) return r;
+  if (auto r = check_prefix_order(in); !r) return r;
+  if (auto r = check_acyclic_order(in); !r) return r;
+  return PropertyResult::pass();
+}
+
+}  // namespace byzcast::core

@@ -62,10 +62,12 @@ void RuntimeEnv::schedule(ProcessId owner, Time delay,
                           std::function<void()> fn) {
   const std::size_t worker = network_.worker_of(owner);
   if (worker == Executor::npos) return;  // owner already detached
-  if (delay <= 0) {
-    // Zero-delay schedules are the actor drain continuations: post straight
-    // to the owner's worker (a self-post from that worker jumps the
-    // mailbox), never through the wheel's tick granularity.
+  if (delay < opts_.tick) {
+    // The wheel cannot resolve sub-tick delays: it rounds any positive
+    // delay up to 1-2 ticks, which turns a nanosecond-scale CPU-cost hint
+    // (actor drain continuations, simulated busy time) into a multi-
+    // millisecond stall on the real clock. Post straight to the owner's
+    // worker instead — on this backend the real CPU already paid the cost.
     executor_.post(worker, std::move(fn));
     return;
   }

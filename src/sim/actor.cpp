@@ -61,7 +61,7 @@ void Actor::maybe_drain() {
       });
 }
 
-void Actor::send(ProcessId to, Bytes payload) {
+void Actor::send(ProcessId to, Buffer payload) {
   if (crashed_) return;
   consume_cpu(env_.profile().cpu_send);
   WireMessage msg;

@@ -63,8 +63,10 @@ class Actor {
   [[nodiscard]] virtual Time service_cost(const WireMessage& msg) const;
 
   /// Signs and sends `payload` to `to` through the network. Adds the
-  /// per-send CPU cost to this actor's busy time.
-  void send(ProcessId to, Bytes payload);
+  /// per-send CPU cost to this actor's busy time. Takes a Buffer so fan-out
+  /// callers encode once and pass the same buffer to every recipient; a
+  /// Bytes rvalue converts implicitly (one materialization, no copy).
+  void send(ProcessId to, Buffer payload);
 
   /// Checks that `msg` was authenticated by its claimed sender for us.
   [[nodiscard]] bool verify(const WireMessage& msg) const;

@@ -4,6 +4,7 @@
 // simulator's scheduler or latency machinery.
 #pragma once
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/sha256.hpp"
 #include "common/types.hpp"
@@ -11,11 +12,14 @@
 namespace byzcast::sim {
 
 /// One message on the wire. `payload` is codec-encoded protocol content;
-/// `mac` authenticates (from -> to, payload).
+/// `mac` authenticates (from -> to, payload). The payload is a ref-counted
+/// immutable Buffer: fan-out sends of the same logical message share one
+/// backing allocation across every recipient (and across threads on the
+/// runtime backend).
 struct WireMessage {
   ProcessId from;
   ProcessId to;
-  Bytes payload;
+  Buffer payload;
   Digest mac{};
 };
 

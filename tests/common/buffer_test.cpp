@@ -1,0 +1,135 @@
+// Buffer semantics: wrap/copy materialization counting, aliasing across
+// copies and slices, slice lifetime past the parent's release, equality.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace byzcast {
+namespace {
+
+Bytes make_bytes(std::size_t n, std::uint8_t base = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(base + i);
+  }
+  return b;
+}
+
+TEST(Buffer, DefaultIsEmptyAndCountsNothing) {
+  const std::uint64_t before = Buffer::materializations();
+  const Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(Buffer::materializations(), before);
+}
+
+TEST(Buffer, WrappingBytesMaterializesExactlyOnce) {
+  const std::uint64_t before = Buffer::materializations();
+  const Buffer b{make_bytes(32)};
+  EXPECT_EQ(Buffer::materializations(), before + 1);
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_EQ(b[0], 0);
+  EXPECT_EQ(b[31], 31);
+}
+
+TEST(Buffer, CopiesAreRefBumpsNotMaterializations) {
+  const Buffer original{make_bytes(64)};
+  const std::uint64_t before = Buffer::materializations();
+  const Buffer a = original;            // NOLINT(performance-unnecessary-copy-initialization)
+  const Buffer c = a;                   // NOLINT(performance-unnecessary-copy-initialization)
+  std::vector<Buffer> fanout(10, original);
+  EXPECT_EQ(Buffer::materializations(), before);
+  EXPECT_TRUE(a.aliases(original));
+  EXPECT_TRUE(c.aliases(original));
+  for (const Buffer& f : fanout) {
+    EXPECT_EQ(f.data(), original.data());
+    EXPECT_EQ(f.size(), original.size());
+  }
+}
+
+TEST(Buffer, CopyOfDeepCopiesIntoFreshStorage) {
+  const Buffer original{make_bytes(16)};
+  const std::uint64_t before = Buffer::materializations();
+  const Buffer copy = Buffer::copy_of(original.view());
+  EXPECT_EQ(Buffer::materializations(), before + 1);
+  EXPECT_FALSE(copy.aliases(original));
+  EXPECT_NE(copy.data(), original.data());
+  EXPECT_EQ(copy, original);  // same content, different storage
+}
+
+TEST(Buffer, SliceAliasesParentStorage) {
+  const Buffer parent{make_bytes(100)};
+  const Buffer mid = parent.slice(10, 20);
+  ASSERT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data(), parent.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  EXPECT_EQ(mid[19], 29);
+
+  const Buffer tail = parent.slice(90);
+  ASSERT_EQ(tail.size(), 10u);
+  EXPECT_EQ(tail.data(), parent.data() + 90);
+
+  // Slicing a slice stays within the same backing allocation.
+  const Buffer inner = mid.slice(5, 5);
+  EXPECT_EQ(inner.data(), parent.data() + 15);
+}
+
+TEST(Buffer, SliceOutlivesParentBuffer) {
+  const std::uint64_t before = Buffer::materializations();
+  Buffer slice;
+  const std::uint8_t* parent_data = nullptr;
+  {
+    const Buffer parent{make_bytes(64, 100)};
+    parent_data = parent.data();
+    slice = parent.slice(8, 16);
+  }  // every full-range handle is gone; the slice must keep storage alive
+  ASSERT_EQ(slice.size(), 16u);
+  EXPECT_EQ(slice.data(), parent_data + 8);
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice[i], static_cast<std::uint8_t>(100 + 8 + i));
+  }
+  // Keeping the parent alive through the slice costs no extra buffer.
+  EXPECT_EQ(Buffer::materializations(), before + 1);
+}
+
+TEST(Buffer, FullRangeSliceAliasesButZeroLengthDoesNotCrash) {
+  const Buffer parent{make_bytes(8)};
+  EXPECT_TRUE(parent.slice(0, 8).aliases(parent));
+  const Buffer empty = parent.slice(8);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Buffer, EqualityIsContentBased) {
+  const Buffer a{make_bytes(24, 7)};
+  const Buffer b{make_bytes(24, 7)};   // same content, separate storage
+  const Buffer c{make_bytes(24, 9)};   // different content
+  const Buffer d{make_bytes(23, 7)};   // different length
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.aliases(b));
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_EQ(a, a);  // aliasing short-circuit
+  EXPECT_EQ(Buffer{}, Buffer{});
+}
+
+TEST(Buffer, ConvertsToBytesView) {
+  const Buffer b{make_bytes(12)};
+  const BytesView v = b;
+  EXPECT_EQ(v.data(), b.data());
+  EXPECT_EQ(v.size(), b.size());
+  EXPECT_EQ(b.view().size(), 12u);
+}
+
+TEST(Buffer, MoveLeavesContentReachableThroughTarget) {
+  Buffer src{make_bytes(40)};
+  const std::uint8_t* data = src.data();
+  const Buffer dst = std::move(src);
+  EXPECT_EQ(dst.data(), data);
+  EXPECT_EQ(dst.size(), 40u);
+}
+
+}  // namespace
+}  // namespace byzcast

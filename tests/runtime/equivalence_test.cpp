@@ -1,0 +1,167 @@
+// Sim-vs-runtime equivalence over the zero-copy wire fabric: the same fixed
+// workload is run on the deterministic simulator (twice — its DeliveryLog
+// must be bit-for-bit identical across runs, so the shared-Buffer fan-out
+// cannot have introduced nondeterminism) and on the wall-clock thread
+// backend. Both logs must satisfy the §II-B atomic multicast properties and
+// agree on *what* each group delivered; the runtime's interleaving may
+// differ, which is exactly what the property checkers constrain.
+// (Suite name matches the ThreadSanitizer CI filter via "RuntimeSystem".)
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/multicast.hpp"
+#include "runtime/parallel_system.hpp"
+#include "support/byzcast_harness.hpp"
+#include "support/properties.hpp"
+
+namespace byzcast::runtime {
+namespace {
+
+using testing::ByzCastHarness;
+using testing::HarnessConfig;
+using testing::PropertyInput;
+using testing::SentMessage;
+using testing::TreeKind;
+
+constexpr int kClients = 2;
+
+/// Per client: three locals and three globals over two target groups.
+const std::vector<std::vector<GroupId>>& schedule() {
+  static const std::vector<std::vector<GroupId>> kSchedule{
+      {GroupId{0}},
+      {GroupId{1}},
+      {GroupId{0}, GroupId{1}},
+      {GroupId{0}},
+      {GroupId{0}, GroupId{1}},
+      {GroupId{1}},
+  };
+  return kSchedule;
+}
+
+/// (group, client index, client-local seq): which message a group delivered,
+/// independent of the backend's process-id assignment.
+using DeliveredKey = std::tuple<std::int32_t, std::size_t, std::uint64_t>;
+
+/// Raw delivery tuple for exact sim-vs-sim comparison (includes order and
+/// virtual timestamps).
+using RawRecord =
+    std::tuple<std::int32_t, std::int32_t, std::int32_t, std::uint64_t,
+               Time>;
+
+struct SimRun {
+  std::vector<RawRecord> raw;           // full log, in record order
+  std::set<DeliveredKey> delivered;     // group-level delivered sets
+};
+
+SimRun run_sim(std::uint64_t seed) {
+  HarnessConfig config;
+  config.tree = TreeKind::kTwoLevel;
+  config.num_targets = 2;
+  config.f = 1;
+  config.seed = seed;
+  ByzCastHarness h(config);
+  h.run_tracked(kClients, static_cast<int>(schedule().size()),
+                [](int, int k, Rng&) {
+                  return schedule()[static_cast<std::size_t>(k)];
+                });
+  EXPECT_EQ(h.completions,
+            kClients * static_cast<int>(schedule().size()));
+  testing::expect_atomic_multicast_properties(h.property_input());
+
+  std::map<std::int32_t, std::size_t> client_index;
+  for (std::size_t c = 0; c < h.clients.size(); ++c) {
+    client_index[h.clients[c]->id().value] = c;
+  }
+
+  SimRun out;
+  for (const auto& rec : h.system.delivery_log().records()) {
+    out.raw.emplace_back(rec.group.value, rec.replica.value,
+                         rec.msg.origin.value, rec.msg.seq, rec.when);
+    const auto it = client_index.find(rec.msg.origin.value);
+    if (it == client_index.end()) {
+      ADD_FAILURE() << "delivery from unknown origin "
+                    << rec.msg.origin.value;
+      continue;
+    }
+    out.delivered.emplace(rec.group.value, it->second, rec.msg.seq);
+  }
+  return out;
+}
+
+TEST(RuntimeSystemEquivalence, SimIsDeterministicAndRuntimeDeliversSameSets) {
+  // 1) Determinism: two sim runs with the same seed produce the same
+  //    DeliveryLog record-for-record (order, replicas, timestamps). Shared
+  //    payload buffers must not leak wall-clock state into the simulation.
+  const SimRun sim_a = run_sim(/*seed=*/42);
+  const SimRun sim_b = run_sim(/*seed=*/42);
+  ASSERT_EQ(sim_a.raw.size(), sim_b.raw.size());
+  EXPECT_EQ(sim_a.raw, sim_b.raw);
+
+  // 2) The wall-clock backend, same workload: properties hold and every
+  //    group a-delivers exactly the same message set as the simulator.
+  const std::vector<GroupId> targets{GroupId{0}, GroupId{1}};
+  ParallelOptions opts;
+  opts.runtime.seed = 42;
+  ParallelSystem system(core::OverlayTree::two_level(targets, GroupId{100}),
+                        /*f=*/1, opts);
+  std::vector<core::Client*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(&system.add_client("client" + std::to_string(c)));
+  }
+  system.start();
+
+  std::vector<SentMessage> sent;
+  std::vector<std::vector<GroupId>> dsts;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    for (std::size_t k = 0; k < schedule().size(); ++k) {
+      core::MulticastMessage canon;
+      canon.dst = schedule()[k];
+      canon.canonicalize();
+      sent.push_back(SentMessage{
+          MessageId{clients[c]->id(), static_cast<std::uint64_t>(k)},
+          canon.dst});
+      dsts.push_back(canon.dst);
+      ASSERT_TRUE(system.a_multicast(
+          *clients[c], canon.dst,
+          to_bytes("m-" + std::to_string(c) + "-" + std::to_string(k))));
+    }
+  }
+  const std::size_t expected = system.expected_deliveries(dsts);
+  ASSERT_TRUE(
+      system.await_total_deliveries(expected, std::chrono::minutes(3)))
+      << system.delivery_log().total_deliveries() << "/" << expected;
+  system.stop();
+
+  PropertyInput in;
+  in.log = &system.delivery_log();
+  in.sent = sent;
+  for (const GroupId g : targets) {
+    auto& grp = system.system().group(g);
+    for (const int i : grp.correct_indices()) {
+      in.correct_replicas[g].push_back(grp.replica(i).id());
+    }
+  }
+  testing::expect_atomic_multicast_properties(in);
+
+  std::map<std::int32_t, std::size_t> client_index;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    client_index[clients[c]->id().value] = c;
+  }
+  std::set<DeliveredKey> runtime_delivered;
+  for (const auto& rec : system.delivery_log().records()) {
+    const auto it = client_index.find(rec.msg.origin.value);
+    ASSERT_NE(it, client_index.end());
+    runtime_delivered.emplace(rec.group.value, it->second, rec.msg.seq);
+  }
+  EXPECT_EQ(runtime_delivered, sim_a.delivered);
+}
+
+}  // namespace
+}  // namespace byzcast::runtime

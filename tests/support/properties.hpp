@@ -1,192 +1,47 @@
-// Checkers for the five atomic multicast properties of §II-B, evaluated over
-// a run's DeliveryLog. Tests supply which replicas are correct and which
-// messages were a-multicast by correct clients.
+// gtest adapter over the atomic-multicast property checkers. The checking
+// logic lives in src/core/properties.hpp (gtest-free) so the benchmark
+// harness can validate runs too; this wrapper converts PropertyResult into
+// ::testing::AssertionResult for EXPECT_TRUE ergonomics.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <map>
-#include <queue>
-#include <set>
-#include <unordered_map>
-#include <vector>
-
-#include "core/delivery_log.hpp"
-#include "core/multicast.hpp"
+#include "core/properties.hpp"
 
 namespace byzcast::testing {
 
-struct SentMessage {
-  MessageId id;
-  std::vector<GroupId> dst;  // canonical
-};
+using SentMessage = core::SentMessage;
 
-struct PropertyInput {
-  const core::DeliveryLog* log = nullptr;
-  /// Messages a-multicast by correct clients (completed or not).
-  std::vector<SentMessage> sent;
-  /// Correct replicas per *target* group.
-  std::map<GroupId, std::vector<ProcessId>> correct_replicas;
-};
+/// Distinct type (not an alias): ADL on it finds these gtest wrappers from
+/// any test namespace, and passing the derived type makes the wrappers an
+/// exact match, so they beat the core:: checkers instead of colliding with
+/// them. Slices cleanly — the checkers only read the base's fields.
+struct PropertyInput : core::PropertyInput {};
 
 namespace detail {
 
-inline std::map<MessageId, SentMessage> index_sent(const PropertyInput& in) {
-  std::map<MessageId, SentMessage> out;
-  for (const auto& s : in.sent) out[s.id] = s;
-  return out;
-}
-
-inline std::map<ProcessId, GroupId> replica_groups(const PropertyInput& in) {
-  std::map<ProcessId, GroupId> out;
-  for (const auto& [g, replicas] : in.correct_replicas) {
-    for (const ProcessId p : replicas) out[p] = g;
-  }
-  return out;
+inline ::testing::AssertionResult to_assertion(const core::PropertyResult& r) {
+  if (r.ok) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << r.error;
 }
 
 }  // namespace detail
 
-/// Integrity: a correct replica a-delivers a message at most once, only if
-/// its group is in m.dst, and only if m was a-multicast (no fabricated ids).
 inline ::testing::AssertionResult check_integrity(const PropertyInput& in) {
-  const auto sent = detail::index_sent(in);
-  const auto groups = detail::replica_groups(in);
-  std::set<std::pair<ProcessId, MessageId>> seen;
-  for (const auto& rec : in.log->records()) {
-    const auto git = groups.find(rec.replica);
-    if (git == groups.end()) continue;  // faulty replica: no guarantees
-    if (!seen.emplace(rec.replica, rec.msg).second) {
-      return ::testing::AssertionFailure()
-             << "replica " << to_string(rec.replica) << " a-delivered "
-             << to_string(rec.msg) << " twice";
-    }
-    const auto sit = sent.find(rec.msg);
-    if (sit == sent.end()) {
-      return ::testing::AssertionFailure()
-             << "message " << to_string(rec.msg)
-             << " a-delivered but never a-multicast by a correct client";
-    }
-    const auto& dst = sit->second.dst;
-    if (std::find(dst.begin(), dst.end(), git->second) == dst.end()) {
-      return ::testing::AssertionFailure()
-             << "replica " << to_string(rec.replica) << " of group "
-             << to_string(git->second) << " a-delivered "
-             << to_string(rec.msg) << " not addressed to its group";
-    }
-  }
-  return ::testing::AssertionSuccess();
+  return detail::to_assertion(core::check_integrity(in));
 }
 
-/// Validity + agreement at quiescence: every sent message is a-delivered by
-/// every correct replica of every destination group.
 inline ::testing::AssertionResult check_validity_agreement(
     const PropertyInput& in) {
-  std::set<std::pair<ProcessId, MessageId>> delivered;
-  for (const auto& rec : in.log->records()) {
-    delivered.emplace(rec.replica, rec.msg);
-  }
-  for (const auto& s : in.sent) {
-    for (const GroupId g : s.dst) {
-      const auto it = in.correct_replicas.find(g);
-      if (it == in.correct_replicas.end()) continue;
-      for (const ProcessId p : it->second) {
-        if (!delivered.contains({p, s.id})) {
-          return ::testing::AssertionFailure()
-                 << "correct replica " << to_string(p) << " of group "
-                 << to_string(g) << " never a-delivered "
-                 << to_string(s.id);
-        }
-      }
-    }
-  }
-  return ::testing::AssertionSuccess();
+  return detail::to_assertion(core::check_validity_agreement(in));
 }
 
-/// Prefix order: two correct replicas never a-deliver two common messages in
-/// different relative orders.
-inline ::testing::AssertionResult check_prefix_order(
-    const PropertyInput& in) {
-  const auto groups = detail::replica_groups(in);
-  std::vector<ProcessId> replicas;
-  for (const auto& [p, g] : groups) replicas.push_back(p);
-
-  std::map<ProcessId, std::unordered_map<MessageId, std::size_t>> position;
-  for (const ProcessId p : replicas) {
-    const auto& seq = in.log->sequence(p);
-    for (std::size_t i = 0; i < seq.size(); ++i) position[p][seq[i]] = i;
-  }
-
-  for (std::size_t a = 0; a < replicas.size(); ++a) {
-    for (std::size_t b = a + 1; b < replicas.size(); ++b) {
-      const ProcessId p = replicas[a];
-      const ProcessId q = replicas[b];
-      const auto& ppos = position[p];
-      const auto& qpos = position[q];
-      // Common messages in p's order must have increasing q positions.
-      std::vector<std::pair<std::size_t, std::size_t>> common;
-      for (const auto& [msg, pi] : ppos) {
-        const auto qit = qpos.find(msg);
-        if (qit != qpos.end()) common.emplace_back(pi, qit->second);
-      }
-      std::sort(common.begin(), common.end());
-      for (std::size_t i = 1; i < common.size(); ++i) {
-        if (common[i].second < common[i - 1].second) {
-          return ::testing::AssertionFailure()
-                 << "prefix order violated between " << to_string(p)
-                 << " and " << to_string(q);
-        }
-      }
-    }
-  }
-  return ::testing::AssertionSuccess();
+inline ::testing::AssertionResult check_prefix_order(const PropertyInput& in) {
+  return detail::to_assertion(core::check_prefix_order(in));
 }
 
-/// Acyclic order: the union of the correct replicas' delivery orders is a
-/// DAG (checked over consecutive-delivery edges; each replica's order is a
-/// path, so any cycle in < appears as a cycle here).
-inline ::testing::AssertionResult check_acyclic_order(
-    const PropertyInput& in) {
-  const auto groups = detail::replica_groups(in);
-  std::map<MessageId, std::set<MessageId>> edges;
-  std::set<MessageId> nodes;
-  for (const auto& [p, g] : groups) {
-    const auto& seq = in.log->sequence(p);
-    for (std::size_t i = 0; i < seq.size(); ++i) {
-      nodes.insert(seq[i]);
-      if (i > 0 && !(seq[i - 1] == seq[i])) {
-        edges[seq[i - 1]].insert(seq[i]);
-      }
-    }
-  }
-  // Kahn's algorithm.
-  std::map<MessageId, std::size_t> indegree;
-  for (const auto& n : nodes) indegree[n] = 0;
-  for (const auto& [from, tos] : edges) {
-    for (const auto& to : tos) ++indegree[to];
-  }
-  std::queue<MessageId> ready;
-  for (const auto& [n, d] : indegree) {
-    if (d == 0) ready.push(n);
-  }
-  std::size_t emitted = 0;
-  while (!ready.empty()) {
-    const MessageId n = ready.front();
-    ready.pop();
-    ++emitted;
-    const auto it = edges.find(n);
-    if (it == edges.end()) continue;
-    for (const auto& to : it->second) {
-      if (--indegree[to] == 0) ready.push(to);
-    }
-  }
-  if (emitted != nodes.size()) {
-    return ::testing::AssertionFailure()
-           << "a-delivery precedence relation contains a cycle ("
-           << nodes.size() - emitted << " messages involved)";
-  }
-  return ::testing::AssertionSuccess();
+inline ::testing::AssertionResult check_acyclic_order(const PropertyInput& in) {
+  return detail::to_assertion(core::check_acyclic_order(in));
 }
 
 /// Runs all five property checks (validity and agreement are combined).

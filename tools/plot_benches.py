@@ -62,11 +62,10 @@ def summarize_sidecar(name, doc):
         print(f"  WARNING: {dropped} trace events dropped (capacity)")
 
 
-def find_runtime_bench(src):
-    """Locates BENCH_runtime.json (written by bench_runtime_throughput) next
-    to the CSV dir or in the working directory."""
-    for candidate in (os.path.join(src, "BENCH_runtime.json"),
-                      "BENCH_runtime.json"):
+def find_bench_json(src, name):
+    """Locates a BENCH_*.json (written by bench_runtime_throughput) next to
+    the CSV dir or in the working directory."""
+    for candidate in (os.path.join(src, name), name):
         if os.path.isfile(candidate):
             try:
                 return load_sidecar(candidate)
@@ -84,6 +83,60 @@ def summarize_runtime_bench(doc):
               f"{c.get('throughput_msgs_s', 0):.0f} msg/s, "
               f"mean {c.get('latency_mean_ms', 0):.2f} ms, "
               f"p95 {c.get('latency_p95_ms', 0):.2f} ms")
+
+
+def summarize_wire_bench(doc):
+    """BENCH_wire.json: before/after throughput of the zero-copy wire fabric
+    plus the property-checker verdict per config."""
+    configs = doc.get("configs", [])
+    print(f"\nBENCH_wire.json (zero-copy wire fabric, baseline: "
+          f"{doc.get('baseline_source', '?')}):")
+    for c in configs:
+        after = c.get("throughput_after_msgs_s", 0.0)
+        before = c.get("throughput_before_msgs_s")
+        pct = c.get("improvement_pct")
+        ok = c.get("properties_ok")
+        delta = (f"{before:.0f} -> {after:.0f} msg/s ({pct:+.1f}%)"
+                 if before is not None and pct is not None
+                 else f"{after:.0f} msg/s (no baseline)")
+        verdict = "properties OK" if ok else \
+            f"PROPERTIES VIOLATED: {c.get('properties_error', '?')}"
+        print(f"  {c.get('groups')} groups {c.get('pattern'):<5} "
+              f"{delta}, {verdict}")
+
+
+def plot_wire_bench(doc, dst, plt):
+    """Grouped before/after bars, one pair per (groups, pattern) config."""
+    configs = [c for c in doc.get("configs", [])
+               if c.get("throughput_before_msgs_s") is not None]
+    if not configs:
+        return
+    labels = [f"{c['groups']}g {c['pattern']}" for c in configs]
+    before = [c["throughput_before_msgs_s"] for c in configs]
+    after = [c["throughput_after_msgs_s"] for c in configs]
+    xs = list(range(len(configs)))
+    fig, ax = plt.subplots(figsize=(6, 4))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], before, width, label="before",
+           color="gray")
+    bars = ax.bar([x + width / 2 for x in xs], after, width, label="after")
+    for x, bar, c in zip(xs, bars, configs):
+        pct = c.get("improvement_pct")
+        if pct is not None:
+            ax.annotate(f"{pct:+.0f}%", (bar.get_x() + bar.get_width() / 2,
+                                         bar.get_height()),
+                        ha="center", va="bottom", fontsize=8)
+    ax.set_xticks(xs)
+    ax.set_xticklabels(labels)
+    ax.set_ylabel("wall-clock msg/s")
+    ax.set_title("zero-copy wire fabric: before/after throughput")
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    out = os.path.join(dst, "wire_fabric_before_after.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
 
 
 def plot_runtime_bench(doc, src, dst, plt):
@@ -177,9 +230,12 @@ def main():
             print(f"skipping malformed sidecar {name}: {err}")
     for name, doc in docs.items():
         summarize_sidecar(name, doc)
-    runtime_bench = find_runtime_bench(src)
+    runtime_bench = find_bench_json(src, "BENCH_runtime.json")
     if runtime_bench:
         summarize_runtime_bench(runtime_bench)
+    wire_bench = find_bench_json(src, "BENCH_wire.json")
+    if wire_bench:
+        summarize_wire_bench(wire_bench)
 
     try:
         import matplotlib
@@ -230,6 +286,8 @@ def main():
         plot_sidecar_timeseries(name, doc, dst, plt)
     if runtime_bench:
         plot_runtime_bench(runtime_bench, src, dst, plt)
+    if wire_bench:
+        plot_wire_bench(wire_bench, dst, plt)
     return 0
 
 
