@@ -89,7 +89,7 @@ void assert_encode_once_fanout() {
 
   check(completions == kOps, "benchmark group did not complete its ops");
   check(!pointers.empty(), "no PROPOSE traffic observed");
-  const std::size_t peers = group.info().replicas.size() - 1;  // 3f+1 - self
+  const std::size_t peers = group.info().replicas().size() - 1;  // 3f+1 - self
   for (const auto& [key, ptrs] : pointers) {
     check(ptrs.size() == 1,
           "a PROPOSE fan-out serialized its payload more than once");
@@ -157,9 +157,10 @@ void BM_AuthenticatorSignVerify(benchmark::State& state) {
 BENCHMARK(BM_AuthenticatorSignVerify);
 
 // Repeated verification of the same (sender, payload, mac): after the first
-// full HMAC pass every check is answered by the fingerprint memo. This is
-// the tree relay pattern — a replica sees the same relayed request from f+1
-// parent replicas and across retransmits.
+// full HMAC pass every check is answered by the payload-digest memo (one
+// unkeyed SHA-256 pass instead of the keyed HMAC). This is the tree relay
+// pattern — a replica sees the same relayed request from f+1 parent
+// replicas and across retransmits.
 void BM_MacVerifyMemoized(benchmark::State& state) {
   const auto keys = std::make_shared<KeyStore>(1, MacMode::kHmac);
   const Authenticator alice(keys, ProcessId{1});

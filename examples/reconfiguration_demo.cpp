@@ -46,7 +46,7 @@ class Admin final : public sim::Actor {
     req.reconfig = true;
     req.op = bft::encode_membership(membership);
     const Bytes encoded = bft::encode_request(req);
-    for (const ProcessId r : group_.replicas) send(r, encoded);
+    for (const ProcessId r : group_.replicas()) send(r, encoded);
   }
 
  protected:
@@ -92,7 +92,7 @@ int main() {
       if (completed == 10) {
         std::printf("after %2d ops: swapping out replica 3 (backup)...\n",
                     completed);
-        std::vector<ProcessId> next = group.info().replicas;
+        std::vector<ProcessId> next = group.info().replicas();
         next[3] = group.replica(standby).id();
         admin.reconfigure(next);
       }

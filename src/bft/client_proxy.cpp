@@ -7,7 +7,6 @@ namespace byzcast::bft {
 ClientProxy::ClientProxy(sim::ExecutionEnv& env, GroupInfo group,
                          std::string name)
     : Actor(env, std::move(name)), group_(std::move(group)) {
-  group_.index_members();  // callers often aggregate-initialize GroupInfo
   retry_interval_ = 2 * env.profile().leader_timeout;
 }
 
@@ -28,7 +27,7 @@ void ClientProxy::invoke(Bytes op, Completion on_done) {
 void ClientProxy::transmit() {
   BZC_EXPECTS(pending_.has_value());
   const Buffer encoded{encode_request(pending_->req)};
-  for (const ProcessId replica : group_.replicas) send(replica, encoded);
+  for (const ProcessId replica : group_.replicas()) send(replica, encoded);
 }
 
 void ClientProxy::arm_retry(std::uint64_t seq) {

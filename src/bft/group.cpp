@@ -20,9 +20,8 @@ Group::Group(sim::ExecutionEnv& env, GroupId id, int f,
                        : faults[static_cast<std::size_t>(i)];
     replicas_.push_back(
         std::make_unique<Replica>(env, id, f, i, make_app(i), spec));
-    info_.replicas.push_back(replicas_.back()->id());
+    info_.add_replica(replicas_.back()->id());
   }
-  info_.index_members();
   for (auto& replica : replicas_) replica->start(info_);
 }
 

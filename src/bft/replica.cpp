@@ -36,7 +36,7 @@ Bytes Replica::make_snapshot() const {
     w.process_id(pid);
     w.u64(seq);
   }
-  w.vec(info_.replicas, [](Writer& ww, ProcessId p) { ww.process_id(p); });
+  w.vec(info_.replicas(), [](Writer& ww, ProcessId p) { ww.process_id(p); });
   return w.take();
 }
 
@@ -55,9 +55,8 @@ void Replica::restore_snapshot(BytesView snapshot) {
     const ProcessId pid = sr.process_id();
     fifo_next_[pid] = sr.u64();
   }
-  info_.replicas =
-      sr.vec<ProcessId>([](Reader& rr) { return rr.process_id(); });
-  info_.index_members();
+  info_.set_replicas(
+      sr.vec<ProcessId>([](Reader& rr) { return rr.process_id(); }));
   if (info_.is_member(id())) {
     standby_ = false;
   } else if (!standby_) {
@@ -69,10 +68,9 @@ void Replica::restore_snapshot(BytesView snapshot) {
 void Replica::start(const GroupInfo& info) {
   BZC_EXPECTS(!started_);
   BZC_EXPECTS(info.id == group_ && info.f == f_);
-  BZC_EXPECTS(static_cast<int>(info.replicas.size()) == 3 * f_ + 1);
-  BZC_EXPECTS(info.replicas[static_cast<std::size_t>(index_)] == id());
+  BZC_EXPECTS(static_cast<int>(info.replicas().size()) == 3 * f_ + 1);
+  BZC_EXPECTS(info.replicas()[static_cast<std::size_t>(index_)] == id());
   info_ = info;
-  info_.index_members();
   started_ = true;
   if (faults_.silent) {
     crash();
@@ -89,20 +87,19 @@ void Replica::start_standby(const GroupInfo& info) {
   BZC_EXPECTS(info.id == group_ && info.f == f_);
   BZC_EXPECTS(!info.is_member(id()));
   info_ = info;
-  info_.index_members();
   started_ = true;
   standby_ = true;
   arm_liveness_timer();  // drives anti-entropy once evidence arrives
 }
 
 ProcessId Replica::leader_of(std::uint64_t view) const {
-  return info_.replicas[view % info_.replicas.size()];
+  return info_.replicas()[view % info_.replicas().size()];
 }
 
 bool Replica::is_leader() const { return leader_of(view_) == id(); }
 
 void Replica::broadcast(const Buffer& payload) {
-  for (const ProcessId peer : info_.replicas) {
+  for (const ProcessId peer : info_.replicas()) {
     if (peer != id()) send(peer, payload);
   }
 }
@@ -232,7 +229,7 @@ void Replica::do_propose() {
     const Buffer ea{pa.encode()};
     const Buffer eb{pb.encode()};
     std::size_t k = 0;
-    for (const ProcessId peer : info_.replicas) {
+    for (const ProcessId peer : info_.replicas()) {
       if (peer == id()) continue;
       send(peer, (k++ % 2 == 0) ? ea : eb);
     }
@@ -251,6 +248,12 @@ void Replica::do_propose() {
 
 void Replica::handle_propose(const sim::WireMessage& msg, Reader& r) {
   Propose p = Propose::decode(r);
+  // A Byzantine leader could append garbage past the encoded batch; the
+  // slice hash below would then differ from batch_digest(p.batch) and split
+  // honest replicas into distinct digest camps for one batch. With trailing
+  // bytes rejected the fixed-width codec is bijective and the slice IS the
+  // canonical encoding.
+  if (!r.exhausted()) return;
   if (msg.from != leader_of(p.view)) return;  // only the view's leader
   if (p.view > view_) max_seen_view_ = std::max(max_seen_view_, p.view);
   // The wire bytes past the fixed header ARE the encoded batch; hashing the
@@ -432,8 +435,7 @@ void Replica::apply_reconfig(const Request& req) {
   for (const ProcessId p : next) {
     if (!p.valid()) return;
   }
-  info_.replicas = std::move(next);
-  info_.index_members();
+  info_.set_replicas(std::move(next));
   if (!info_.is_member(id())) {
     // We were reconfigured out; retire (BFT-SMaRt shuts the replica down).
     removed_ = true;

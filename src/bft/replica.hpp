@@ -34,29 +34,39 @@
 namespace byzcast::bft {
 
 /// Static description of one group, shared with clients and peers.
-struct GroupInfo {
+/// Membership is mutated only through set_replicas()/add_replica(), which
+/// keep the hash index in sync; is_member never has to infer whether a
+/// cached index is fresh (copies carry a consistent index with them).
+class GroupInfo {
+ public:
   GroupId id;
   int f = 1;
-  std::vector<ProcessId> replicas;  // size 3f+1, index = replica index
-  /// Hash index over `replicas`, rebuilt by index_members(). Kept as a
-  /// separate member (instead of a constructor invariant) because GroupInfo
-  /// is aggregate-initialized throughout; is_member falls back to a linear
-  /// scan whenever the index is stale.
-  std::unordered_set<ProcessId> members;
 
-  [[nodiscard]] int n() const { return static_cast<int>(replicas.size()); }
+  /// Size 3f+1, vector index = replica index.
+  [[nodiscard]] const std::vector<ProcessId>& replicas() const {
+    return replicas_;
+  }
+  /// Replaces the whole membership and reindexes.
+  void set_replicas(std::vector<ProcessId> replicas) {
+    replicas_ = std::move(replicas);
+    members_.clear();
+    members_.insert(replicas_.begin(), replicas_.end());
+  }
+  /// Appends one replica (group construction) and indexes it.
+  void add_replica(ProcessId p) {
+    replicas_.push_back(p);
+    members_.insert(p);
+  }
+
+  [[nodiscard]] int n() const { return static_cast<int>(replicas_.size()); }
   [[nodiscard]] int quorum() const { return 2 * f + 1; }
   [[nodiscard]] bool is_member(ProcessId p) const {
-    if (members.size() == replicas.size() && !replicas.empty()) {
-      return members.contains(p);
-    }
-    return std::find(replicas.begin(), replicas.end(), p) != replicas.end();
+    return members_.contains(p);
   }
-  /// Rebuilds `members` from `replicas`; call after any membership change.
-  void index_members() {
-    members.clear();
-    members.insert(replicas.begin(), replicas.end());
-  }
+
+ private:
+  std::vector<ProcessId> replicas_;
+  std::unordered_set<ProcessId> members_;  // hash index over replicas_
 };
 
 class Replica final : public sim::Actor, public ReplicaContext {

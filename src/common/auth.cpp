@@ -68,17 +68,23 @@ bool Authenticator::verify(ProcessId from, BytesView data,
   if (keys_->mode() == MacMode::kFast) {
     return fast_mac(keys_->pair_key64(from, self_), data) == mac;
   }
-  // Memo lookup: one fnv pass over the payload instead of a full HMAC when
-  // this exact (sender, payload, mac) triple was already verified.
-  const std::uint64_t fp = fnv1a(0xcbf29ce484222325ULL, data);
+  // Memo lookup: one SHA-256 pass over the payload instead of the full HMAC
+  // when this exact (sender, payload, mac) triple was already verified. The
+  // slot is matched on the payload's full digest — second-preimage
+  // resistance rules out a different payload hitting a stored entry, so the
+  // memo never accepts anything HMAC itself would not.
+  const Digest ph = Sha256::hash(data);
+  std::uint64_t fp = 0;
+  for (int i = 0; i < 8; ++i) {
+    fp |= static_cast<std::uint64_t>(ph[static_cast<std::size_t>(i)])
+          << (8 * i);
+  }
   if (cache_.empty()) cache_.resize(kCacheSlots);
   CacheSlot& slot =
       cache_[(fp ^ static_cast<std::uint64_t>(
                        static_cast<std::uint32_t>(from.value) * 0x9e3779b9U)) %
              kCacheSlots];
-  if (slot.from == from.value && slot.fingerprint == fp &&
-      slot.size == static_cast<std::uint32_t>(data.size()) &&
-      slot.mac == mac) {
+  if (slot.from == from.value && slot.payload_hash == ph && slot.mac == mac) {
     ++hits_;
     return true;
   }
@@ -86,8 +92,7 @@ bool Authenticator::verify(ProcessId from, BytesView data,
   const bool ok = hmac_sha256(key, data) == mac;
   if (ok) {
     slot.from = from.value;
-    slot.size = static_cast<std::uint32_t>(data.size());
-    slot.fingerprint = fp;
+    slot.payload_hash = ph;
     slot.mac = mac;
   }
   return ok;

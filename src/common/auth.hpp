@@ -49,14 +49,17 @@ class KeyStore {
 /// Successful kHmac verifications are memoized: the tree relay path makes a
 /// replica see the same (sender, payload) pair more than once (retransmits,
 /// a request forwarded up the tree coming back down), and re-running
-/// HMAC-SHA256 for bytes it already authenticated is pure waste. A cache hit
-/// requires the stored 32-byte MAC to equal the presented one AND the
-/// payload fingerprint+length to match, so accepting from the cache is
-/// exactly as strong as accepting a replay of an already-verified message —
-/// which the channel model permits anyway (replay protection lives in the
-/// protocol layer: request dedup, FIFO sequence numbers). kFast mode is not
-/// cached: its MAC is itself one cheap hash pass, the same cost as the
-/// fingerprint.
+/// HMAC-SHA256 for bytes it already authenticated is pure waste. The memo is
+/// keyed on the full SHA-256 of the payload: a hit requires the stored
+/// payload digest AND the stored 32-byte MAC to equal the presented ones, so
+/// by second-preimage resistance the presented bytes are the very bytes that
+/// were verified — accepting from the cache is exactly as strong as
+/// accepting a replay of an already-verified message, which the channel
+/// model permits anyway (replay protection lives in the protocol layer:
+/// request dedup, FIFO sequence numbers). A hit costs one SHA-256 pass over
+/// the payload instead of the full keyed HMAC (inner pass over key block +
+/// payload, plus the outer hash). kFast mode is not cached: its MAC is
+/// itself one cheap hash pass, cheaper than the digest lookup.
 ///
 /// The cache is not locked: an Authenticator belongs to one actor, and both
 /// backends serialize everything an actor does (the simulator's scheduler /
@@ -81,8 +84,7 @@ class Authenticator {
  private:
   struct CacheSlot {
     std::int32_t from = -1;
-    std::uint32_t size = 0;
-    std::uint64_t fingerprint = 0;
+    Digest payload_hash{};
     Digest mac{};
   };
   static constexpr std::size_t kCacheSlots = 1024;  // direct-mapped, bounded

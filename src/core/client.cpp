@@ -41,7 +41,7 @@ void Client::a_multicast(std::vector<GroupId> dst, Bytes payload,
 
 void Client::transmit(const PendingMsg& p) {
   const Buffer encoded{bft::encode_request(p.carrying)};
-  for (const ProcessId replica : registry_.at(p.lca).replicas) {
+  for (const ProcessId replica : registry_.at(p.lca).replicas()) {
     send(replica, encoded);
   }
 }

@@ -210,7 +210,7 @@ void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m,
   relay.seq = relay_seq_[child]++;
   relay.op = encoded_op;
   // One encode of the relayed request, 3f+1 shared-buffer sends.
-  ctx_->send_request(it->second.replicas, relay);
+  ctx_->send_request(it->second.replicas(), relay);
 }
 
 }  // namespace byzcast::core

@@ -68,6 +68,8 @@ void RuntimeEnv::schedule(ProcessId owner, Time delay,
     // (actor drain continuations, simulated busy time) into a multi-
     // millisecond stall on the real clock. Post straight to the owner's
     // worker instead — on this backend the real CPU already paid the cost.
+    // This deliberately diverges from simulator timing for ALL sub-tick
+    // delays; the contract is documented at ExecutionEnv::schedule.
     executor_.post(worker, std::move(fn));
     return;
   }

@@ -72,6 +72,13 @@ class ExecutionEnv {
   /// Runs `fn` after `delay`, serialized with `owner`'s message handling.
   /// Callers are responsible for guarding `fn` against the owner's
   /// destruction (Actor::schedule_in does this with its alive token).
+  ///
+  /// Timing semantics: the simulated `delay` is exact on the deterministic
+  /// simulator. The wall-clock runtime backend resolves timers at its wheel
+  /// tick (1ms) and treats any sub-tick delay as zero — it runs `fn` as soon
+  /// as the owner's worker drains to it. Simulated CPU-cost hints fall in
+  /// this range by design; do not use sub-tick delays where the two backends
+  /// must agree on firing order relative to tick-scale timers.
   virtual void schedule(ProcessId owner, Time delay,
                         std::function<void()> fn) = 0;
 };

@@ -126,8 +126,8 @@ struct ProxyClientSlot {
 void assign_group_regions(sim::WanLatency& wan,
                           const core::GroupRegistry& registry) {
   for (const auto& [gid, info] : registry) {
-    for (std::size_t i = 0; i < info.replicas.size(); ++i) {
-      wan.assign(info.replicas[i],
+    for (std::size_t i = 0; i < info.replicas().size(); ++i) {
+      wan.assign(info.replicas()[i],
                  RegionId{static_cast<std::int32_t>(i % wan.num_regions())});
     }
   }
@@ -224,8 +224,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           *sim, group.info(), "client" + std::to_string(c))});
     }
     if (wan_model) {
-      for (std::size_t i = 0; i < group.info().replicas.size(); ++i) {
-        wan_model->assign(group.info().replicas[i],
+      for (std::size_t i = 0; i < group.info().replicas().size(); ++i) {
+        wan_model->assign(group.info().replicas()[i],
                           RegionId{static_cast<std::int32_t>(
                               i % wan_model->num_regions())});
       }

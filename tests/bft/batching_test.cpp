@@ -65,7 +65,7 @@ TEST(Batching, BatchMaxIsRespected) {
         req.seq = static_cast<std::uint64_t>(i);
         req.op = to_bytes("b" + std::to_string(i));
         const Bytes encoded = encode_request(req);
-        for (const ProcessId r : info_.replicas) send(r, encoded);
+        for (const ProcessId r : info_.replicas()) send(r, encoded);
       }
     }
 

@@ -5,6 +5,7 @@
 
 #include "bft/client_proxy.hpp"
 #include "bft/group.hpp"
+#include "common/auth.hpp"
 #include "sim/simulation.hpp"
 #include "support/recording_app.hpp"
 
@@ -68,7 +69,7 @@ TEST(Byzantine, ImpersonatedRequestRejected) {
       req.seq = 0;
       req.op = to_bytes("forged");
       const Bytes encoded = encode_request(req);
-      for (const ProcessId r : group_.replicas) send(r, encoded);
+      for (const ProcessId r : group_.replicas()) send(r, encoded);
     }
 
    protected:
@@ -93,15 +94,49 @@ TEST(Byzantine, ForgedMacDropped) {
   // claiming to come from a group member.
   Request req;
   req.group = group.info().id;
-  req.origin = group.info().replicas[1];
+  req.origin = group.info().replicas()[1];
   req.seq = 0;
   req.op = to_bytes("spoof");
   sim::WireMessage msg;
-  msg.from = group.info().replicas[1];
-  msg.to = group.info().replicas[0];
+  msg.from = group.info().replicas()[1];
+  msg.to = group.info().replicas()[0];
   msg.payload = encode_request(req);
   msg.mac = Digest{};  // invalid
   sim.network().send(std::move(msg));
+  sim.run_until(10 * kSecond);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(traces[i].empty());
+}
+
+TEST(Byzantine, ProposeWithTrailingBytesIgnored) {
+  // A Byzantine leader appends garbage past the encoded batch. Receivers
+  // recover the batch digest by hashing the wire slice after the fixed
+  // header, so accepting trailing bytes would make them vote a digest that
+  // no canonical re-encoding (STOPDATA, state transfer) can reproduce. The
+  // PROPOSE must be dropped wholesale: nothing decides, nothing executes.
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(36, sim::Profile::lan());
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+
+  const ProcessId leader = group.info().replicas()[0];  // leads view 0
+  Request req;
+  req.group = group.info().id;
+  req.origin = leader;
+  req.seq = 0;
+  req.op = to_bytes("smuggled");
+  Bytes wire = Propose{0, 0, Batch{req}}.encode();
+  wire.push_back(0xEE);  // trailing garbage past the encoded batch
+
+  // Sign as the leader: the simulation's KeyStore doubles as the oracle a
+  // compromised leader would hold.
+  const Authenticator leader_auth(sim.keys(), leader);
+  for (std::size_t i = 1; i < group.info().replicas().size(); ++i) {
+    sim::WireMessage msg;
+    msg.from = leader;
+    msg.to = group.info().replicas()[i];
+    msg.payload = wire;
+    msg.mac = leader_auth.sign(msg.to, wire);
+    sim.network().send(std::move(msg));
+  }
   sim.run_until(10 * kSecond);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(traces[i].empty());
 }
@@ -148,7 +183,7 @@ TEST(Byzantine, NonMemberVotesIgnored) {
       v.instance = 0;
       v.digest = Sha256::hash(to_bytes("bogus"));
       for (int k = 0; k < 10; ++k) {
-        for (const ProcessId r : group_.replicas) send(r, v.encode());
+        for (const ProcessId r : group_.replicas()) send(r, v.encode());
       }
     }
 

@@ -73,14 +73,14 @@ TEST(Counters, RejectedRequestsCounted) {
       req.origin = ProcessId{9999};  // impersonation
       req.seq = 0;
       req.op = to_bytes("x");
-      send(info_.replicas[0], encode_request(req));
+      send(info_.replicas()[0], encode_request(req));
       // Wrong group id.
       Request wrong;
       wrong.group = GroupId{42};
       wrong.origin = id();
       wrong.seq = 0;
       wrong.op = to_bytes("y");
-      send(info_.replicas[0], encode_request(wrong));
+      send(info_.replicas()[0], encode_request(wrong));
     }
 
    protected:

@@ -31,7 +31,7 @@ TEST(EdgeCases, DuplicateClientTransmissionExecutesOnce) {
       req.op = to_bytes("only-once");
       const Bytes encoded = encode_request(req);
       for (int k = 0; k < 3; ++k) {
-        for (const ProcessId r : info_.replicas) send(r, encoded);
+        for (const ProcessId r : info_.replicas()) send(r, encoded);
       }
     }
 
@@ -128,7 +128,7 @@ TEST(EdgeCases, StaleVotesAfterDecisionIgnored) {
       v.view = 0;
       v.instance = 0;
       v.digest = Sha256::hash(to_bytes("whatever"));
-      for (const ProcessId r : info_.replicas) send(r, v.encode());
+      for (const ProcessId r : info_.replicas()) send(r, v.encode());
     }
 
    protected:

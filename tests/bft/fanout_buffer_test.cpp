@@ -75,7 +75,7 @@ TEST(FanoutBuffer, ProposeCopiesShareOneBackingAllocation) {
     pointers[key].insert(w.data);
     recipients[key].insert(w.to.value);
   }
-  const std::size_t replicas = group.info().replicas.size();
+  const std::size_t replicas = group.info().replicas().size();
   ASSERT_EQ(replicas, 4u);  // 3f+1 with f=1
   for (const auto& [key, ptrs] : pointers) {
     EXPECT_EQ(ptrs.size(), 1u)

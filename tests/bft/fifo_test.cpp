@@ -30,7 +30,7 @@ class BurstSender final : public sim::Actor {
       req.seq = next_seq_++;
       req.op = to_bytes("burst-" + std::to_string(req.seq));
       const Bytes encoded = encode_request(req);
-      for (const ProcessId replica : group_.replicas) send(replica, encoded);
+      for (const ProcessId replica : group_.replicas()) send(replica, encoded);
     }
   }
 

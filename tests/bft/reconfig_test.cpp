@@ -29,7 +29,7 @@ class Admin final : public sim::Actor {
     req.reconfig = true;
     req.op = encode_membership(new_membership);
     const Bytes encoded = encode_request(req);
-    for (const ProcessId r : group_.replicas) send(r, encoded);
+    for (const ProcessId r : group_.replicas()) send(r, encoded);
   }
 
  protected:
@@ -70,7 +70,7 @@ struct ReconfigHarness {
   }
 
   std::vector<ProcessId> swapped_membership(int out_index) {
-    std::vector<ProcessId> next = group.info().replicas;
+    std::vector<ProcessId> next = group.info().replicas();
     next[static_cast<std::size_t>(out_index)] =
         group.replica(standby_index).id();
     return next;

@@ -113,7 +113,7 @@ TEST(Replies, RetransmissionSurvivesMessageLoss) {
 
   // Cut the client off from the whole group for a while: the initial send
   // is lost in both directions; the retry timer must recover it.
-  sim.network().faults().partition({client.id()}, group.info().replicas,
+  sim.network().faults().partition({client.id()}, group.info().replicas(),
                                    6 * kSecond);
   bool done = false;
   client.invoke(to_bytes("persistent-op"),

@@ -28,9 +28,9 @@ struct PartitionHarness {
   void isolate_replica(int index, Time heal_at) {
     std::vector<ProcessId> others;
     for (int i = 0; i < 4; ++i) {
-      if (i != index) others.push_back(group.info().replicas[i]);
+      if (i != index) others.push_back(group.info().replicas()[i]);
     }
-    sim.network().faults().partition({group.info().replicas[index]}, others,
+    sim.network().faults().partition({group.info().replicas()[index]}, others,
                                      heal_at);
   }
 

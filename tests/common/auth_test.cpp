@@ -58,5 +58,25 @@ TEST_F(AuthTest, DifferentMasterSeedsDifferentKeys) {
   EXPECT_NE(keys->pair_key(alice, bob), other.pair_key(alice, bob));
 }
 
+TEST_F(AuthTest, MemoServesOnlyExactPayload) {
+  Authenticator a(keys, alice);
+  Authenticator b(keys, bob);
+  const Bytes msg = to_bytes("transfer 100");
+  const Digest mac = a.sign(bob, msg);
+  ASSERT_TRUE(b.verify(alice, msg, mac));  // warms the memo slot
+  ASSERT_TRUE(b.verify(alice, msg, mac));  // answered from the memo
+  EXPECT_EQ(b.verify_cache_hits(), 1u);
+  // Same sender, same length, same MAC, different bytes: the memo matches
+  // on the payload's full SHA-256, so this must fall through to the real
+  // HMAC and be rejected — a warm slot is never a forgery oracle.
+  Bytes forged = msg;
+  forged[0] ^= 0x01;
+  EXPECT_FALSE(b.verify(alice, forged, mac));
+  EXPECT_EQ(b.verify_cache_hits(), 1u);
+  // The failed attempt must not evict or poison the honest entry.
+  EXPECT_TRUE(b.verify(alice, msg, mac));
+  EXPECT_EQ(b.verify_cache_hits(), 2u);
+}
+
 }  // namespace
 }  // namespace byzcast

@@ -115,7 +115,7 @@ class BypassingClient final : public sim::Actor {
     req.seq = 0;
     req.op = m.encode();
     const Bytes encoded = bft::encode_request(req);
-    for (const ProcessId r : group_.replicas) send(r, encoded);
+    for (const ProcessId r : group_.replicas()) send(r, encoded);
   }
 
  protected:

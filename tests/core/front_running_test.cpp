@@ -79,9 +79,9 @@ TEST(FrontRunning, AdversarialScheduleCanReorderOneChild) {
   const auto& aux = h.system.group(GroupId{testing::kAuxBase}).info();
   const auto& g0 = h.system.group(GroupId{0}).info();
   for (const int slow_aux : {1, 3}) {
-    for (const ProcessId target : g0.replicas) {
+    for (const ProcessId target : g0.replicas()) {
       h.sim.network().faults().add_delay(
-          aux.replicas[static_cast<std::size_t>(slow_aux)], target,
+          aux.replicas()[static_cast<std::size_t>(slow_aux)], target,
           50 * kMillisecond);
     }
   }

@@ -26,7 +26,7 @@ TEST(System, ProcessIdsAreDisjointAcrossGroups) {
       sim, OverlayTree::two_level({GroupId{0}, GroupId{1}}, GroupId{50}), 1);
   std::set<ProcessId> all;
   for (const auto& [g, info] : system.registry()) {
-    for (const ProcessId p : info.replicas) {
+    for (const ProcessId p : info.replicas()) {
       EXPECT_TRUE(all.insert(p).second) << "duplicate pid";
     }
   }

@@ -21,8 +21,8 @@ struct WanHarness {
                1, plan) {
     auto& wan = static_cast<sim::WanLatency&>(sim.latency_model());
     for (const auto& [gid, info] : system.registry()) {
-      for (std::size_t i = 0; i < info.replicas.size(); ++i) {
-        wan.assign(info.replicas[i],
+      for (std::size_t i = 0; i < info.replicas().size(); ++i) {
+        wan.assign(info.replicas()[i],
                    RegionId{static_cast<std::int32_t>(i % 4)});
       }
     }
