@@ -1,0 +1,91 @@
+// Trace smoke run: a small 2-level-tree mixed workload with span tracing
+// and the invariant monitors on. Emits the deterministic span sidecar
+// (bench_csv/trace_spans.json, schema "byzcast-spans-v1") and the Chrome
+// trace (bench_csv/trace_chrome.json, load in Perfetto), then enforces the
+// observability acceptance criteria in-process:
+//
+//  * the invariant monitors report zero violations on a clean run;
+//  * at least one complete local and one complete global breakdown exist;
+//  * for every complete message the four-component decomposition sums to
+//    the measured end-to-end latency exactly (the clamped telescoping in
+//    core/critical_path.cpp makes this an identity, not an approximation).
+//
+// CI runs this binary and then tools/check_trace.py over the two files.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/critical_path.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace byzcast;
+
+  workload::ExperimentConfig config;
+  config.protocol = workload::Protocol::kByzCast2Level;
+  config.num_groups = 4;
+  config.f = 1;
+  config.clients_per_group = 4;
+  config.workload.pattern = workload::Pattern::kMixed;
+  config.payload_size = 64;
+  config.warmup = 100 * kMillisecond;
+  config.duration = 400 * kMillisecond;
+  config.seed = 7;
+  config.span_tracing = true;
+  config.span_sample_every = 1;
+  config.monitors = true;
+  config.monitor_pending_bound = 4096;
+
+  workload::print_header("trace smoke: ByzCast-2L, 4 groups, mixed 10:1");
+  const workload::ExperimentResult result = workload::run_experiment(config);
+  std::printf("completed=%llu a_deliveries=%llu spans=%zu (dropped %llu)\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.a_deliveries),
+              result.spans->spans().size(),
+              static_cast<unsigned long long>(result.spans->dropped()));
+
+  workload::write_span_sidecar("bench_csv/trace_spans.json", result,
+                               config.f);
+  workload::write_chrome_trace("bench_csv/trace_chrome.json", result);
+  workload::print_latency_breakdown(result, config.f);
+
+  int failures = 0;
+
+  const auto violations = result.monitors->total_violations();
+  if (violations != 0) {
+    std::printf("FAIL: clean run tripped %llu invariant violations\n",
+                static_cast<unsigned long long>(violations));
+    for (const auto& v : result.monitors->detailed_violations()) {
+      std::printf("  [%s] %s\n", v.monitor.c_str(), v.detail.c_str());
+    }
+    ++failures;
+  }
+
+  core::CriticalPathAnalyzer analyzer(
+      *result.spans, core::CriticalPathAnalyzer::Options{config.f});
+  std::size_t complete_local = 0;
+  std::size_t complete_global = 0;
+  for (const auto& m : analyzer.messages()) {
+    if (!m.complete) continue;
+    (m.is_global ? complete_global : complete_local) += 1;
+    const Time sum = m.totals.total();
+    const Time diff = sum > m.end_to_end ? sum - m.end_to_end
+                                         : m.end_to_end - sum;
+    if (diff > 1) {
+      std::printf("FAIL: %s decomposition sum %lld != end-to-end %lld\n",
+                  to_string(m.id).c_str(), static_cast<long long>(sum),
+                  static_cast<long long>(m.end_to_end));
+      ++failures;
+    }
+  }
+  if (complete_local == 0 || complete_global == 0) {
+    std::printf("FAIL: incomplete coverage (local=%zu global=%zu)\n",
+                complete_local, complete_global);
+    ++failures;
+  } else {
+    std::printf(
+        "decomposition exact for %zu local + %zu global traced messages\n",
+        complete_local, complete_global);
+  }
+
+  return failures == 0 ? 0 : 1;
+}

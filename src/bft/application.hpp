@@ -16,6 +16,22 @@
 
 namespace byzcast::bft {
 
+/// Per-request timing captured by the hosting replica along the pipeline
+/// wire -> admission -> consensus -> execution, exposed to the application
+/// while it executes that request (span tracing). All values are env-clock
+/// times; -1 means the stage was not observed locally (e.g. the request was
+/// learned via PROPOSE or state transfer rather than admitted directly, or
+/// decided through state transfer with no local consensus instance).
+struct ExecTiming {
+  Time wire_sent = -1;       // carrying request left its sender
+  Time wire_enqueued = -1;   // arrived in this replica's inbox
+  Time wire_svc_start = -1;  // popped from the inbox: service began
+  Time admitted = -1;        // passed admission into the pending queue
+  Time proposed = -1;        // proposal for the deciding instance accepted
+  Time write_quorum = -1;    // 2f+1 WRITEs seen for that instance
+  Time decided = -1;         // 2f+1 ACCEPTs: the instance decided
+};
+
 /// Narrow view of the hosting replica offered to the application.
 class ReplicaContext {
  public:
@@ -44,6 +60,13 @@ class ReplicaContext {
 
   /// Accounts extra CPU spent by the application while executing.
   virtual void consume_app_cpu(Time cost) = 0;
+
+  /// Timing of the request currently being executed, or null when the host
+  /// does not track it (tracking is on only while a SpanLog is attached).
+  /// Valid only inside Application::execute; do not retain the pointer.
+  [[nodiscard]] virtual const ExecTiming* exec_timing() const {
+    return nullptr;
+  }
 };
 
 class Application {

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/log.hpp"
+#include "common/span.hpp"
 
 namespace byzcast::bft {
 
@@ -176,13 +177,21 @@ void Replica::handle_request(const sim::WireMessage& msg, Reader& r) {
     ++counters_.rejected_requests;  // unauthorized membership change
     return;
   }
-  admit_request(std::move(req));
+  admit_request(std::move(req), &msg);
 }
 
-void Replica::admit_request(Request req) {
+void Replica::admit_request(Request req, const sim::WireMessage* wire) {
   const MessageId rid = req.id();
   if (decided_requests_.contains(rid) || pending_since_.contains(rid)) return;
-  pending_since_.emplace(rid, now());
+  AdmitInfo info;
+  info.suspicion = now();
+  info.admitted = now();
+  if (wire != nullptr) {
+    info.wire_sent = wire->sent_at;
+    info.wire_enqueued = wire->enqueued_at;
+    info.wire_svc_start = wire->svc_start;
+  }
+  pending_since_.emplace(rid, info);
   pending_.push_back(std::move(req));
   maybe_start_consensus();
 }
@@ -281,6 +290,7 @@ void Replica::accept_proposal(std::uint64_t view, std::uint64_t instance,
   oc.digest = digest != nullptr ? *digest : batch_digest(batch);
   oc.proposal = std::move(batch);
   oc.sent_write = true;
+  oc.proposed_at = now();
   open_ = std::move(oc);
 
   const Vote write{MsgType::kWrite, view, instance, open_->digest};
@@ -323,6 +333,7 @@ void Replica::check_quorums() {
         VoteKey{open_->instance, open_->view, false, open_->digest});
     if (it == votes_.end() || it->second.size() < quorum) return;
     open_->sent_accept = true;
+    open_->write_quorum_at = now();
     const Vote accept{MsgType::kAccept, open_->view, open_->instance,
                       open_->digest};
     votes_[VoteKey{open_->instance, open_->view, true, open_->digest}]
@@ -335,11 +346,13 @@ void Replica::check_quorums() {
   if (it == votes_.end() || it->second.size() < quorum) return;
 
   Batch decided_batch = std::move(*open_->proposal);
+  const Time proposed_at = open_->proposed_at;
+  const Time write_quorum_at = open_->write_quorum_at;
   open_.reset();
-  decide(std::move(decided_batch));
+  decide(std::move(decided_batch), proposed_at, write_quorum_at);
 }
 
-void Replica::decide(Batch batch) {
+void Replica::decide(Batch batch, Time proposed_at, Time write_quorum_at) {
   BZC_ASSERT(log_base_ + log_.size() == next_instance_);
   log_.push_back(batch);
   ++next_instance_;
@@ -358,12 +371,36 @@ void Replica::decide(Batch batch) {
   // the proposals) is obsolete; drop it so later proposals are accepted.
   if (open_ && open_->instance < next_instance_) open_.reset();
 
+  SpanLog* spans = env().spans();
+  if (spans != nullptr && spans->actor_spans() && proposed_at >= 0) {
+    spans->record(Span{MessageId{}, SpanKind::kConsensusInstance, group_, id(),
+                       proposed_at, now(),
+                       static_cast<std::int64_t>(next_instance_ - 1)});
+  }
+
   std::unordered_set<MessageId> in_batch;
   in_batch.reserve(batch.size());
   for (const auto& req : batch) {
     const MessageId rid = req.id();
     in_batch.insert(rid);
     decided_requests_.insert(rid);
+    if (spans != nullptr) {
+      // Freeze this request's pipeline timing now: execution may be held
+      // back by the per-origin FIFO until a later decide, but its stages
+      // belong to this instance.
+      ExecTiming t;
+      const auto ait = pending_since_.find(rid);
+      if (ait != pending_since_.end()) {
+        t.wire_sent = ait->second.wire_sent;
+        t.wire_enqueued = ait->second.wire_enqueued;
+        t.wire_svc_start = ait->second.wire_svc_start;
+        t.admitted = ait->second.admitted;
+      }
+      t.proposed = proposed_at;
+      t.write_quorum = write_quorum_at;
+      t.decided = now();
+      exec_info_.insert_or_assign(rid, t);
+    }
     pending_since_.erase(rid);
   }
   std::erase_if(pending_,
@@ -373,7 +410,7 @@ void Replica::decide(Batch batch) {
   // Progress resets suspicion: requests still pending restart their clock,
   // so a busy-but-live leader is not suspected merely because the queue is
   // longer than the timeout.
-  for (auto& [rid, since] : pending_since_) since = now();
+  for (auto& [rid, info] : pending_since_) info.suspicion = now();
 
   // Garbage-collect votes below the decided frontier.
   while (!votes_.empty() && votes_.begin()->first.instance < next_instance_) {
@@ -410,6 +447,14 @@ void Replica::deliver_fifo(const Request& req) {
 
 void Replica::execute_one(const Request& req) {
   ++executed_;
+  if (!exec_info_.empty()) {
+    const auto it = exec_info_.find(req.id());
+    if (it != exec_info_.end()) {
+      cur_exec_timing_ = it->second;
+      executing_timed_ = true;
+      exec_info_.erase(it);
+    }
+  }
   // Fold the request into the rolling history digest (replicas of a group
   // must agree on it — checked by tests).
   Writer w;
@@ -424,6 +469,7 @@ void Replica::execute_one(const Request& req) {
   } else {
     app_->execute(req);
   }
+  executing_timed_ = false;
 }
 
 void Replica::apply_reconfig(const Request& req) {
@@ -507,8 +553,8 @@ void Replica::on_liveness_check() {
   if (view_active_) {
     if (pending_since_.empty()) return;
     Time oldest = now();
-    for (const auto& [rid, since] : pending_since_) {
-      oldest = std::min(oldest, since);
+    for (const auto& [rid, info] : pending_since_) {
+      oldest = std::min(oldest, info.suspicion);
     }
     if (now() - oldest > timeout) request_view_change(view_ + 1);
   } else {

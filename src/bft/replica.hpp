@@ -103,6 +103,9 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void send_request(const std::vector<ProcessId>& dsts,
                     const Request& req) override;
   void consume_app_cpu(Time cost) override { consume_cpu(cost); }
+  [[nodiscard]] const ExecTiming* exec_timing() const override {
+    return executing_timed_ ? &cur_exec_timing_ : nullptr;
+  }
 
   // --- introspection (tests, benchmarks) ---------------------------------
   [[nodiscard]] std::uint64_t decided_instances() const {
@@ -139,6 +142,20 @@ class Replica final : public sim::Actor, public ReplicaContext {
     Digest digest{};
     bool sent_write = false;
     bool sent_accept = false;
+    Time proposed_at = -1;      // proposal accepted here (span tracing)
+    Time write_quorum_at = -1;  // 2f+1 WRITEs seen
+  };
+
+  /// Per-pending-request bookkeeping. `suspicion` drives leader suspicion
+  /// and is reset whenever the group makes progress (a busy-but-live leader
+  /// is not suspected for a long queue); `admitted` and the wire times are
+  /// immutable admission facts kept for span tracing.
+  struct AdmitInfo {
+    Time suspicion = 0;
+    Time admitted = 0;
+    Time wire_sent = -1;
+    Time wire_enqueued = -1;
+    Time wire_svc_start = -1;
   };
 
   // votes per (instance, view, phase, digest) -> distinct voters
@@ -170,7 +187,7 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void handle_state_request(const sim::WireMessage& msg, Reader& r);
   void handle_state_response(const sim::WireMessage& msg, Reader& r);
 
-  void admit_request(Request req);
+  void admit_request(Request req, const sim::WireMessage* wire = nullptr);
   void maybe_start_consensus();
   void do_propose();
   /// `digest` is the precomputed digest of the batch's encoded form (from
@@ -179,7 +196,9 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void accept_proposal(std::uint64_t view, std::uint64_t instance,
                        Batch batch, const Digest* digest = nullptr);
   void check_quorums();
-  void decide(Batch batch);
+  /// `proposed_at` / `write_quorum_at` carry the deciding instance's local
+  /// consensus-phase times (-1 on the state-transfer path: no local run).
+  void decide(Batch batch, Time proposed_at = -1, Time write_quorum_at = -1);
   void execute_batch(const Batch& batch);
   void deliver_fifo(const Request& req);
   void execute_one(const Request& req);
@@ -217,7 +236,7 @@ class Replica final : public sim::Actor, public ReplicaContext {
   bool propose_scheduled_ = false;
   std::map<VoteKey, std::set<ProcessId>> votes_;
   std::deque<Request> pending_;
-  std::unordered_map<MessageId, Time> pending_since_;
+  std::unordered_map<MessageId, AdmitInfo> pending_since_;
   std::unordered_set<MessageId> decided_requests_;
 
   // --- decided log / checkpoints -------------------------------------------
@@ -255,6 +274,13 @@ class Replica final : public sim::Actor, public ReplicaContext {
   /// Lazily resolved handle into the simulation's MetricsRegistry (shared
   /// by all replicas of the group); null when metrics are off.
   Histogram* batch_size_hist_ = nullptr;
+  /// Span-tracing state (populated only while a SpanLog is attached):
+  /// admission + consensus timing frozen at decide time per request, read
+  /// back when the request executes (FIFO holdback may defer execution to a
+  /// later decide; the timing of the *deciding* instance must stick).
+  std::unordered_map<MessageId, ExecTiming> exec_info_;
+  ExecTiming cur_exec_timing_;
+  bool executing_timed_ = false;
 };
 
 }  // namespace byzcast::bft

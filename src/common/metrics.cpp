@@ -1,38 +1,45 @@
 #include "common/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/contracts.hpp"
 
 namespace byzcast {
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
   BZC_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
-  counts_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::observe(double v) {
-  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  ++total_;
-  sum_ += v;
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  // Doubles have no atomic fetch_add guaranteed lock-free everywhere; CAS the
+  // bit pattern instead (the loop retries only under a concurrent update).
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + v),
+      std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<std::uint64_t> Histogram::counts() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
+  std::vector<std::uint64_t> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_) out.push_back(c.load(std::memory_order_relaxed));
+  return out;
 }
 
 std::uint64_t Histogram::count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return total_;
+  return total_.load(std::memory_order_relaxed);
 }
 
 double Histogram::sum() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

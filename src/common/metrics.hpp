@@ -56,7 +56,12 @@ class Gauge {
 
 /// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
 /// implicit overflow bucket counts the rest. Recording is a binary search
-/// over the (small, sorted) bound list — no allocation, no re-sorting.
+/// over the (small, sorted, immutable) bound list — no allocation, no
+/// re-sorting, and no lock: buckets and the total are relaxed atomics and
+/// the running sum is a CAS loop over the double's bit pattern, so observe()
+/// never serializes the runtime backend's per-delivery hot path. Readers see
+/// each field individually consistent; cross-field consistency (count vs
+/// sum) holds once recording has quiesced, like every other recorder here.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -71,11 +76,10 @@ class Histogram {
   [[nodiscard]] double sum() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
-  std::uint64_t total_ = 0;
-  double sum_ = 0.0;
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // bit pattern of the double sum
 };
 
 /// Append-only (time, value) series; times must be nondecreasing per

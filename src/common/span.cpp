@@ -1,0 +1,54 @@
+#include "common/span.hpp"
+
+namespace byzcast {
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kEndToEnd: return "end_to_end";
+    case SpanKind::kNetTransit: return "net_transit";
+    case SpanKind::kMailboxWait: return "mailbox_wait";
+    case SpanKind::kCpuService: return "cpu_service";
+    case SpanKind::kConsensusQueue: return "consensus_queue";
+    case SpanKind::kWriteQuorum: return "write_quorum";
+    case SpanKind::kAcceptQuorum: return "accept_quorum";
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kOrderWait: return "order_wait";
+    case SpanKind::kRelay: return "relay";
+    case SpanKind::kADeliver: return "a_deliver";
+    case SpanKind::kActorMailbox: return "actor_mailbox";
+    case SpanKind::kActorService: return "actor_service";
+    case SpanKind::kConsensusInstance: return "consensus_instance";
+  }
+  return "?";
+}
+
+void SpanLog::record(Span s) {
+  if (s.end < s.begin) s.end = s.begin;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (s.msg.origin.valid()) {
+    by_msg_[s.msg].push_back(static_cast<std::uint32_t>(spans_.size()));
+  }
+  spans_.push_back(s);
+}
+
+std::vector<Span> SpanLog::of(const MessageId& msg) const {
+  std::vector<Span> out;
+  const auto it = by_msg_.find(msg);
+  if (it == by_msg_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto idx : it->second) out.push_back(spans_[idx]);
+  return out;
+}
+
+std::vector<MessageId> SpanLog::traced_messages() const {
+  std::vector<MessageId> out;
+  out.reserve(by_msg_.size());
+  for (const auto& [id, idxs] : by_msg_) out.push_back(id);
+  return out;
+}
+
+}  // namespace byzcast

@@ -1,0 +1,81 @@
+#include "common/span_export.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace byzcast {
+
+namespace {
+
+/// Trace-event timestamps are microseconds; ours are integer nanoseconds.
+/// Printing milli-microseconds as a fixed 3-decimal value keeps full
+/// precision and byte-identical output across runs of the same log.
+void json_us(std::ostream& os, Time ns) {
+  os << (ns / 1000) << '.';
+  const Time frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + frac / 10 % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const SpanLog& log) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"dropped\":" << log.dropped()
+     << ",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+
+  // Name the tracks up front: one "process" per overlay group (clients and
+  // other groupless actors share pid -1), one "thread" per actor.
+  std::set<std::int32_t> pids;
+  std::map<std::pair<std::int32_t, std::int32_t>, bool> tids;
+  for (const Span& s : log.spans()) {
+    const std::int32_t pid = s.group.valid() ? s.group.value : -1;
+    pids.insert(pid);
+    tids.emplace(std::make_pair(pid, s.where.value), true);
+  }
+  for (const std::int32_t pid : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\""
+       << (pid < 0 ? std::string("clients") : "group " + std::to_string(pid))
+       << "\"}}";
+  }
+  for (const auto& [key, unused] : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"p"
+       << key.second << "\"}}";
+  }
+
+  for (const Span& s : log.spans()) {
+    const std::int32_t pid = s.group.valid() ? s.group.value : -1;
+    sep();
+    os << "{\"name\":\"" << to_string(s.kind) << "\",\"cat\":\""
+       << (s.msg.origin.valid() ? "message" : "infra") << "\",\"pid\":" << pid
+       << ",\"tid\":" << s.where.value << ",\"ts\":";
+    json_us(os, s.begin);
+    if (s.end > s.begin) {
+      os << ",\"ph\":\"X\",\"dur\":";
+      json_us(os, s.end - s.begin);
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";  // zero-width: an instant
+    }
+    os << ",\"args\":{";
+    if (s.msg.origin.valid()) {
+      os << "\"msg\":\"" << to_string(s.msg) << "\",";
+    }
+    os << "\"detail\":" << s.detail << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace byzcast

@@ -1,0 +1,23 @@
+// Chrome trace-event JSON export of a SpanLog: load the file in Perfetto
+// (ui.perfetto.dev) or chrome://tracing to see one track per replica,
+// grouped into one process per overlay group, with every traced message's
+// hop chain (net transit, mailbox, CPU, consensus phases, order wait,
+// relay / a-deliver instants) laid out on the timeline.
+//
+// Uses the documented "JSON Array Format" keys only — ph:"X" complete
+// events with microsecond ts/dur, ph:"i" instants, ph:"M" process/thread
+// name metadata — so the output validates as standard trace-event JSON.
+#pragma once
+
+#include <string>
+
+#include "common/span.hpp"
+
+namespace byzcast {
+
+/// Serializes `log` (quiesced) as a Chrome trace-event JSON object.
+/// pid = overlay group id (-1 for clients and other groupless actors),
+/// tid = process id of the stamping actor.
+[[nodiscard]] std::string chrome_trace_json(const SpanLog& log);
+
+}  // namespace byzcast

@@ -23,13 +23,16 @@ void TraceLog::record(const MessageId& msg, GroupId group, ProcessId replica,
     ++dropped_;
     return;
   }
+  by_msg_[msg].push_back(static_cast<std::uint32_t>(records_.size()));
   records_.push_back(TraceRecord{msg, group, replica, event, hop, when});
 }
 
 std::vector<TraceRecord> TraceLog::path(const MessageId& msg) const {
   std::map<std::pair<GroupId, HopEvent>, TraceRecord> earliest;
-  for (const auto& r : records_) {
-    if (r.msg != msg) continue;
+  const auto mit = by_msg_.find(msg);
+  if (mit == by_msg_.end()) return {};
+  for (const std::uint32_t idx : mit->second) {
+    const TraceRecord& r = records_[idx];
     const auto key = std::make_pair(r.group, r.event);
     const auto it = earliest.find(key);
     if (it == earliest.end() || r.when < it->second.when) {
@@ -49,11 +52,16 @@ std::vector<TraceRecord> TraceLog::path(const MessageId& msg) const {
 }
 
 MessageId TraceLog::find_multi_hop(std::size_t min_groups) const {
-  std::map<MessageId, std::set<GroupId>> groups_of;
-  for (const auto& r : records_) {
-    auto& groups = groups_of[r.msg];
-    groups.insert(r.group);
-    if (groups.size() >= min_groups) return r.msg;
+  // Probe messages in recording order so the answer stays deterministic
+  // (unordered_map iteration order is not).
+  std::set<MessageId> probed;
+  for (const auto& rec : records_) {
+    if (!probed.insert(rec.msg).second) continue;
+    std::set<GroupId> groups;
+    for (const std::uint32_t idx : by_msg_.at(rec.msg)) {
+      groups.insert(records_[idx].group);
+      if (groups.size() >= min_groups) return rec.msg;
+    }
   }
   return MessageId{};  // origin invalid: no multi-hop trace recorded
 }

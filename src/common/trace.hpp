@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,6 +18,8 @@
 namespace byzcast {
 
 class MetricsRegistry;
+class MonitorHub;
+class SpanLog;
 
 /// One step of a message's life inside one group, in Algorithm 1 terms.
 enum class HopEvent : std::uint8_t {
@@ -64,26 +67,34 @@ class TraceLog {
   /// Reconstructed path of one message: the earliest stamp per
   /// (group, event), ordered by time then hop depth. A complete 2-group
   /// global trace reads enter/ordered at the lca, relayed at the lca, then
-  /// enter/ordered/a-delivered at each destination child.
+  /// enter/ordered/a-delivered at each destination child. O(records of msg)
+  /// via the per-message index, not O(total records).
   [[nodiscard]] std::vector<TraceRecord> path(const MessageId& msg) const;
 
   /// Id of some message whose trace contains >= `min_hops` distinct groups
   /// (a multi-hop, i.e. relayed, message); nullopt-like invalid id if none.
+  /// O(messages), each probe O(records of that message).
   [[nodiscard]] MessageId find_multi_hop(std::size_t min_groups = 2) const;
 
  private:
   std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceRecord> records_;
+  /// Record indices per message, in recording order — keeps the post-run
+  /// queries linear in the answer instead of quadratic in the log.
+  std::unordered_map<MessageId, std::vector<std::uint32_t>> by_msg_;
   std::uint64_t dropped_ = 0;
 };
 
 /// Bundle of non-owning observability sinks threaded through composition
 /// roots (ByzCastSystem, Simulation). Null members disable that sink; the
-/// default-constructed bundle makes every stamp a no-op.
+/// default-constructed bundle makes every stamp a no-op. (New sinks go at
+/// the end: aggregate initializers like `{&metrics, &trace}` abound.)
 struct Observability {
   MetricsRegistry* metrics = nullptr;
   TraceLog* trace = nullptr;
+  SpanLog* spans = nullptr;
+  MonitorHub* monitors = nullptr;
 };
 
 }  // namespace byzcast

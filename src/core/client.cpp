@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include "common/contracts.hpp"
+#include "common/span.hpp"
 
 namespace byzcast::core {
 
@@ -23,6 +24,10 @@ void Client::a_multicast(std::vector<GroupId> dst, Bytes payload,
   p.m.dst = std::move(dst);
   p.m.payload = std::move(payload);
   p.m.canonicalize();
+  if (trace_sample_every_ > 0 && env().spans() != nullptr &&
+      p.m.id.seq % trace_sample_every_ == 0) {
+    p.m.trace_flags |= MulticastMessage::kTraced;
+  }
   p.lca =
       routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(p.m.dst);
   p.carrying.group = p.lca;
@@ -90,6 +95,13 @@ void Client::on_message(const sim::WireMessage& msg) {
   PendingMsg done = std::move(p);
   pending_.erase(pit);
   ++completed_;
+  if (done.m.traced()) {
+    if (SpanLog* spans = env().spans()) {
+      spans->record(Span{done.m.id, SpanKind::kEndToEnd, GroupId{}, id(),
+                         done.started_at, now(),
+                         static_cast<std::int64_t>(done.m.dst.size())});
+    }
+  }
   done.on_done(done.m, now() - done.started_at);
 }
 

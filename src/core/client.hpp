@@ -34,6 +34,12 @@ class Client final : public sim::Actor {
   void a_multicast(std::vector<GroupId> dst, Bytes payload,
                    Completion on_done);
 
+  /// Span-tracing sampling knob: marks every n-th message this client sends
+  /// as traced (the flag travels on the wire, so every replica stamps spans
+  /// for exactly the sampled messages). 0 disables, 1 traces everything.
+  /// No effect unless the environment has a SpanLog attached.
+  void set_trace_sample_every(std::uint32_t n) { trace_sample_every_ = n; }
+
   [[nodiscard]] std::size_t outstanding() const { return pending_.size(); }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
 
@@ -62,6 +68,7 @@ class Client final : public sim::Actor {
   const GroupRegistry& registry_;
   Routing routing_;
   std::uint64_t next_uid_ = 0;
+  std::uint32_t trace_sample_every_ = 0;  // 0: span tracing off
   std::map<GroupId, std::uint64_t> fifo_seq_;  // bft stream per lca group
   std::map<std::uint64_t, PendingMsg> pending_;  // keyed by message uid
   std::uint64_t completed_ = 0;

@@ -22,9 +22,17 @@ struct MulticastMessage {
   /// each relay hop. Deterministic across the replicas of a group (all
   /// parent copies agree on it), so reply digests stay quorum-compatible.
   std::uint32_t hop = 0;
+  /// Carried trace context. Bit 0: span tracing requested for this message
+  /// (the client's sampling decision, made once at a-multicast so every
+  /// replica of every group agrees). Like `hop`, constant across all copies
+  /// of one message — reply digests stay quorum-compatible.
+  std::uint8_t trace_flags = 0;
+
+  static constexpr std::uint8_t kTraced = 0x01;
 
   [[nodiscard]] bool is_local() const { return dst.size() == 1; }
   [[nodiscard]] bool is_global() const { return dst.size() > 1; }
+  [[nodiscard]] bool traced() const { return (trace_flags & kTraced) != 0; }
 
   /// Sorts and dedups the destination list (canonical form: encoding and
   /// digests must not depend on the caller's ordering).
@@ -39,6 +47,7 @@ struct MulticastMessage {
     w.vec(dst, [](Writer& ww, GroupId g) { ww.group_id(g); });
     w.bytes(payload);
     w.u32(hop);
+    w.u8(trace_flags);
     return w.take();
   }
 
@@ -49,6 +58,7 @@ struct MulticastMessage {
     m.dst = r.vec<GroupId>([](Reader& rr) { return rr.group_id(); });
     m.payload = r.bytes();
     m.hop = r.u32();
+    m.trace_flags = r.u8();
     return m;
   }
 

@@ -4,6 +4,8 @@
 
 #include "common/contracts.hpp"
 #include "common/log.hpp"
+#include "common/monitor.hpp"
+#include "common/span.hpp"
 
 namespace byzcast::core {
 
@@ -51,6 +53,36 @@ void ByzCastNode::stamp(const MulticastMessage& m, HopEvent event) const {
                      ctx_->now());
 }
 
+GroupId ByzCastNode::entry_group(const MulticastMessage& m) const {
+  return routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(m.dst);
+}
+
+void ByzCastNode::stamp_hop_spans(const MulticastMessage& m,
+                                  Time first_seen) const {
+  if (obs_.spans == nullptr || !m.traced()) return;
+  const GroupId g = ctx_->group();
+  const ProcessId self = ctx_->self();
+  const Time now = ctx_->now();
+  const auto hop = static_cast<std::int64_t>(m.hop);
+  const auto put = [&](SpanKind kind, Time begin, Time end) {
+    if (begin < 0 || end < 0) return;  // stage not observed locally
+    obs_.spans->record(Span{m.id, kind, g, self, begin, end, hop});
+  };
+  // The triggering copy's pipeline through this replica, as captured by the
+  // hosting bft::Replica. For a relayed message this is the (f+1)-th parent
+  // copy — the one whose execution crossed the genuine-ordering threshold.
+  if (const bft::ExecTiming* t = ctx_->exec_timing()) {
+    put(SpanKind::kNetTransit, t->wire_sent, t->wire_enqueued);
+    put(SpanKind::kMailboxWait, t->wire_enqueued, t->wire_svc_start);
+    put(SpanKind::kCpuService, t->wire_svc_start, t->admitted);
+    put(SpanKind::kConsensusQueue, t->admitted, t->proposed);
+    put(SpanKind::kWriteQuorum, t->proposed, t->write_quorum);
+    put(SpanKind::kAcceptQuorum, t->write_quorum, t->decided);
+    put(SpanKind::kExecute, t->decided, now);
+  }
+  put(SpanKind::kOrderWait, first_seen, now);
+}
+
 void ByzCastNode::sweep_stale_copies() {
   const Time now = ctx_->now();
   if (now - last_sweep_ < pending_expiry_) return;
@@ -87,11 +119,16 @@ void ByzCastNode::execute(const bft::Request& req) {
       stamp(m, HopEvent::kEnterGroup);
     }
     pending.senders.insert(req.origin);
+    if (obs_.monitors != nullptr) {
+      obs_.monitors->on_pending_copies(my_group, ctx_->self(), copies_.size(),
+                                       ctx_->now());
+    }
     if (static_cast<int>(pending.senders.size()) >= ctx_->f() + 1) {
       // (f+1)-th x_k-delivery of m: at least one correct parent replica
       // relayed it, so m was genuinely ordered above us (Algorithm 1 l.9).
+      const Time first_seen = pending.first_seen;
       copies_.erase(m.id);
-      handle(m, req.op);
+      handle(m, req.op, first_seen);
     }
     return;
   }
@@ -99,15 +136,14 @@ void ByzCastNode::execute(const bft::Request& req) {
   // Direct send (k = 0 path): only the origin itself, only at the entry
   // group — lca(m.dst) for ByzCast, the root for the non-genuine Baseline.
   if (req.origin != m.id.origin) return;
-  const GroupId entry =
-      routing_ == Routing::kViaRoot ? tree_.root() : tree_.lca(m.dst);
-  if (entry != my_group) return;
+  if (entry_group(m) != my_group) return;
   if (handled_.contains(m.id)) return;  // client retransmission
   stamp(m, HopEvent::kEnterGroup);
   handle(m, req.op);
 }
 
-void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op) {
+void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op,
+                         Time first_seen) {
   handled_.insert(m.id);
   // Any copies counted before the threshold (or before a direct-path
   // handle) are no longer needed: late duplicates take the handled_ fast
@@ -115,6 +151,7 @@ void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op) {
   copies_.erase(m.id);
 
   stamp(m, HopEvent::kOrdered);
+  stamp_hop_spans(m, first_seen);
   if (obs_.metrics != nullptr) {
     if (ordered_ctr_ == nullptr) {
       const std::string g = to_string(ctx_->group());
@@ -147,6 +184,15 @@ void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op) {
     a_delivered_.insert(m.id);
     log_.record(my_group, ctx_->self(), m.id, ctx_->now());
     stamp(m, HopEvent::kADelivered);
+    if (obs_.spans != nullptr && m.traced()) {
+      obs_.spans->record(Span{m.id, SpanKind::kADeliver, my_group,
+                              ctx_->self(), ctx_->now(), ctx_->now(),
+                              static_cast<std::int64_t>(m.hop)});
+    }
+    if (obs_.monitors != nullptr) {
+      obs_.monitors->on_a_deliver(my_group, ctx_->self(), m.id,
+                                  entry_group(m), ctx_->now());
+    }
     if (adeliver_ctr_ != nullptr) adeliver_ctr_->inc();
     // Reply to the multicast origin; clients gather f+1 matching replies
     // from every destination group.
@@ -203,6 +249,11 @@ void ByzCastNode::send_copy(GroupId child, const MulticastMessage& m,
   const auto it = registry_.find(child);
   BZC_ASSERT(it != registry_.end());
   stamp(m, HopEvent::kRelayed);
+  if (obs_.spans != nullptr && m.traced()) {
+    obs_.spans->record(Span{m.id, SpanKind::kRelay, ctx_->group(),
+                            ctx_->self(), ctx_->now(), ctx_->now(),
+                            std::int64_t{child.value}});
+  }
   if (relayed_ctr_ != nullptr) relayed_ctr_->inc();
   bft::Request relay;
   relay.group = child;

@@ -91,13 +91,24 @@ class ByzCastNode final : public bft::Application {
  private:
   /// `raw_op` is the encoded form of `m` as carried by the triggering
   /// request; the a-deliver ack hashes it instead of re-encoding `m`.
-  void handle(const MulticastMessage& m, BytesView raw_op);
+  /// `first_seen` is when the first parent copy arrived (-1: direct path,
+  /// no f+1 wait) — the kOrderWait span.
+  void handle(const MulticastMessage& m, BytesView raw_op,
+              Time first_seen = -1);
   void forward(const MulticastMessage& m);
   void send_copy(GroupId child, const MulticastMessage& m,
                  const Bytes& encoded_op);
   [[nodiscard]] bool valid_destinations(const MulticastMessage& m) const;
   void sweep_stale_copies();
   void stamp(const MulticastMessage& m, HopEvent event) const;
+  /// Stamps the traced message's per-hop span chain (wire -> mailbox -> CPU
+  /// -> consensus phases -> execute -> f+1 order wait) at the moment this
+  /// replica genuinely orders it. No-op when spans are off or m is not
+  /// sampled.
+  void stamp_hop_spans(const MulticastMessage& m, Time first_seen) const;
+  /// The group `m` entered the tree through (lca for genuine routing, the
+  /// root for the Baseline).
+  [[nodiscard]] GroupId entry_group(const MulticastMessage& m) const;
 
   const OverlayTree& tree_;
   const GroupRegistry& registry_;

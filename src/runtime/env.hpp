@@ -71,6 +71,7 @@ class RuntimeEnv final : public sim::ExecutionEnv {
     return obs_.metrics;
   }
   [[nodiscard]] TraceLog* trace() const override { return obs_.trace; }
+  [[nodiscard]] SpanLog* spans() const override { return obs_.spans; }
   [[nodiscard]] ProcessId allocate_pid() override {
     return ProcessId{next_pid_.fetch_add(1, std::memory_order_relaxed)};
   }

@@ -1,5 +1,7 @@
 #include "sim/actor.hpp"
 
+#include "common/span.hpp"
+
 namespace byzcast::sim {
 
 Actor::Actor(ExecutionEnv& env, std::string name)
@@ -21,6 +23,7 @@ Time Actor::service_cost(const WireMessage&) const { return 0; }
 
 void Actor::enqueue(WireMessage msg) {
   if (crashed_) return;
+  msg.enqueued_at = env_.now();
   inbox_.push_back(std::move(msg));
   maybe_drain();
 }
@@ -30,6 +33,7 @@ void Actor::maybe_drain() {
   draining_ = true;
   WireMessage msg = std::move(inbox_.front());
   inbox_.pop_front();
+  msg.svc_start = env_.now();
   const Time cost = service_cost(msg);
   busy_total_ += cost;
   // The drain continuations are internal deferred work and carry the same
@@ -42,6 +46,7 @@ void Actor::maybe_drain() {
         if (!crashed_) {
           extra_busy_ = 0;
           on_message(m);
+          stamp_actor_spans(m);
           const Time extra = extra_busy_;
           extra_busy_ = 0;
           busy_total_ += extra;
@@ -61,6 +66,24 @@ void Actor::maybe_drain() {
       });
 }
 
+void Actor::stamp_actor_spans(const WireMessage& m) const {
+  SpanLog* spans = env_.spans();
+  if (spans == nullptr || !spans->actor_spans()) return;
+  // Per-replica infrastructure tracks: where this actor's wall time went for
+  // this one wire message. `detail` carries the protocol type tag so the
+  // Chrome trace can color by message kind.
+  const auto tag =
+      m.payload.empty() ? std::int64_t{-1} : std::int64_t{m.payload.view()[0]};
+  if (m.enqueued_at >= 0 && m.svc_start >= m.enqueued_at) {
+    spans->record(Span{MessageId{}, SpanKind::kActorMailbox, GroupId{}, id_,
+                       m.enqueued_at, m.svc_start, tag});
+  }
+  if (m.svc_start >= 0) {
+    spans->record(Span{MessageId{}, SpanKind::kActorService, GroupId{}, id_,
+                       m.svc_start, env_.now(), tag});
+  }
+}
+
 void Actor::send(ProcessId to, Buffer payload) {
   if (crashed_) return;
   consume_cpu(env_.profile().cpu_send);
@@ -69,6 +92,7 @@ void Actor::send(ProcessId to, Buffer payload) {
   msg.to = to;
   msg.mac = auth_.sign(to, payload);
   msg.payload = std::move(payload);
+  msg.sent_at = env_.now();
   env_.send_message(std::move(msg));
 }
 

@@ -90,6 +90,9 @@ class Actor {
 
  private:
   void maybe_drain();
+  /// Records the per-message mailbox-wait / CPU-service infrastructure spans
+  /// (no-op unless a SpanLog is attached with actor spans enabled).
+  void stamp_actor_spans(const WireMessage& m) const;
 
   ExecutionEnv& env_;
   ProcessId id_;

@@ -48,6 +48,7 @@ class ExecutionEnv {
   virtual void attach_observability(Observability obs) = 0;
   [[nodiscard]] virtual MetricsRegistry* metrics() const = 0;
   [[nodiscard]] virtual TraceLog* trace() const = 0;
+  [[nodiscard]] virtual SpanLog* spans() const = 0;
 
   /// Allocates a fresh system-wide process id.
   [[nodiscard]] virtual ProcessId allocate_pid() = 0;

@@ -48,6 +48,7 @@ class Simulation final : public ExecutionEnv {
     return obs_.metrics;
   }
   [[nodiscard]] TraceLog* trace() const override { return obs_.trace; }
+  [[nodiscard]] SpanLog* spans() const override { return obs_.spans; }
 
   /// Derives an independent RNG stream (per-actor randomness).
   [[nodiscard]] Rng fork_rng() override { return master_rng_.fork(); }

@@ -16,11 +16,19 @@ namespace byzcast::sim {
 /// immutable Buffer: fan-out sends of the same logical message share one
 /// backing allocation across every recipient (and across threads on the
 /// runtime backend).
+///
+/// The trailing timestamps are in-memory timing metadata for span tracing —
+/// stamped by Actor::send / Actor::enqueue / the drain loop, never encoded
+/// or MAC'd (each recipient's copy carries its own receive-side values).
+/// -1 means "not stamped" (e.g. a message built by a test double).
 struct WireMessage {
   ProcessId from;
   ProcessId to;
   Buffer payload;
   Digest mac{};
+  Time sent_at = -1;        // Actor::send at the source
+  Time enqueued_at = -1;    // arrival in the destination actor's inbox
+  Time svc_start = -1;      // popped from the inbox: service begins
 };
 
 }  // namespace byzcast::sim

@@ -204,6 +204,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.trace = std::make_shared<TraceLog>(config.trace_capacity);
     obs.metrics = result.metrics.get();
     obs.trace = result.trace.get();
+    if (config.span_tracing) {
+      result.spans = std::make_shared<SpanLog>(config.span_capacity);
+      obs.spans = result.spans.get();
+    }
+    if (config.monitors) {
+      result.monitors = std::make_shared<MonitorHub>();
+      result.monitors->attach_metrics(result.metrics.get());
+      if (config.monitor_pending_bound > 0) {
+        result.monitors->set_pending_bound(config.monitor_pending_bound);
+      }
+      obs.monitors = result.monitors.get();
+    }
     sim->attach_observability(obs);
     sampler = std::make_unique<sim::MetricsSampler>(*sim, *result.metrics,
                                                     config.sample_interval);
@@ -307,6 +319,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           sys->make_client("client" + std::to_string(c)),
           DestinationGenerator(config.workload, targets, home),
           seeder.fork());
+      if (obs.spans != nullptr) {
+        clients.back().client->set_trace_sample_every(
+            config.span_sample_every);
+      }
     }
     if (wan_model) {
       assign_group_regions(*wan_model, sys->registry());

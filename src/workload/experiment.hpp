@@ -9,6 +9,8 @@
 #include <memory>
 
 #include "common/metrics.hpp"
+#include "common/monitor.hpp"
+#include "common/span.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
@@ -56,6 +58,25 @@ struct ExperimentConfig {
   bool observability = true;
   Time sample_interval = 100 * kMillisecond;
   std::size_t trace_capacity = TraceLog::kDefaultCapacity;
+  /// Causal span tracing (docs/ARCHITECTURE.md, "Observability: spans,
+  /// critical path, invariant monitors"): sampled client messages carry a
+  /// trace flag on the wire and every Algorithm-1 stage stamps a Span, from
+  /// which CriticalPathAnalyzer decomposes end-to-end latency. Requires
+  /// `observability`. Off by default; the overhead with sampling is
+  /// measured in BENCH_trace.json.
+  bool span_tracing = false;
+  /// Trace every n-th message per client (1 = all). This is the overhead
+  /// knob: production-style runs keep tracing always-on at e.g. 1/64
+  /// sampling for <5% cost.
+  std::uint32_t span_sample_every = 1;
+  std::size_t span_capacity = SpanLog::kDefaultCapacity;
+  /// Online invariant monitors (per-sender FIFO, group agreement, acyclic
+  /// prefix order across groups, bounded pending copies) attached as
+  /// delivery observers; violations surface as monitor.violations.*
+  /// counters. Requires `observability`.
+  bool monitors = false;
+  /// Bound for the pending-copies monitor (0 = that check disabled).
+  std::size_t monitor_pending_bound = 0;
 };
 
 struct ExperimentResult {
@@ -72,6 +93,9 @@ struct ExperimentResult {
   /// cheaply copyable); null otherwise.
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<TraceLog> trace;
+  /// Populated when config.span_tracing / config.monitors are on.
+  std::shared_ptr<SpanLog> spans;
+  std::shared_ptr<MonitorHub> monitors;
 };
 
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);

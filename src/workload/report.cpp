@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/span_export.hpp"
+#include "core/critical_path.hpp"
+
 namespace byzcast::workload {
 
 void print_header(const std::string& title) {
@@ -125,6 +128,143 @@ void write_metrics_sidecar(const std::string& path,
            "\"example_multi_hop\":null";
   }
   out << "}}\n";
+}
+
+namespace {
+
+void json_components(std::ostream& out, const core::Components& c) {
+  out << "{\"queueing_ns\":" << c.queueing << ",\"cpu_ns\":" << c.cpu
+      << ",\"network_ns\":" << c.network << ",\"quorum_wait_ns\":"
+      << c.quorum_wait << "}";
+}
+
+void json_pcts(std::ostream& out, const core::PercentileStats& s) {
+  out << "{\"n\":" << s.n << ",\"p50_ns\":" << s.p50 << ",\"p99_ns\":"
+      << s.p99 << "}";
+}
+
+void json_aggregate(std::ostream& out, const core::ClassAggregate& a) {
+  out << "{\"n\":" << a.n << ",\"end_to_end\":";
+  json_pcts(out, a.end_to_end);
+  out << ",\"queueing\":";
+  json_pcts(out, a.queueing);
+  out << ",\"cpu\":";
+  json_pcts(out, a.cpu);
+  out << ",\"network\":";
+  json_pcts(out, a.network);
+  out << ",\"quorum_wait\":";
+  json_pcts(out, a.quorum_wait);
+  out << "}";
+}
+
+}  // namespace
+
+void write_span_sidecar(const std::string& path,
+                        const ExperimentResult& result, int f) {
+  if (!result.spans) return;
+  auto out = open_csv(path);
+  if (!out) return;
+
+  core::CriticalPathAnalyzer analyzer(*result.spans,
+                                      core::CriticalPathAnalyzer::Options{f});
+  out << "{\"schema\":\"byzcast-spans-v1\"";
+  out << ",\"f\":" << f;
+  out << ",\"spans_recorded\":" << result.spans->spans().size();
+  out << ",\"spans_dropped\":" << result.spans->dropped();
+
+  out << ",\"messages\":[";
+  bool first = true;
+  for (const auto& m : analyzer.messages()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":\"" << to_string(m.id) << "\",\"complete\":"
+        << (m.complete ? "true" : "false") << ",\"dst_count\":" << m.dst_count
+        << ",\"global\":" << (m.is_global ? "true" : "false")
+        << ",\"submitted_ns\":" << m.submitted << ",\"end_to_end_ns\":"
+        << m.end_to_end;
+    if (m.complete) {
+      out << ",\"critical_dst\":" << m.critical_dst.value << ",\"totals\":";
+      json_components(out, m.totals);
+      out << ",\"hops\":[";
+      bool hop_first = true;
+      for (const auto& h : m.hops) {
+        if (!hop_first) out << ",";
+        hop_first = false;
+        out << "{\"group\":" << h.group.value << ",\"replica\":"
+            << h.replica.value << ",\"components\":";
+        json_components(out, h.components);
+        out << "}";
+      }
+      out << "]";
+    }
+    out << "}";
+  }
+  out << "]";
+
+  out << ",\"aggregates\":{\"local\":";
+  json_aggregate(out, analyzer.aggregate(/*global=*/false));
+  out << ",\"global\":";
+  json_aggregate(out, analyzer.aggregate(/*global=*/true));
+  out << "}";
+
+  out << ",\"edges\":[";
+  first = true;
+  for (const auto& [edge, stats] : analyzer.edge_latency()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"parent\":" << edge.first.value << ",\"child\":"
+        << edge.second.value << ",\"stats\":";
+    json_pcts(out, stats);
+    out << "}";
+  }
+  out << "]";
+
+  out << ",\"monitor\":";
+  if (result.monitors) {
+    out << "{\"violations_total\":" << result.monitors->total_violations();
+    for (const char* name :
+         {"fifo", "group_agreement", "acyclic_order", "bounded_pending"}) {
+      out << ",\"" << name << "\":" << result.monitors->violations(name);
+    }
+    out << "}";
+  } else {
+    out << "null";
+  }
+  out << "}\n";
+}
+
+void write_chrome_trace(const std::string& path,
+                        const ExperimentResult& result) {
+  if (!result.spans) return;
+  auto out = open_csv(path);
+  if (!out) return;
+  out << chrome_trace_json(*result.spans);
+}
+
+void print_latency_breakdown(const ExperimentResult& result, int f) {
+  if (!result.spans) return;
+  core::CriticalPathAnalyzer analyzer(*result.spans,
+                                      core::CriticalPathAnalyzer::Options{f});
+  print_header("latency breakdown (critical path, medians)");
+  std::vector<std::vector<std::string>> rows;
+  for (const bool global : {false, true}) {
+    const auto agg = analyzer.aggregate(global);
+    if (agg.n == 0) continue;
+    rows.push_back({global ? "global" : "local", std::to_string(agg.n),
+                    fmt(to_ms(agg.end_to_end.p50), 2),
+                    fmt(to_ms(agg.end_to_end.p99), 2),
+                    fmt(to_ms(agg.queueing.p50), 2),
+                    fmt(to_ms(agg.cpu.p50), 2),
+                    fmt(to_ms(agg.network.p50), 2),
+                    fmt(to_ms(agg.quorum_wait.p50), 2)});
+  }
+  if (rows.empty()) {
+    std::printf("(no complete traced messages)\n");
+    return;
+  }
+  print_table({"class", "n", "e2e p50 ms", "e2e p99 ms", "queue p50",
+               "cpu p50", "net p50", "quorum p50"},
+              rows);
 }
 
 void print_cdf(const std::string& label, const LatencyRecorder& recorder,

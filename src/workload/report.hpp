@@ -46,4 +46,25 @@ void write_series_csv(const std::string& path,
 void write_metrics_sidecar(const std::string& path,
                            const ExperimentResult& result);
 
+/// Writes the deterministic span sidecar (schema "byzcast-spans-v1") for a
+/// run with span tracing on: per-message critical-path breakdowns sorted by
+/// message id, local/global aggregates, per-tree-edge latency percentiles
+/// and monitor violation counts. All times are integer nanoseconds, so the
+/// file is byte-identical across same-seed simulation runs. No-op when the
+/// run had no SpanLog. `f` selects the representative replica per group
+/// (the (f+1)-th earliest a-delivery — the copy completing a reply quorum).
+void write_span_sidecar(const std::string& path,
+                        const ExperimentResult& result, int f);
+
+/// Writes the SpanLog as Chrome trace-event JSON — load in Perfetto
+/// (ui.perfetto.dev) to browse one track per replica, one process per
+/// group. No-op when the run had no SpanLog.
+void write_chrome_trace(const std::string& path,
+                        const ExperimentResult& result);
+
+/// Prints the per-class latency-breakdown table (end-to-end p50/p99 and the
+/// queueing / cpu / network / quorum-wait component medians) reconstructed
+/// from the run's spans. No-op without a SpanLog.
+void print_latency_breakdown(const ExperimentResult& result, int f);
+
 }  // namespace byzcast::workload

@@ -1,0 +1,68 @@
+// Concurrency test of the lock-free Histogram: concurrent observe() calls
+// from many threads must lose no counts and converge the CAS-maintained sum
+// (every observed value here is exactly representable, so double addition
+// is associative and the final sum is exact regardless of interleaving).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace byzcast {
+namespace {
+
+TEST(HistogramConcurrency, NoLostCountsOrSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Cycle through all four buckets; values are small integers (and
+        // 0.5), all exactly representable in a double.
+        switch ((t + i) % 4) {
+          case 0: h.observe(0.5); break;
+          case 1: h.observe(2.0); break;
+          case 2: h.observe(50.0); break;
+          default: h.observe(1000.0); break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(h.count(), kTotal);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  std::uint64_t bucket_sum = 0;
+  for (const auto c : counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, kTotal);
+  // Every (t + i) % 4 class is hit exactly kTotal / 4 times overall.
+  for (const auto c : counts) EXPECT_EQ(c, kTotal / 4);
+  EXPECT_DOUBLE_EQ(h.sum(), kTotal / 4 * (0.5 + 2.0 + 50.0 + 1000.0));
+}
+
+TEST(HistogramConcurrency, ReadersDuringWritesSeeConsistentMonotonicCount) {
+  Histogram h({10.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 100000 && !stop.load(); ++i) h.observe(1.0);
+    stop.store(true);
+  });
+  std::uint64_t last = 0;
+  while (!stop.load()) {
+    const std::uint64_t now = h.count();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(h.count(), 100000u);
+}
+
+}  // namespace
+}  // namespace byzcast

@@ -1,0 +1,134 @@
+// Unit tests of the streaming invariant monitors: each check is tripped by
+// a synthetic faulty observation sequence and stays silent on clean ones.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "common/monitor.hpp"
+
+namespace byzcast {
+namespace {
+
+MessageId msg(std::int32_t origin, std::uint64_t seq) {
+  return MessageId{ProcessId{origin}, seq};
+}
+
+constexpr GroupId kG0{0};
+constexpr GroupId kG1{1};
+constexpr GroupId kEntry{100};
+constexpr ProcessId kR0{10};
+constexpr ProcessId kR1{11};
+constexpr ProcessId kR2{20};
+
+TEST(MonitorHub, CleanStreamReportsNothing) {
+  MonitorHub hub;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    hub.on_a_deliver(kG0, kR0, msg(1, s), kEntry, Time{100} * (s + 1));
+    hub.on_a_deliver(kG0, kR1, msg(1, s), kEntry, Time{110} * (s + 1));
+  }
+  EXPECT_EQ(hub.total_violations(), 0u);
+  EXPECT_TRUE(hub.detailed_violations().empty());
+}
+
+TEST(MonitorHub, FifoRegressionTrips) {
+  MonitorHub hub;
+  hub.on_a_deliver(kG0, kR0, msg(1, 0), kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, msg(1, 2), kEntry, 200);
+  EXPECT_EQ(hub.total_violations(), 0u) << "gaps are fine (other entry)";
+  // Delivering seq 1 after seq 2 of the same (origin, entry) stream is an
+  // ordering fault.
+  hub.on_a_deliver(kG0, kR0, msg(1, 1), kEntry, 300);
+  EXPECT_EQ(hub.violations("fifo"), 1u);
+  // A different entry group is a different stream: no violation.
+  hub.on_a_deliver(kG0, kR0, msg(1, 0), GroupId{101}, 400);
+  EXPECT_EQ(hub.violations("fifo"), 1u);
+}
+
+TEST(MonitorHub, FifoStreamsAreIndependentPerOrigin) {
+  MonitorHub hub;
+  hub.on_a_deliver(kG0, kR0, msg(1, 5), kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, msg(2, 0), kEntry, 200);
+  hub.on_a_deliver(kG0, kR0, msg(1, 6), kEntry, 300);
+  hub.on_a_deliver(kG0, kR0, msg(2, 1), kEntry, 400);
+  EXPECT_EQ(hub.total_violations(), 0u);
+}
+
+TEST(MonitorHub, GroupDisagreementTrips) {
+  MonitorHub hub;
+  // Both replicas of g0 must deliver the same k-th message.
+  hub.on_a_deliver(kG0, kR0, msg(1, 0), kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, msg(2, 0), kEntry, 200);
+  hub.on_a_deliver(kG0, kR1, msg(1, 0), kEntry, 150);
+  hub.on_a_deliver(kG0, kR1, msg(3, 0), kEntry, 250);  // != msg(2, 0)
+  EXPECT_EQ(hub.violations("group_agreement"), 1u);
+  const auto detailed = hub.detailed_violations();
+  ASSERT_FALSE(detailed.empty());
+  EXPECT_EQ(detailed.back().monitor, "group_agreement");
+  EXPECT_EQ(detailed.back().replica, kR1);
+}
+
+TEST(MonitorHub, CrossGroupOrderInversionTrips) {
+  MonitorHub hub;
+  const MessageId a = msg(1, 0);
+  const MessageId b = msg(2, 0);
+  // g0's replica delivers a then b; g1's replica delivers b then a — the
+  // union of the two orders has the cycle a -> b -> a.
+  hub.on_a_deliver(kG0, kR0, a, kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, b, kEntry, 200);
+  hub.on_a_deliver(kG1, kR2, b, kEntry, 150);
+  EXPECT_EQ(hub.violations("acyclic_order"), 0u);
+  hub.on_a_deliver(kG1, kR2, a, kEntry, 250);
+  EXPECT_EQ(hub.violations("acyclic_order"), 1u);
+}
+
+TEST(MonitorHub, LongerCycleIsDetected) {
+  MonitorHub hub;
+  const MessageId a = msg(1, 0);
+  const MessageId b = msg(2, 0);
+  const MessageId c = msg(3, 0);
+  // Three replicas of three groups: a<b, b<c, c<a.
+  hub.on_a_deliver(kG0, kR0, a, kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, b, kEntry, 200);
+  hub.on_a_deliver(kG1, kR2, b, kEntry, 100);
+  hub.on_a_deliver(kG1, kR2, c, kEntry, 200);
+  hub.on_a_deliver(GroupId{2}, ProcessId{30}, c, kEntry, 100);
+  EXPECT_EQ(hub.total_violations(), 0u);
+  hub.on_a_deliver(GroupId{2}, ProcessId{30}, a, kEntry, 200);
+  EXPECT_EQ(hub.violations("acyclic_order"), 1u);
+}
+
+TEST(MonitorHub, BoundedPendingTrips) {
+  MonitorHub hub;
+  hub.set_pending_bound(4);
+  hub.on_pending_copies(kG0, kR0, 4, 100);
+  EXPECT_EQ(hub.total_violations(), 0u);
+  hub.on_pending_copies(kG0, kR0, 5, 200);
+  EXPECT_EQ(hub.violations("bounded_pending"), 1u);
+}
+
+TEST(MonitorHub, PendingBoundDisabledByDefault) {
+  MonitorHub hub;
+  hub.on_pending_copies(kG0, kR0, 1 << 20, 100);
+  EXPECT_EQ(hub.total_violations(), 0u);
+}
+
+TEST(MonitorHub, ViolationsMirrorIntoMetrics) {
+  MetricsRegistry reg;
+  MonitorHub hub;
+  hub.attach_metrics(&reg);
+  hub.on_a_deliver(kG0, kR0, msg(1, 3), kEntry, 100);
+  hub.on_a_deliver(kG0, kR0, msg(1, 1), kEntry, 200);
+  EXPECT_EQ(reg.counter("monitor.violations.fifo").value(), 1u);
+}
+
+TEST(MonitorHub, DetailedViolationsAreCapped) {
+  MonitorHub hub;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    hub.on_a_deliver(kG0, kR0, msg(1, 100 - s), kEntry, 100);
+  }
+  EXPECT_EQ(hub.violations("fifo"), 99u);
+  EXPECT_LE(hub.detailed_violations().size(),
+            MonitorHub::kMaxDetailedViolations);
+}
+
+}  // namespace
+}  // namespace byzcast

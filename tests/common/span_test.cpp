@@ -1,0 +1,95 @@
+// SpanLog unit tests: per-message indexing, capacity-bounded dropping, the
+// end>=begin clamp, the actor-span gate, and the Chrome trace-event export.
+#include <gtest/gtest.h>
+
+#include "common/span.hpp"
+#include "common/span_export.hpp"
+
+namespace byzcast {
+namespace {
+
+Span make_span(std::int32_t origin, std::uint64_t seq, SpanKind kind,
+               Time begin, Time end) {
+  Span s;
+  s.msg = MessageId{ProcessId{origin}, seq};
+  s.kind = kind;
+  s.group = GroupId{0};
+  s.where = ProcessId{7};
+  s.begin = begin;
+  s.end = end;
+  return s;
+}
+
+TEST(SpanLog, IndexesSpansByMessage) {
+  SpanLog log;
+  log.record(make_span(1, 0, SpanKind::kNetTransit, 10, 20));
+  log.record(make_span(2, 0, SpanKind::kNetTransit, 15, 25));
+  log.record(make_span(1, 0, SpanKind::kCpuService, 20, 30));
+  const auto spans = log.of(MessageId{ProcessId{1}, 0});
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, SpanKind::kNetTransit);
+  EXPECT_EQ(spans[1].kind, SpanKind::kCpuService);
+  EXPECT_TRUE(log.of(MessageId{ProcessId{9}, 0}).empty());
+  EXPECT_EQ(log.traced_messages().size(), 2u);
+}
+
+TEST(SpanLog, ClampsInvertedIntervals) {
+  SpanLog log;
+  // A Byzantine replica can stamp garbage wire times; the log never stores
+  // end < begin.
+  log.record(make_span(1, 0, SpanKind::kNetTransit, 100, 50));
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0].end, log.spans()[0].begin);
+}
+
+TEST(SpanLog, DropsAtCapacity) {
+  SpanLog log(/*capacity=*/4);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    log.record(make_span(1, s, SpanKind::kExecute, 10, 20));
+  }
+  EXPECT_EQ(log.spans().size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+}
+
+TEST(SpanLog, ActorSpansGateDefaultsOff) {
+  SpanLog log;
+  EXPECT_FALSE(log.actor_spans());
+  log.set_actor_spans(true);
+  EXPECT_TRUE(log.actor_spans());
+}
+
+TEST(SpanExport, ChromeTraceShape) {
+  SpanLog log;
+  log.record(make_span(1, 0, SpanKind::kNetTransit, 1000, 3500));
+  log.record(make_span(1, 0, SpanKind::kADeliver, 3500, 3500));  // instant
+  const std::string json = chrome_trace_json(log);
+  // Top-level object with the documented keys.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Metadata rows name the group's process and the replica's thread.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // The timed span is a complete event with microsecond ts/dur; 2500 ns
+  // becomes 2.500 us.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  // The a-deliver is an instant.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(SpanExport, DeterministicForSameLog) {
+  const auto build = [] {
+    SpanLog log;
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      log.record(make_span(static_cast<std::int32_t>(s % 3), s,
+                           SpanKind::kCpuService, 10 * s, 10 * s + 5));
+    }
+    return chrome_trace_json(log);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace byzcast

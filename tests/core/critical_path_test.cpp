@@ -1,0 +1,201 @@
+// CriticalPathAnalyzer unit tests over hand-built span logs: exact
+// telescoping decomposition, representative-replica ((f+1)-th delivery)
+// selection, robustness to Byzantine garbage stamps, and truncated traces.
+#include <gtest/gtest.h>
+
+#include "common/span.hpp"
+#include "core/critical_path.hpp"
+
+namespace byzcast::core {
+namespace {
+
+constexpr ProcessId kClient{1};
+const MessageId kMsg{kClient, 0};
+
+Span span(SpanKind kind, GroupId g, ProcessId where, Time begin, Time end,
+          std::int64_t detail = 0) {
+  Span s;
+  s.msg = kMsg;
+  s.kind = kind;
+  s.group = g;
+  s.where = where;
+  s.begin = begin;
+  s.end = end;
+  s.detail = detail;
+  return s;
+}
+
+/// One replica's full pipeline chain, shifted by `delta`.
+void add_chain(SpanLog& log, GroupId g, ProcessId r, Time delta) {
+  log.record(span(SpanKind::kNetTransit, g, r, 100 + delta, 150 + delta));
+  log.record(span(SpanKind::kMailboxWait, g, r, 150 + delta, 160 + delta));
+  log.record(span(SpanKind::kCpuService, g, r, 160 + delta, 170 + delta));
+  log.record(span(SpanKind::kConsensusQueue, g, r, 170 + delta, 200 + delta));
+  log.record(span(SpanKind::kWriteQuorum, g, r, 200 + delta, 260 + delta));
+  log.record(span(SpanKind::kAcceptQuorum, g, r, 260 + delta, 300 + delta));
+  log.record(span(SpanKind::kExecute, g, r, 300 + delta, 320 + delta));
+}
+
+constexpr GroupId kEntry{100};
+constexpr GroupId kG0{0};
+constexpr GroupId kG1{1};
+
+/// Builds the canonical 2-destination trace used by most tests: entry group
+/// (replicas 40/41) relays to destinations g0 (10/11) and g1 (20/21); g1's
+/// representative a-delivery is latest, so it is the critical destination.
+void make_global_trace(SpanLog& log) {
+  log.record(span(SpanKind::kEndToEnd, GroupId{}, kClient, 100, 1100,
+                  /*dst_count=*/2));
+  add_chain(log, kEntry, ProcessId{40}, 0);
+  add_chain(log, kEntry, ProcessId{41}, 10);
+  log.record(span(SpanKind::kRelay, kEntry, ProcessId{41}, 330, 330,
+                  /*child=*/kG0.value));
+  log.record(span(SpanKind::kRelay, kEntry, ProcessId{41}, 330, 330,
+                  /*child=*/kG1.value));
+
+  // g0: both replicas deliver early; only the a-deliver instants matter for
+  // ranking the representative.
+  log.record(span(SpanKind::kADeliver, kG0, ProcessId{10}, 600, 600));
+  log.record(span(SpanKind::kADeliver, kG0, ProcessId{11}, 640, 640));
+
+  // g1: replica 20 delivers at 700, replica 21 (the f+1-th = representative
+  // at f=1) at 750, with the full chain.
+  log.record(span(SpanKind::kADeliver, kG1, ProcessId{20}, 700, 700));
+  log.record(span(SpanKind::kNetTransit, kG1, ProcessId{21}, 330, 400));
+  log.record(span(SpanKind::kMailboxWait, kG1, ProcessId{21}, 400, 410));
+  log.record(span(SpanKind::kCpuService, kG1, ProcessId{21}, 410, 420));
+  log.record(span(SpanKind::kConsensusQueue, kG1, ProcessId{21}, 420, 500));
+  log.record(span(SpanKind::kWriteQuorum, kG1, ProcessId{21}, 500, 560));
+  log.record(span(SpanKind::kAcceptQuorum, kG1, ProcessId{21}, 560, 600));
+  log.record(span(SpanKind::kExecute, kG1, ProcessId{21}, 600, 700));
+  log.record(span(SpanKind::kADeliver, kG1, ProcessId{21}, 750, 750));
+}
+
+TEST(CriticalPath, DecomposesExactlyAlongTheCriticalPath) {
+  SpanLog log;
+  make_global_trace(log);
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  const MessageBreakdown& m = analyzer.messages().front();
+  ASSERT_TRUE(m.complete);
+  EXPECT_TRUE(m.is_global);
+  EXPECT_EQ(m.dst_count, 2u);
+  EXPECT_EQ(m.end_to_end, 1000);
+  EXPECT_EQ(m.critical_dst, kG1);
+
+  // Entry group first, then the critical destination; the representative of
+  // the entry group is its (f+1)-th = second-earliest orderer (replica 41),
+  // of g1 the second-earliest deliverer (replica 21).
+  ASSERT_EQ(m.hops.size(), 2u);
+  EXPECT_EQ(m.hops[0].group, kEntry);
+  EXPECT_EQ(m.hops[0].replica, ProcessId{41});
+  EXPECT_EQ(m.hops[1].group, kG1);
+  EXPECT_EQ(m.hops[1].replica, ProcessId{21});
+
+  // Hand-computed decomposition (see make_global_trace timings).
+  EXPECT_EQ(m.totals.queueing, 130);
+  EXPECT_EQ(m.totals.cpu, 150);
+  EXPECT_EQ(m.totals.network, 120);
+  EXPECT_EQ(m.totals.quorum_wait, 600);
+  EXPECT_EQ(m.totals.total(), m.end_to_end);
+
+  // Hop components sum to the totals minus nothing — the reply wait lands
+  // on the last hop.
+  Components hop_sum;
+  for (const auto& h : m.hops) hop_sum += h.components;
+  EXPECT_EQ(hop_sum.total(), m.totals.total());
+}
+
+TEST(CriticalPath, EdgeLatencyTracksOrderingToOrdering) {
+  SpanLog log;
+  make_global_trace(log);
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  const auto edges = analyzer.edge_latency();
+  ASSERT_EQ(edges.count({kEntry, kG1}), 1u);
+  const PercentileStats& s = edges.at({kEntry, kG1});
+  EXPECT_EQ(s.n, 1u);
+  // Entry ordered at 330 (replica 41), g1 at 700.
+  EXPECT_EQ(s.p50, 370);
+}
+
+TEST(CriticalPath, AggregateSplitsByDestinationClass) {
+  SpanLog log;
+  make_global_trace(log);
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  EXPECT_EQ(analyzer.aggregate(/*global=*/true).n, 1u);
+  EXPECT_EQ(analyzer.aggregate(/*global=*/false).n, 0u);
+  const auto agg = analyzer.aggregate(true);
+  EXPECT_EQ(agg.end_to_end.p50, 1000);
+  EXPECT_EQ(agg.quorum_wait.p50, 600);
+}
+
+TEST(CriticalPath, ByzantineGarbageStampsStayExact) {
+  SpanLog log;
+  make_global_trace(log);
+  // A Byzantine replica of the critical group stamps absurd values into its
+  // own chain; it also happens to be the representative's neighbour, so the
+  // analysis must stay within [submit, completion] regardless.
+  log.record(span(SpanKind::kNetTransit, kG1, ProcessId{21}, -5000, 999999));
+  log.record(span(SpanKind::kConsensusQueue, kG1, ProcessId{21}, 999999,
+                  999999));
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  const MessageBreakdown& m = analyzer.messages().front();
+  ASSERT_TRUE(m.complete);
+  EXPECT_EQ(m.totals.total(), m.end_to_end);
+  EXPECT_GE(m.totals.queueing, 0);
+  EXPECT_GE(m.totals.cpu, 0);
+  EXPECT_GE(m.totals.network, 0);
+  EXPECT_GE(m.totals.quorum_wait, 0);
+}
+
+TEST(CriticalPath, MissingEndToEndMeansIncomplete) {
+  SpanLog log;
+  add_chain(log, kEntry, ProcessId{40}, 0);
+  log.record(span(SpanKind::kADeliver, kG0, ProcessId{10}, 600, 600));
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  EXPECT_FALSE(analyzer.messages().front().complete);
+  EXPECT_EQ(analyzer.aggregate(false).n, 0u);
+  EXPECT_EQ(analyzer.aggregate(true).n, 0u);
+}
+
+TEST(CriticalPath, MissingADeliverMeansIncomplete) {
+  SpanLog log;
+  log.record(span(SpanKind::kEndToEnd, GroupId{}, kClient, 100, 1100, 1));
+  add_chain(log, kEntry, ProcessId{40}, 0);
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  EXPECT_FALSE(analyzer.messages().front().complete);
+}
+
+TEST(CriticalPath, FewerReplicasThanFStillPicksLatest) {
+  SpanLog log;
+  log.record(span(SpanKind::kEndToEnd, GroupId{}, kClient, 0, 500, 1));
+  log.record(span(SpanKind::kADeliver, kG0, ProcessId{10}, 300, 300));
+  // Only one replica observed; with f=1 the analyzer falls back to the last
+  // available one instead of producing nothing.
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  const MessageBreakdown& m = analyzer.messages().front();
+  ASSERT_TRUE(m.complete);
+  EXPECT_EQ(m.critical_dst, kG0);
+  EXPECT_EQ(m.totals.total(), m.end_to_end);
+}
+
+TEST(CriticalPath, RelayCycleFromLyingRelaysIsBounded) {
+  SpanLog log;
+  make_global_trace(log);
+  // Fabricated relay spans claiming g1 -> entry (a cycle in the "tree").
+  log.record(span(SpanKind::kRelay, kG1, ProcessId{21}, 700, 700,
+                  /*child=*/kEntry.value));
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{1});
+  ASSERT_EQ(analyzer.messages().size(), 1u);
+  const MessageBreakdown& m = analyzer.messages().front();
+  ASSERT_TRUE(m.complete);
+  EXPECT_LE(m.hops.size(), 64u);
+  EXPECT_EQ(m.totals.total(), m.end_to_end);
+}
+
+}  // namespace
+}  // namespace byzcast::core

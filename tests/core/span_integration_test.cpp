@@ -1,0 +1,145 @@
+// End-to-end span tracing through the simulator: a traced mixed workload
+// produces well-formed span trees whose critical-path decomposition sums to
+// the measured end-to-end latency exactly — including under message loss,
+// Byzantine fault injection, and span-log truncation.
+#include <gtest/gtest.h>
+
+#include "common/span.hpp"
+#include "core/critical_path.hpp"
+#include "support/byzcast_harness.hpp"
+
+namespace byzcast::core {
+namespace {
+
+using ::byzcast::testing::ByzCastHarness;
+using ::byzcast::testing::HarnessConfig;
+
+/// Every third message global to {g0, g1}, the rest local to the client's
+/// home group.
+std::vector<GroupId> mixed_dst(int c, int k, Rng&) {
+  if (k % 3 == 2) return {GroupId{0}, GroupId{1}};
+  return {GroupId{c % 2}};
+}
+
+void expect_exact_decomposition(const SpanLog& log, int f,
+                                std::size_t* complete_local = nullptr,
+                                std::size_t* complete_global = nullptr) {
+  CriticalPathAnalyzer analyzer(log, CriticalPathAnalyzer::Options{f});
+  for (const auto& m : analyzer.messages()) {
+    if (!m.complete) continue;
+    if (complete_local != nullptr && !m.is_global) ++*complete_local;
+    if (complete_global != nullptr && m.is_global) ++*complete_global;
+    EXPECT_EQ(m.totals.total(), m.end_to_end)
+        << "inexact decomposition for " << to_string(m.id);
+    EXPECT_GE(m.totals.queueing, 0);
+    EXPECT_GE(m.totals.cpu, 0);
+    EXPECT_GE(m.totals.network, 0);
+    EXPECT_GE(m.totals.quorum_wait, 0);
+    EXPECT_FALSE(m.hops.empty());
+  }
+}
+
+TEST(SpanIntegration, TracedMixedRunDecomposesExactly) {
+  SpanLog spans;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 1;
+  ByzCastHarness h(cfg);
+  h.run(4, 12, mixed_dst);
+  EXPECT_EQ(h.completions, 48);
+  EXPECT_EQ(spans.dropped(), 0u);
+  EXPECT_EQ(spans.traced_messages().size(), 48u);
+
+  std::size_t local = 0;
+  std::size_t global = 0;
+  expect_exact_decomposition(spans, cfg.f, &local, &global);
+  EXPECT_EQ(local, 32u);
+  EXPECT_EQ(global, 16u);
+
+  // Global messages crossed the entry group: the analyzer saw the relay
+  // edges from the auxiliary root to both destinations.
+  CriticalPathAnalyzer analyzer(spans, CriticalPathAnalyzer::Options{cfg.f});
+  EXPECT_FALSE(analyzer.edge_latency().empty());
+}
+
+TEST(SpanIntegration, SamplingTracesEveryNthMessage) {
+  SpanLog spans;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 4;
+  ByzCastHarness h(cfg);
+  h.run(2, 12, mixed_dst);
+  EXPECT_EQ(h.completions, 24);
+  // Client uids 0, 4, 8 of each of the two clients.
+  EXPECT_EQ(spans.traced_messages().size(), 6u);
+  for (const MessageId& id : spans.traced_messages()) {
+    EXPECT_EQ(id.seq % 4, 0u);
+  }
+}
+
+TEST(SpanIntegration, WellFormedUnderMessageLoss) {
+  SpanLog spans;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 1;
+  ByzCastHarness h(cfg);
+  h.sim.network().faults().set_loss_probability(0.01);
+  h.run(4, 10, mixed_dst);
+  EXPECT_GT(h.completions, 0);
+  // Loss may leave some traces truncated (complete=false); whatever IS
+  // complete must still decompose exactly.
+  expect_exact_decomposition(spans, cfg.f);
+}
+
+TEST(SpanIntegration, WellFormedUnderByzantineFaults) {
+  SpanLog spans;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 1;
+  // One auxiliary replica goes fully silent, another front-runs toward a
+  // child: both the f+1 thresholds and the relay streams are stressed.
+  std::vector<bft::FaultSpec> faults(4);
+  faults[1].silent = true;
+  cfg.faults.by_group[GroupId{testing::kAuxBase}] = faults;
+  ByzCastHarness h(cfg);
+  std::size_t global = 0;
+  h.run(4, 10, mixed_dst);
+  EXPECT_EQ(h.completions, 40);
+  expect_exact_decomposition(spans, cfg.f, nullptr, &global);
+  EXPECT_GT(global, 0u);
+}
+
+TEST(SpanIntegration, TruncationByCapacityIsReportedAndHarmless) {
+  SpanLog spans(/*capacity=*/200);
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 1;
+  ByzCastHarness h(cfg);
+  h.run(4, 12, mixed_dst);
+  EXPECT_EQ(h.completions, 48);
+  EXPECT_GT(spans.dropped(), 0u);
+  EXPECT_EQ(spans.spans().size(), 200u);
+  // Truncated span trees analyze without crashing; complete ones (if any)
+  // stay exact.
+  expect_exact_decomposition(spans, cfg.f);
+}
+
+TEST(SpanIntegration, UntracedRunRecordsNothing) {
+  SpanLog spans;
+  HarnessConfig cfg;
+  cfg.num_targets = 2;
+  cfg.obs.spans = &spans;
+  cfg.trace_sample_every = 0;  // knob off: no client ever sets the flag
+  ByzCastHarness h(cfg);
+  h.run(2, 6, mixed_dst);
+  EXPECT_EQ(h.completions, 12);
+  EXPECT_TRUE(spans.spans().empty());
+}
+
+}  // namespace
+}  // namespace byzcast::core

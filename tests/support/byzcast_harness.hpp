@@ -26,6 +26,8 @@ struct HarnessConfig {
   /// Optional metric/trace sinks, shared by every node; must outlive the
   /// harness when set.
   Observability obs;
+  /// When obs.spans is set, clients trace every n-th message (0 = none).
+  std::uint32_t trace_sample_every = 0;
 };
 
 /// Auxiliary group ids start at 100 to stay visually distinct from targets.
@@ -71,6 +73,9 @@ class ByzCastHarness {
     Rng rng(config_.seed ^ 0xabcdef);
     for (int c = 0; c < num_clients; ++c) {
       clients.push_back(system.make_client("client" + std::to_string(c)));
+      if (config_.trace_sample_every > 0) {
+        clients.back()->set_trace_sample_every(config_.trace_sample_every);
+      }
     }
     std::function<void(int)> issue = [&, msgs_per_client](int c) {
       auto& count = sent_count[static_cast<std::size_t>(c)];

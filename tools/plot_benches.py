@@ -180,6 +180,80 @@ def plot_runtime_bench(doc, src, dst, plt):
     print("wrote", out)
 
 
+def summarize_span_sidecar(name, doc):
+    """Compact summary of one *_spans.json causal-trace sidecar."""
+    print(f"\n{name} (schema {doc.get('schema')}):")
+    msgs = doc.get("messages", [])
+    complete = sum(1 for m in msgs if m.get("complete"))
+    print(f"  {len(msgs)} traced messages ({complete} complete), "
+          f"{doc.get('spans_recorded')} spans "
+          f"(dropped {doc.get('spans_dropped')})")
+    for cls in ("local", "global"):
+        agg = doc.get("aggregates", {}).get(cls, {})
+        if not agg.get("n"):
+            continue
+        e2e = agg.get("end_to_end", {})
+        print(f"  {cls:<6} n={agg['n']}: e2e p50 "
+              f"{e2e.get('p50_ns', 0) / 1e6:.2f} ms, "
+              f"p99 {e2e.get('p99_ns', 0) / 1e6:.2f} ms")
+    monitor = doc.get("monitor")
+    if monitor is not None:
+        total = monitor.get("violations_total", 0)
+        verdict = "OK" if total == 0 else f"{total} VIOLATIONS"
+        print(f"  invariant monitors: {verdict}")
+
+
+def summarize_trace_bench(doc):
+    """BENCH_trace.json: span-tracing overhead off / sampled / full."""
+    print("\nBENCH_trace.json (tracing overhead, wall-clock backend):")
+    for c in doc.get("configs", []):
+        over = c.get("overhead_pct")
+        extra = f", overhead {over:+.1f}%" if over is not None else ""
+        print(f"  {c.get('mode'):<8} (every {c.get('sample_every')}): "
+              f"{c.get('throughput_msgs_s', 0):.0f} msg/s, "
+              f"{c.get('spans_recorded', 0)} spans{extra}")
+    print(f"  knob: {doc.get('knob', '?')}")
+
+
+COMPONENTS = ("queueing", "cpu", "network", "quorum_wait")
+COMPONENT_COLORS = ("#4c72b0", "#dd8452", "#55a868", "#c44e52")
+
+
+def plot_span_breakdown(name, doc, dst, plt):
+    """Stacked p50 latency-breakdown bars per destination class: the share of
+    the critical path spent queueing / on CPU / in the network / waiting for
+    quorums, with the measured end-to-end p50 marked on each bar."""
+    aggs = [(cls, doc.get("aggregates", {}).get(cls, {}))
+            for cls in ("local", "global")]
+    aggs = [(cls, a) for cls, a in aggs if a.get("n")]
+    if not aggs:
+        return
+    fig, ax = plt.subplots(figsize=(5, 4))
+    xs = list(range(len(aggs)))
+    bottoms = [0.0] * len(aggs)
+    for comp, color in zip(COMPONENTS, COMPONENT_COLORS):
+        heights = [a.get(comp, {}).get("p50_ns", 0) / 1e6 for _, a in aggs]
+        ax.bar(xs, heights, 0.55, bottom=bottoms, label=comp, color=color)
+        bottoms = [b + h for b, h in zip(bottoms, heights)]
+    for x, (cls, a) in zip(xs, aggs):
+        e2e = a.get("end_to_end", {}).get("p50_ns", 0) / 1e6
+        ax.plot([x - 0.33, x + 0.33], [e2e, e2e], color="black",
+                linewidth=1.2)
+        ax.annotate(f"e2e p50 {e2e:.2f} ms", (x, e2e), ha="center",
+                    va="bottom", fontsize=8)
+    ax.set_xticks(xs)
+    ax.set_xticklabels([f"{cls} (n={a['n']})" for cls, a in aggs])
+    ax.set_ylabel("critical-path p50 latency (ms)")
+    ax.set_title("latency breakdown by component")
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    out = os.path.join(dst, name.replace(".json", "_breakdown.png"))
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 def plot_sidecar_timeseries(name, doc, dst, plt):
     """One PNG per sidecar: CPU-busy (top) and queue-depth (bottom) samples."""
     ts = doc.get("metrics", {}).get("timeseries", {})
@@ -230,12 +304,23 @@ def main():
             print(f"skipping malformed sidecar {name}: {err}")
     for name, doc in docs.items():
         summarize_sidecar(name, doc)
+    span_docs = {}
+    for name in sorted(f for f in os.listdir(src) if f.endswith("_spans.json")):
+        try:
+            span_docs[name] = load_sidecar(os.path.join(src, name))
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"skipping malformed span sidecar {name}: {err}")
+    for name, doc in span_docs.items():
+        summarize_span_sidecar(name, doc)
     runtime_bench = find_bench_json(src, "BENCH_runtime.json")
     if runtime_bench:
         summarize_runtime_bench(runtime_bench)
     wire_bench = find_bench_json(src, "BENCH_wire.json")
     if wire_bench:
         summarize_wire_bench(wire_bench)
+    trace_bench = find_bench_json(src, "BENCH_trace.json")
+    if trace_bench:
+        summarize_trace_bench(trace_bench)
 
     try:
         import matplotlib
@@ -284,6 +369,8 @@ def main():
 
     for name, doc in docs.items():
         plot_sidecar_timeseries(name, doc, dst, plt)
+    for name, doc in span_docs.items():
+        plot_span_breakdown(name, doc, dst, plt)
     if runtime_bench:
         plot_runtime_bench(runtime_bench, src, dst, plt)
     if wire_bench:
