@@ -46,17 +46,30 @@ Time ClientProxy::service_cost(const sim::WireMessage&) const {
 
 void ClientProxy::on_message(const sim::WireMessage& msg) {
   if (msg.payload.empty() || !verify(msg)) return;
-  if (peek_type(msg.payload) != MsgType::kReply) return;
+  const MsgType type = peek_type(msg.payload);
+  if (type != MsgType::kReply && type != MsgType::kReplyBatch) return;
   if (!pending_) return;
   Reader r(msg.payload);
   (void)r.u8();
-  Reply rep = Reply::decode(r);
+  if (type == MsgType::kReplyBatch) {
+    // Replicas coalesce the replies of one decided batch; each contained
+    // reply counts exactly as if it had arrived alone.
+    for (Reply& rep : ReplyBatch::decode(r).replies) {
+      handle_reply(std::move(rep), msg.from);
+      if (!pending_) return;
+    }
+    return;
+  }
+  handle_reply(Reply::decode(r), msg.from);
+}
+
+void ClientProxy::handle_reply(Reply rep, ProcessId from) {
   if (rep.group != group_.id || rep.seq != pending_->req.seq) return;
-  if (!group_.is_member(msg.from)) return;
+  if (!group_.is_member(from)) return;
 
   const Digest d = Sha256::hash(rep.result);
   auto& voters = pending_->votes[d];
-  voters.insert(msg.from);
+  voters.insert(from);
   pending_->results.emplace(d, std::move(rep.result));
 
   if (voters.size() >= static_cast<std::size_t>(group_.f + 1)) {

@@ -36,6 +36,8 @@ class ClientProxy final : public sim::Actor {
  private:
   void transmit();
   void arm_retry(std::uint64_t seq);
+  /// Applies one reply (standalone or from a kReplyBatch) to the f+1 vote.
+  void handle_reply(Reply rep, ProcessId from);
 
   struct Pending {
     Request req;

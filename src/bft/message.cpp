@@ -130,18 +130,37 @@ Vote Vote::decode(MsgType type, Reader& r) {
 Bytes Reply::encode() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::kReply));
-  w.group_id(group);
-  w.u64(seq);
-  w.bytes(result);
+  encode_body(w);
   return w.take();
 }
 
-Reply Reply::decode(Reader& r) {
+Reply Reply::decode(Reader& r) { return decode_body(r); }
+
+void Reply::encode_body(Writer& w) const {
+  w.group_id(group);
+  w.u64(seq);
+  w.bytes(result);
+}
+
+Reply Reply::decode_body(Reader& r) {
   Reply rep;
   rep.group = r.group_id();
   rep.seq = r.u64();
   rep.result = r.bytes();
   return rep;
+}
+
+Bytes ReplyBatch::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kReplyBatch));
+  w.vec(replies, [](Writer& ww, const Reply& rep) { rep.encode_body(ww); });
+  return w.take();
+}
+
+ReplyBatch ReplyBatch::decode(Reader& r) {
+  ReplyBatch b;
+  b.replies = r.vec<Reply>([](Reader& rr) { return Reply::decode_body(rr); });
+  return b;
 }
 
 Bytes Stop::encode() const {
@@ -162,9 +181,11 @@ Bytes StopData::encode() const {
   w.u8(static_cast<std::uint8_t>(MsgType::kStopData));
   w.u64(next_view);
   w.u64(next_instance);
-  w.u8(has_value ? 1 : 0);
-  w.u64(value_view);
-  w.vec(value, [](Writer& ww, const Request& req) { req.encode(ww); });
+  w.vec(values, [](Writer& ww, const OpenValue& v) {
+    ww.u64(v.instance);
+    ww.u64(v.value_view);
+    ww.vec(v.value, [](Writer& www, const Request& req) { req.encode(www); });
+  });
   return w.take();
 }
 
@@ -172,9 +193,13 @@ StopData StopData::decode(Reader& r) {
   StopData s;
   s.next_view = r.u64();
   s.next_instance = r.u64();
-  s.has_value = r.u8() != 0;
-  s.value_view = r.u64();
-  s.value = decode_batch(r);
+  s.values = r.vec<OpenValue>([](Reader& rr) {
+    OpenValue v;
+    v.instance = rr.u64();
+    v.value_view = rr.u64();
+    v.value = decode_batch(rr);
+    return v;
+  });
   return s;
 }
 
@@ -183,7 +208,10 @@ Bytes Sync::encode() const {
   w.u8(static_cast<std::uint8_t>(MsgType::kSync));
   w.u64(next_view);
   w.u64(instance);
-  w.vec(batch, [](Writer& ww, const Request& req) { req.encode(ww); });
+  w.u64(open_from);
+  w.vec(batches, [](Writer& ww, const Batch& batch) {
+    ww.vec(batch, [](Writer& www, const Request& req) { req.encode(www); });
+  });
   return w.take();
 }
 
@@ -191,7 +219,10 @@ Sync Sync::decode(Reader& r) {
   Sync s;
   s.next_view = r.u64();
   s.instance = r.u64();
-  s.batch = decode_batch(r);
+  s.open_from = r.u64();
+  const auto n = r.u32();
+  s.batches.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.batches.push_back(decode_batch(r));
   return s;
 }
 

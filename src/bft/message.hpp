@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "common/bytes.hpp"
 #include "common/serde.hpp"
 #include "common/sha256.hpp"
@@ -28,6 +29,7 @@ enum class MsgType : std::uint8_t {
   kStateRequest,
   kStateResponse,
   kFrontier,
+  kReplyBatch,
 };
 
 /// Peeks the type tag of an encoded bft message.
@@ -44,7 +46,10 @@ struct Request {
   /// only from the group's configured administrator and executed by the
   /// replica itself rather than the application.
   bool reconfig = false;
-  Bytes op;
+  /// Ref-counted payload: copying a Request into a batch (or re-proposing it
+  /// after a view change) bumps a refcount instead of deep-copying the
+  /// operation bytes.
+  Buffer op;
 
   [[nodiscard]] MessageId id() const { return MessageId{origin, seq}; }
 
@@ -107,6 +112,20 @@ struct Reply {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static Reply decode(Reader& r);
+  /// Tagless body, shared with the ReplyBatch codec.
+  void encode_body(Writer& w) const;
+  [[nodiscard]] static Reply decode_body(Reader& r);
+};
+
+/// Several replies for the same client coalesced into one wire message (the
+/// return-path analogue of request batching: one decided batch triggers at
+/// most one reply message per origin per replica). Single replies still go
+/// out as plain kReply.
+struct ReplyBatch {
+  std::vector<Reply> replies;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ReplyBatch decode(Reader& r);
 };
 
 /// Ask peers to move to `next_view` (leader suspected).
@@ -117,24 +136,39 @@ struct Stop {
   [[nodiscard]] static Stop decode(Reader& r);
 };
 
+/// One value a replica WROTE for a still-open instance of its pipeline
+/// window, reported to the new leader during synchronization.
+struct OpenValue {
+  std::uint64_t instance = 0;
+  std::uint64_t value_view = 0;  // view in which the value was written
+  Batch value;
+};
+
 /// Replica state sent to the leader of `next_view`: how far it decided and
-/// any value it WROTE for the open instance.
+/// every value it WROTE for the open instances of its window (strictly
+/// increasing instances, all >= next_instance).
 struct StopData {
   std::uint64_t next_view = 0;
   std::uint64_t next_instance = 0;  // first undecided instance
-  bool has_value = false;
-  std::uint64_t value_view = 0;  // view in which the value was written
-  Batch value;
+  std::vector<OpenValue> values;
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static StopData decode(Reader& r);
 };
 
-/// New leader's re-proposal that re-activates the view.
+/// New leader's re-proposal that re-activates the view: one batch per
+/// consecutive instance starting at `instance`. Batches below `open_from`
+/// are a decided-history prefix for quorum members that lag behind the
+/// leader's frontier (they apply it directly, like a state-transfer tail —
+/// without it, an instance decided at the leader alone would strand the
+/// laggards: f+1 matching state transfer cannot serve single-source
+/// history). Batches from `open_from` on are the surviving open window,
+/// re-run through WRITE/ACCEPT.
 struct Sync {
   std::uint64_t next_view = 0;
-  std::uint64_t instance = 0;
-  Batch batch;
+  std::uint64_t instance = 0;         // instance of batches.front()
+  std::uint64_t open_from = 0;        // first re-proposed (vs decided) slot
+  std::vector<Batch> batches;
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static Sync decode(Reader& r);

@@ -158,6 +158,7 @@ void Replica::on_message(const sim::WireMessage& msg) {
       handle_frontier(msg, r);
       break;
     case MsgType::kReply:
+    case MsgType::kReplyBatch:
       break;  // replicas do not consume replies
   }
 }
@@ -196,32 +197,113 @@ void Replica::admit_request(Request req, const sim::WireMessage* wire) {
   maybe_start_consensus();
 }
 
+std::uint64_t Replica::pipeline_depth() const {
+  return std::max<std::uint64_t>(1, env().profile().pipeline_depth);
+}
+
+Time Replica::window_delay() const {
+  const auto& pr = env().profile();
+  return pr.batch_timeout > 0 ? pr.batch_timeout : pr.cpu_propose_fixed;
+}
+
 void Replica::maybe_start_consensus() {
-  if (!is_leader() || !view_active_ || open_.has_value() ||
-      propose_scheduled_ || pending_.empty()) {
+  if (!is_leader() || !view_active_ || pending_.empty()) return;
+  // The next proposal slot is one past the highest open instance; bail when
+  // the pipeline window is full (re-invoked from decide()).
+  const std::uint64_t slot =
+      open_.empty() ? next_instance_ : open_.rbegin()->first + 1;
+  if (slot >= next_instance_ + pipeline_depth()) return;
+
+  const auto& pr = env().profile();
+  if (batch_target_ == 0) batch_target_ = std::max<std::uint32_t>(1, pr.batch_max);
+
+  if (window_armed_) {
+    // Early cut: the backlog already fills the adaptive target — no point
+    // waiting out the rest of the window. The residual fixed assembly work
+    // is still paid as busy CPU, and the target grows (the backlog arrives
+    // faster than the window drains it).
+    if (pending_.size() >= batch_target_) {
+      ++window_epoch_;  // the armed timer is now stale; it must not re-cut
+      window_armed_ = false;
+      const Time residual =
+          std::max<Time>(0, window_delay() - (now() - window_armed_at_));
+      consume_cpu(residual);
+      batch_target_ = std::min<std::uint32_t>(
+          std::max<std::uint32_t>(1, pr.batch_max), batch_target_ * 2);
+      ++counters_.early_batch_cuts;
+      do_propose();
+    }
     return;
   }
   // The fixed proposal cost is modeled as a real assembly delay: the batch
   // is cut when the delay elapses, so requests arriving meanwhile ride the
   // same consensus instance (BFT-SMaRt's batching behaviour), and a single
-  // client's latency includes the leader's proposal work.
-  propose_scheduled_ = true;
-  schedule_in(env().profile().cpu_propose_fixed, [this] {
-    propose_scheduled_ = false;
+  // client's latency includes the leader's proposal work. The firing is
+  // tagged with (view, epoch): a timer armed under leadership assumptions
+  // that no longer hold is dropped.
+  window_armed_ = true;
+  window_view_ = view_;
+  window_armed_at_ = now();
+  const std::uint64_t armed_view = view_;
+  const std::uint64_t armed_epoch = window_epoch_;
+  schedule_in(window_delay(), [this, armed_view, armed_epoch] {
     if (crashed()) return;
+    if (armed_epoch != window_epoch_ || !window_armed_) {
+      ++counters_.stale_window_drops;  // superseded by an early cut or reset
+      return;
+    }
+    window_armed_ = false;
+    if (armed_view != view_ || !view_active_ || !is_leader()) {
+      ++counters_.stale_window_drops;  // armed in a view we no longer lead
+      return;
+    }
+    if (pending_.size() >= batch_target_) {
+      // The window elapsed with a full backlog (the pipeline was saturated,
+      // so no intermediate call got to cut early): classify as a full cut
+      // and grow, exactly as the early-cut path would.
+      batch_target_ = std::min<std::uint32_t>(
+          std::max<std::uint32_t>(1, env().profile().batch_max),
+          batch_target_ * 2);
+      ++counters_.early_batch_cuts;
+    } else {
+      // Window expired underfull: shrink the target toward the observed
+      // backlog so future bursts cut without waiting the full window.
+      if (pending_.size() < batch_target_ / 2) {
+        batch_target_ = std::max<std::uint32_t>(
+            std::max<std::uint32_t>(1, env().profile().batch_min),
+            batch_target_ / 2);
+      }
+      ++counters_.timer_batch_cuts;
+    }
     do_propose();
   });
 }
 
-void Replica::do_propose() {
-  if (!is_leader() || !view_active_ || open_.has_value() || pending_.empty())
-    return;
+Batch Replica::cut_batch() {
   const auto& pr = env().profile();
+  const std::size_t take = std::min<std::size_t>(
+      pending_.size(), std::max<std::uint32_t>(1, pr.batch_max));
   Batch batch;
-  const std::size_t take =
-      std::min<std::size_t>(pending_.size(), pr.batch_max);
   batch.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) batch.push_back(pending_[i]);
+  for (std::size_t i = 0; i < take; ++i) {
+    Request& req = pending_.front();
+    const auto it = pending_since_.find(req.id());
+    if (it != pending_since_.end()) it->second.inflight = true;
+    // Moving the Request shares the ref-counted payload; no byte copy.
+    batch.push_back(std::move(req));
+    pending_.pop_front();
+  }
+  return batch;
+}
+
+void Replica::do_propose() {
+  if (!is_leader() || !view_active_ || pending_.empty()) return;
+  const std::uint64_t slot =
+      open_.empty() ? next_instance_ : open_.rbegin()->first + 1;
+  if (slot >= next_instance_ + pipeline_depth()) return;  // window full
+  const auto& pr = env().profile();
+  Batch batch = cut_batch();
+  if (batch.empty()) return;
 
   consume_cpu(pr.cpu_propose_per_msg * static_cast<Time>(batch.size()));
   ++counters_.proposals_made;
@@ -231,10 +313,14 @@ void Replica::do_propose() {
     // the rest. The WRITE quorum intersection ensures at most one decides.
     Batch alt(batch.rbegin(), batch.rend());
     if (alt.size() == 1) {
-      alt[0].op.push_back(0xEE);  // single request: corrupt the copy instead
+      // Single request: corrupt the copy instead (payloads are immutable
+      // shared buffers, so rebuild the op with a trailing byte).
+      Bytes corrupted(alt[0].op.data(), alt[0].op.data() + alt[0].op.size());
+      corrupted.push_back(0xEE);
+      alt[0].op = Buffer(std::move(corrupted));
     }
-    const Propose pa{view_, next_instance_, batch};
-    const Propose pb{view_, next_instance_, alt};
+    const Propose pa{view_, slot, batch};
+    const Propose pb{view_, slot, alt};
     const Buffer ea{pa.encode()};
     const Buffer eb{pb.encode()};
     std::size_t k = 0;
@@ -242,15 +328,18 @@ void Replica::do_propose() {
       if (peer == id()) continue;
       send(peer, (k++ % 2 == 0) ? ea : eb);
     }
-    accept_proposal(view_, next_instance_, std::move(batch));
+    accept_proposal(view_, slot, std::move(batch));
     return;
   }
   // One serialization feeds both the consensus digest and the wire encoding,
   // and the encoded PROPOSE fans out as one shared buffer.
   const Bytes encoded_batch = encode_batch(batch);
   const Digest digest = Sha256::hash(encoded_batch);
-  broadcast(Propose::encode_with(view_, next_instance_, encoded_batch));
-  accept_proposal(view_, next_instance_, std::move(batch), &digest);
+  broadcast(Propose::encode_with(view_, slot, encoded_batch));
+  accept_proposal(view_, slot, std::move(batch), &digest);
+  // Remaining backlog may warrant arming the next window right away (the
+  // pipeline permits further instances before this one decides).
+  maybe_start_consensus();
 }
 
 // --- consensus ---------------------------------------------------------------
@@ -276,25 +365,27 @@ void Replica::handle_propose(const sim::WireMessage& msg, Reader& r) {
 void Replica::accept_proposal(std::uint64_t view, std::uint64_t instance,
                               Batch batch, const Digest* digest) {
   if (instance < next_instance_) return;  // already decided
-  if (instance > next_instance_) {
+  if (instance >= next_instance_ + pipeline_depth()) {
+    // Beyond our window: we are behind regardless of views.
     max_seen_instance_ = std::max(max_seen_instance_, instance);
-    request_state_transfer();  // we are behind regardless of views
+    request_state_transfer();
     return;
   }
   if (view != view_ || !view_active_) return;
-  if (open_ && open_->proposal) return;  // one proposal per (view, instance)
+  const auto [it, inserted] = open_.try_emplace(instance);
+  OpenConsensus& oc = it->second;
+  if (!inserted && oc.proposal) return;  // one proposal per (view, instance)
 
-  OpenConsensus oc;
   oc.instance = instance;
   oc.view = view;
   oc.digest = digest != nullptr ? *digest : batch_digest(batch);
   oc.proposal = std::move(batch);
   oc.sent_write = true;
   oc.proposed_at = now();
-  open_ = std::move(oc);
+  pipeline_high_water_ = std::max(pipeline_high_water_, open_.size());
 
-  const Vote write{MsgType::kWrite, view, instance, open_->digest};
-  votes_[VoteKey{instance, view, false, open_->digest}].insert(id());
+  const Vote write{MsgType::kWrite, view, instance, oc.digest};
+  votes_[VoteKey{instance, view, false, oc.digest}].insert(id());
   broadcast(write.encode());
   check_quorums();
 }
@@ -315,8 +406,11 @@ void Replica::handle_vote(MsgType type, const sim::WireMessage& msg,
       // the proposal (e.g. it raced with our own catch-up).
       max_seen_instance_ = std::max(max_seen_instance_, v.instance + 1);
     }
-    if (v.instance > next_instance_) {
-      // The group moved on without us (partition, recovery). Catch up.
+    if (v.instance >= next_instance_ + pipeline_depth()) {
+      // Votes for instances in [next_instance_, next_instance_ + depth) are
+      // normal under pipelining (their PROPOSE may simply trail the votes);
+      // only evidence past the window means the group moved on without us
+      // (partition, recovery). Catch up.
       max_seen_instance_ = std::max(max_seen_instance_, v.instance);
       request_state_transfer();
     }
@@ -325,37 +419,49 @@ void Replica::handle_vote(MsgType type, const sim::WireMessage& msg,
 }
 
 void Replica::check_quorums() {
-  if (!open_ || !open_->proposal) return;
   const auto quorum = static_cast<std::size_t>(info_.quorum());
+  for (auto& [instance, oc] : open_) {
+    if (!oc.proposal || oc.decided) continue;
 
-  if (!open_->sent_accept) {
-    const auto it = votes_.find(
-        VoteKey{open_->instance, open_->view, false, open_->digest});
-    if (it == votes_.end() || it->second.size() < quorum) return;
-    open_->sent_accept = true;
-    open_->write_quorum_at = now();
-    const Vote accept{MsgType::kAccept, open_->view, open_->instance,
-                      open_->digest};
-    votes_[VoteKey{open_->instance, open_->view, true, open_->digest}]
-        .insert(id());
-    broadcast(accept.encode());
+    if (!oc.sent_accept) {
+      const auto it = votes_.find(VoteKey{instance, oc.view, false, oc.digest});
+      if (it == votes_.end() || it->second.size() < quorum) continue;
+      oc.sent_accept = true;
+      oc.write_quorum_at = now();
+      const Vote accept{MsgType::kAccept, oc.view, instance, oc.digest};
+      votes_[VoteKey{instance, oc.view, true, oc.digest}].insert(id());
+      broadcast(accept.encode());
+    }
+
+    const auto it = votes_.find(VoteKey{instance, oc.view, true, oc.digest});
+    if (it == votes_.end() || it->second.size() < quorum) continue;
+    // ACCEPT quorum complete. Decisions apply strictly in instance order, so
+    // an out-of-order completion is buffered until the window's front
+    // catches up (advance_decided below).
+    oc.decided = true;
+    if (instance != next_instance_) ++counters_.buffered_decisions;
   }
+  advance_decided();
+}
 
-  const auto it = votes_.find(
-      VoteKey{open_->instance, open_->view, true, open_->digest});
-  if (it == votes_.end() || it->second.size() < quorum) return;
-
-  Batch decided_batch = std::move(*open_->proposal);
-  const Time proposed_at = open_->proposed_at;
-  const Time write_quorum_at = open_->write_quorum_at;
-  open_.reset();
-  decide(std::move(decided_batch), proposed_at, write_quorum_at);
+void Replica::advance_decided() {
+  if (advancing_) return;  // decide() can re-enter via its own handlers
+  advancing_ = true;
+  while (true) {
+    const auto it = open_.find(next_instance_);
+    if (it == open_.end() || !it->second.decided) break;
+    OpenConsensus oc = std::move(it->second);
+    open_.erase(it);
+    decide(std::move(*oc.proposal), oc.proposed_at, oc.write_quorum_at);
+  }
+  advancing_ = false;
 }
 
 void Replica::decide(Batch batch, Time proposed_at, Time write_quorum_at) {
   BZC_ASSERT(log_base_ + log_.size() == next_instance_);
   log_.push_back(batch);
   ++next_instance_;
+  max_decided_batch_ = std::max(max_decided_batch_, batch.size());
 
   if (MetricsRegistry* reg = env().metrics()) {
     if (batch_size_hist_ == nullptr) {
@@ -366,10 +472,12 @@ void Replica::decide(Batch batch, Time proposed_at, Time write_quorum_at) {
     batch_size_hist_->observe(static_cast<double>(batch.size()));
   }
 
-  // A consensus we were still running for an instance that is now decided
-  // (e.g. adopted through state transfer after an equivocating leader split
-  // the proposals) is obsolete; drop it so later proposals are accepted.
-  if (open_ && open_->instance < next_instance_) open_.reset();
+  // Consensus instances we were still running below the new frontier (e.g.
+  // adopted through state transfer after an equivocating leader split the
+  // proposals) are obsolete; drop them so later proposals are accepted.
+  while (!open_.empty() && open_.begin()->first < next_instance_) {
+    open_.erase(open_.begin());
+  }
 
   SpanLog* spans = env().spans();
   if (spans != nullptr && spans->actor_spans() && proposed_at >= 0) {
@@ -425,7 +533,25 @@ void Replica::decide(Batch batch, Time proposed_at, Time write_quorum_at) {
 // --- execution (total order -> per-origin FIFO -> application) ---------------
 
 void Replica::execute_batch(const Batch& batch) {
+  // Return-path batching: every reply produced while this decided batch
+  // executes (including held-back requests that unblock now) is buffered and
+  // flushed as one wire message per origin.
+  buffer_replies_ = true;
   for (const auto& req : batch) deliver_fifo(req);
+  buffer_replies_ = false;
+  flush_replies();
+}
+
+void Replica::flush_replies() {
+  for (auto& [origin, replies] : reply_buffer_) {
+    BZC_ASSERT(!replies.empty());
+    if (replies.size() == 1) {
+      send(origin, replies.front().encode());
+    } else {
+      send(origin, ReplyBatch{std::move(replies)}.encode());
+    }
+  }
+  reply_buffer_.clear();
 }
 
 void Replica::deliver_fifo(const Request& req) {
@@ -510,8 +636,12 @@ void Replica::send_reply(const Request& req, Bytes result) {
     result.assign(result.size() + 1, 0xBD);
     result.push_back(static_cast<std::uint8_t>(id().value));
   }
-  const Reply rep{group_, req.seq, std::move(result)};
-  send(req.origin, rep.encode());
+  Reply rep{group_, req.seq, std::move(result)};
+  if (buffer_replies_) {
+    reply_buffer_[req.origin].push_back(std::move(rep));
+  } else {
+    send(req.origin, rep.encode());
+  }
 }
 
 void Replica::send_request(ProcessId to, const Request& req) {
@@ -538,8 +668,11 @@ void Replica::arm_liveness_timer() {
 void Replica::on_liveness_check() {
   const Time timeout = env().profile().leader_timeout;
   // Anti-entropy: credible evidence says the group decided past us, and the
-  // earlier (rate-limited) transfer did not close the gap — retry.
-  if (max_seen_instance_ > next_instance_) {
+  // earlier (rate-limited) transfer did not close the gap — retry. Under
+  // pipelining, evidence ahead of next_instance_ is normal while we hold an
+  // open consensus at the frontier (its decision is simply in flight); only
+  // a missing frontier instance means we lost a proposal and must fetch it.
+  if (max_seen_instance_ > next_instance_ && !open_.contains(next_instance_)) {
     request_state_transfer();
   }
   // View catch-up: peers operate in a later view (we missed its STOP
@@ -615,16 +748,37 @@ void Replica::install_view(std::uint64_t next_view) {
   view_ = next_view;
   view_active_ = false;
   view_change_started_ = now();
+  // Any armed assembly window belongs to the old view; its timer must not
+  // cut a batch under the new one.
+  ++window_epoch_;
+  window_armed_ = false;
 
   StopData sd;
   sd.next_view = next_view;
   sd.next_instance = next_instance_;
-  if (open_ && open_->proposal && open_->sent_write) {
-    sd.has_value = true;
-    sd.value_view = open_->view;
-    sd.value = *open_->proposal;
+  for (const auto& [instance, oc] : open_) {
+    if (oc.proposal && oc.sent_write) {
+      sd.values.push_back(OpenValue{instance, oc.view, *oc.proposal});
+    }
   }
-  open_.reset();
+  // Requests this replica cut into its own (now abandoned) open proposals
+  // are re-queued at the front of pending_, in instance order, so the new
+  // view can re-propose them; requests the new leader recovers via STOPDATA
+  // anyway are deduplicated at decide time.
+  Batch requeue;
+  for (auto& [instance, oc] : open_) {
+    if (!oc.proposal) continue;
+    for (auto& req : *oc.proposal) {
+      const auto pit = pending_since_.find(req.id());
+      if (pit != pending_since_.end() && pit->second.inflight) {
+        pit->second.inflight = false;
+        requeue.push_back(std::move(req));
+      }
+    }
+  }
+  pending_.insert(pending_.begin(), std::make_move_iterator(requeue.begin()),
+                  std::make_move_iterator(requeue.end()));
+  open_.clear();
 
   const ProcessId leader = leader_of(next_view);
   if (leader == id()) {
@@ -640,6 +794,18 @@ void Replica::handle_stopdata(const sim::WireMessage& msg, Reader& r) {
   if (!info_.is_member(msg.from)) return;
   if (leader_of(sd.next_view) != id()) return;
   if (sd.next_view < view_) return;
+  // Reported open values must lie within the reporter's window, in strictly
+  // increasing instance order; a malformed report (Byzantine) is dropped.
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < sd.values.size(); ++i) {
+    const std::uint64_t inst = sd.values[i].instance;
+    if (inst < sd.next_instance ||
+        inst >= sd.next_instance + pipeline_depth() ||
+        (i > 0 && inst <= prev)) {
+      return;
+    }
+    prev = inst;
+  }
   if (sd.next_view == view_ && view_active_) {
     // A replica that installed our view late still needs the SYNC to become
     // active; re-send the one we activated the view with.
@@ -669,45 +835,72 @@ void Replica::leader_try_sync() {
     return;
   }
 
-  // Pick the safe value for instance h. A value decided in an earlier view
-  // had 2f+1 WRITErs, so any 2f+1 STOPDATA contain at least f+1 reports of
-  // it — and no two values can both collect f+1 reports out of 2f+1.
-  // Therefore: re-propose the value with >= f+1 matching reports at frontier
-  // h if one exists; otherwise nothing was decided and a fresh batch is
-  // safe. (Byzantine STOPDATA could lie; production protocols carry signed
-  // WRITE certificates. Our fault specs do not include lying in STOPDATA —
-  // see DESIGN.md §3.)
-  Batch chosen;
-  bool has_chosen = false;
-  std::map<Digest, std::pair<std::size_t, const Batch*>> reports;
+  // Re-propose the whole surviving window [h, end). For each instance, pick
+  // the safe value: a value decided in an earlier view had 2f+1 WRITErs, so
+  // any 2f+1 STOPDATA contain at least f+1 reports of it — and no two
+  // values can both collect f+1 reports out of 2f+1. Therefore: re-propose
+  // the value with >= f+1 matching reports at that instance if one exists;
+  // otherwise nothing was decided there and a fresh batch is safe (possibly
+  // empty, a no-op filler keeping the re-proposed instances consecutive).
+  // (Byzantine STOPDATA could lie; production protocols carry signed WRITE
+  // certificates. Our fault specs do not include lying in STOPDATA — see
+  // DESIGN.md §3.) Reported instances are bounded by each reporter's window
+  // (validated in handle_stopdata), so end - h <= pipeline_depth.
+  std::uint64_t end = h + 1;  // always re-propose at least instance h
   for (const auto& [pid, sd] : collected) {
-    if (!sd.has_value || sd.next_instance != h) continue;
-    auto& entry = reports[batch_digest(sd.value)];
-    ++entry.first;
-    entry.second = &sd.value;
-  }
-  for (const auto& [digest, entry] : reports) {
-    if (entry.first >= static_cast<std::size_t>(f_ + 1)) {
-      has_chosen = true;
-      chosen = *entry.second;
-      break;
+    for (const auto& v : sd.values) {
+      if (v.instance >= h) end = std::max(end, v.instance + 1);
     }
   }
-  if (!has_chosen) {
-    // Fresh batch from pending requests (possibly empty: a no-op instance
-    // that simply re-activates the view).
-    const auto& pr = env().profile();
-    const std::size_t take =
-        std::min<std::size_t>(pending_.size(), pr.batch_max);
-    chosen.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) chosen.push_back(pending_[i]);
+
+  // Quorum members behind our frontier cannot accept re-proposals for
+  // instances they have not decided yet, and f+1-matching state transfer
+  // cannot serve history that only this replica holds (e.g. an instance
+  // whose ACCEPT quorum completed at the old leader's side of a partition
+  // alone). Prepend the decided batches [lo, h) so the SYNC itself carries
+  // the laggards to the frontier; anything below our log base must still go
+  // through snapshot transfer.
+  std::uint64_t lo = h;
+  for (const auto& [pid, sd] : collected) lo = std::min(lo, sd.next_instance);
+  lo = std::max(lo, log_base_);
+
+  std::vector<Batch> batches;
+  batches.reserve(static_cast<std::size_t>(end - lo));
+  for (std::uint64_t instance = lo; instance < h; ++instance) {
+    batches.push_back(log_[static_cast<std::size_t>(instance - log_base_)]);
+  }
+  for (std::uint64_t instance = h; instance < end; ++instance) {
+    Batch chosen;
+    bool has_chosen = false;
+    std::map<Digest, std::pair<std::size_t, const Batch*>> reports;
+    for (const auto& [pid, sd] : collected) {
+      for (const auto& v : sd.values) {
+        if (v.instance != instance) continue;
+        auto& entry = reports[batch_digest(v.value)];
+        ++entry.first;
+        entry.second = &v.value;
+      }
+    }
+    for (const auto& [digest, entry] : reports) {
+      if (entry.first >= static_cast<std::size_t>(f_ + 1)) {
+        has_chosen = true;
+        chosen = *entry.second;
+        break;
+      }
+    }
+    if (!has_chosen) chosen = cut_batch();  // same sizing as do_propose
+    batches.push_back(std::move(chosen));
   }
 
-  const Sync sync{view_, h, chosen};
+  const Sync sync{view_, lo, h, batches};
   sync_sent_[view_] = sync;
   broadcast(sync.encode());
   view_active_ = true;
-  accept_proposal(view_, h, std::move(chosen));
+  for (std::uint64_t instance = h; instance < end; ++instance) {
+    accept_proposal(view_, instance,
+                    batches[static_cast<std::size_t>(instance - lo)]);
+  }
+  maybe_start_consensus();
 }
 
 void Replica::handle_sync(const sim::WireMessage& msg, Reader& r) {
@@ -719,17 +912,39 @@ void Replica::handle_sync(const sim::WireMessage& msg, Reader& r) {
   }
   if (s.next_view != view_) return;
   if (view_active_) return;
-  if (s.instance < next_instance_) {
-    view_active_ = true;  // we already have this instance; just resume
-    maybe_start_consensus();
-    return;
-  }
+  if (s.batches.empty()) return;
+  // The decided prefix / open window split must be well-formed and the
+  // re-proposed window bounded by the pipeline depth (a Byzantine leader
+  // could otherwise stretch either part arbitrarily).
+  const std::uint64_t end = s.instance + s.batches.size();
+  if (s.open_from < s.instance || s.open_from > end) return;
+  if (end - s.open_from > pipeline_depth()) return;
   if (s.instance > next_instance_) {
+    // Even the prefix starts past us: our gap reaches below the leader's
+    // log base, which only a checkpoint snapshot can close.
     request_state_transfer();
     return;
   }
+  if (end <= next_instance_) {
+    view_active_ = true;  // we already decided all of it; just resume
+    maybe_start_consensus();
+    return;
+  }
   view_active_ = true;
-  accept_proposal(view_, s.instance, std::move(s.batch));
+  for (std::size_t i = 0; i < s.batches.size(); ++i) {
+    const std::uint64_t instance = s.instance + i;
+    if (instance < next_instance_) continue;  // already decided here
+    if (instance < s.open_from) {
+      // Decided-history catch-up: apply directly, like a state-transfer
+      // tail. Trusting the new leader here matches the trust the safe-value
+      // rule already places in SYNC contents (DESIGN.md §3: view-change
+      // messages do not lie in our fault model).
+      decide(std::move(s.batches[i]));
+      continue;
+    }
+    accept_proposal(view_, instance, std::move(s.batches[i]));
+  }
+  maybe_start_consensus();
 }
 
 void Replica::handle_frontier(const sim::WireMessage& msg, Reader& r) {
@@ -810,9 +1025,11 @@ void Replica::try_apply_state() {
           log_.clear();
           checkpoint_snapshot_ = resp2.snapshot;
           checkpoint_instance_ = key.first;
-          // A consensus left open below the restored frontier is obsolete
-          // and must not block proposals for the new frontier.
-          if (open_ && open_->instance < next_instance_) open_.reset();
+          // Consensus instances left open below the restored frontier are
+          // obsolete and must not block proposals for the new frontier.
+          while (!open_.empty() && open_.begin()->first < next_instance_) {
+            open_.erase(open_.begin());
+          }
           break;
         }
       }
@@ -842,6 +1059,10 @@ void Replica::try_apply_state() {
       }
     }
   }
+
+  // Catch-up may have landed us exactly below buffered out-of-order
+  // decisions of our own window; apply them now.
+  advance_decided();
 
   if (!view_active_ && leader_of(view_) == id()) leader_try_sync();
   maybe_start_consensus();

@@ -1,17 +1,21 @@
 // One replica of a FIFO BFT atomic broadcast group (Mod-SMaRt style).
 //
 // Normal case: clients send authenticated Requests to all replicas; the
-// leader of the current view runs sequential consensus instances, each over
-// a batch of pending requests, with the PBFT-like PROPOSE/WRITE/ACCEPT
-// pattern and 2f+1 quorums. Decided batches are appended to the log in
-// instance order; requests then pass a deterministic per-origin FIFO
-// hold-back and execute in the application.
+// leader of the current view runs consensus instances, each over a batch of
+// pending requests, with the PBFT-like PROPOSE/WRITE/ACCEPT pattern and
+// 2f+1 quorums. Up to Profile::pipeline_depth instances may be in flight at
+// once (a window of open instances keyed by instance number); ACCEPT quorums
+// that complete out of order are buffered and decisions are applied strictly
+// in instance order. Decided batches are appended to the log; requests then
+// pass a deterministic per-origin FIFO hold-back and execute in the
+// application.
 //
 // Leader failure: replicas that see pending requests starve broadcast STOP;
-// on 2f+1 STOPs the view advances, replicas send STOPDATA (any value they
-// WROTE for the open instance) to the new leader, which re-proposes a safe
-// value via SYNC. Replicas that fall behind catch up with state transfer
-// (f+1 matching responses; snapshot + log tail).
+// on 2f+1 STOPs the view advances, replicas send STOPDATA (every value they
+// WROTE for the open instances of their window) to the new leader, which
+// re-proposes the whole surviving window via SYNC. Replicas that fall behind
+// catch up with state transfer (f+1 matching responses; snapshot + log
+// tail).
 #pragma once
 
 #include <algorithm>
@@ -127,8 +131,27 @@ class Replica final : public sim::Actor, public ReplicaContext {
     std::uint64_t proposals_made = 0;     // consensus instances led
     std::uint64_t checkpoints_taken = 0;
     std::uint64_t rejected_requests = 0;  // failed admission checks
+    std::uint64_t early_batch_cuts = 0;   // backlog filled the target early
+    std::uint64_t timer_batch_cuts = 0;   // assembly window elapsed
+    std::uint64_t stale_window_drops = 0; // superseded/stale-view timer fires
+    std::uint64_t buffered_decisions = 0; // ACCEPT quorums completed out of
+                                          // order, applied later
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Open (proposed, not yet applied) instances right now (tests).
+  [[nodiscard]] std::size_t open_instances() const { return open_.size(); }
+  /// High-water mark of concurrently open instances over the run.
+  [[nodiscard]] std::size_t pipeline_high_water() const {
+    return pipeline_high_water_;
+  }
+  /// Current adaptive batch-size target (0 until first arm).
+  [[nodiscard]] std::uint32_t batch_target() const { return batch_target_; }
+  /// Largest batch ever decided here (tests: both the do_propose and the
+  /// view-change re-propose path must respect the cut_batch sizing rule).
+  [[nodiscard]] std::size_t max_decided_batch() const {
+    return max_decided_batch_;
+  }
 
  protected:
   void on_message(const sim::WireMessage& msg) override;
@@ -142,6 +165,9 @@ class Replica final : public sim::Actor, public ReplicaContext {
     Digest digest{};
     bool sent_write = false;
     bool sent_accept = false;
+    /// ACCEPT quorum complete, waiting for earlier instances to apply
+    /// (decisions are applied strictly in instance order).
+    bool decided = false;
     Time proposed_at = -1;      // proposal accepted here (span tracing)
     Time write_quorum_at = -1;  // 2f+1 WRITEs seen
   };
@@ -149,13 +175,16 @@ class Replica final : public sim::Actor, public ReplicaContext {
   /// Per-pending-request bookkeeping. `suspicion` drives leader suspicion
   /// and is reset whenever the group makes progress (a busy-but-live leader
   /// is not suspected for a long queue); `admitted` and the wire times are
-  /// immutable admission facts kept for span tracing.
+  /// immutable admission facts kept for span tracing. `inflight` marks
+  /// requests this replica cut into one of its own open proposals (they left
+  /// pending_ and must be re-queued if the view changes before they decide).
   struct AdmitInfo {
     Time suspicion = 0;
     Time admitted = 0;
     Time wire_sent = -1;
     Time wire_enqueued = -1;
     Time wire_svc_start = -1;
+    bool inflight = false;
   };
 
   // votes per (instance, view, phase, digest) -> distinct voters
@@ -190,16 +219,29 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void admit_request(Request req, const sim::WireMessage* wire = nullptr);
   void maybe_start_consensus();
   void do_propose();
+  /// Moves up to batch_max front entries of pending_ into a batch, marking
+  /// them inflight. The single batch-sizing rule for both the normal propose
+  /// path and the view-change re-propose path.
+  [[nodiscard]] Batch cut_batch();
+  /// Effective pipeline window (>= 1).
+  [[nodiscard]] std::uint64_t pipeline_depth() const;
+  /// Assembly-window length: batch_timeout, or cpu_propose_fixed when 0.
+  [[nodiscard]] Time window_delay() const;
   /// `digest` is the precomputed digest of the batch's encoded form (from
   /// the wire slice or the leader's own encode); null means compute it here
   /// (cold paths: SYNC, view change).
   void accept_proposal(std::uint64_t view, std::uint64_t instance,
                        Batch batch, const Digest* digest = nullptr);
   void check_quorums();
+  /// Applies buffered decisions in instance order from the window's front.
+  void advance_decided();
   /// `proposed_at` / `write_quorum_at` carry the deciding instance's local
   /// consensus-phase times (-1 on the state-transfer path: no local run).
   void decide(Batch batch, Time proposed_at = -1, Time write_quorum_at = -1);
   void execute_batch(const Batch& batch);
+  /// Sends buffered replies, one wire message per origin (a single reply
+  /// stays a plain kReply; several coalesce into a kReplyBatch).
+  void flush_replies();
   void deliver_fifo(const Request& req);
   void execute_one(const Request& req);
   void apply_reconfig(const Request& req);
@@ -231,13 +273,29 @@ class Replica final : public sim::Actor, public ReplicaContext {
   // --- ordering state ------------------------------------------------------
   std::uint64_t view_ = 0;
   bool view_active_ = true;
-  std::uint64_t next_instance_ = 0;  // first undecided instance
-  std::optional<OpenConsensus> open_;
-  bool propose_scheduled_ = false;
+  std::uint64_t next_instance_ = 0;  // first unapplied instance
+  /// Window of open instances (proposed and/or decided-but-buffered), keyed
+  /// by instance number; all keys are >= next_instance_ and within
+  /// pipeline_depth of it.
+  std::map<std::uint64_t, OpenConsensus> open_;
+  /// Leader assembly-window state. The armed timer is tagged with the view
+  /// and an epoch; a firing whose epoch was bumped (early cut, view change)
+  /// or whose view moved on is dropped instead of proposing under stale
+  /// leadership assumptions.
+  bool window_armed_ = false;
+  std::uint64_t window_view_ = 0;
+  std::uint64_t window_epoch_ = 0;
+  Time window_armed_at_ = -1;
+  std::uint32_t batch_target_ = 0;  // adaptive; 0 = set on first arm
+  bool advancing_ = false;          // re-entrancy guard for advance_decided
   std::map<VoteKey, std::set<ProcessId>> votes_;
+  /// Requests admitted but not yet cut into one of our own proposals (on
+  /// followers: all admitted, undecided requests).
   std::deque<Request> pending_;
   std::unordered_map<MessageId, AdmitInfo> pending_since_;
   std::unordered_set<MessageId> decided_requests_;
+  std::size_t pipeline_high_water_ = 0;
+  std::size_t max_decided_batch_ = 0;
 
   // --- decided log / checkpoints -------------------------------------------
   std::vector<Batch> log_;           // instances [log_base_, next_instance_)
@@ -250,6 +308,10 @@ class Replica final : public sim::Actor, public ReplicaContext {
   std::unordered_map<ProcessId, std::map<std::uint64_t, Request>> holdback_;
   std::uint64_t executed_ = 0;
   Digest history_digest_{};
+  /// While a decided batch executes, replies are buffered per origin and
+  /// flushed as one message each afterwards (return-path batching).
+  bool buffer_replies_ = false;
+  std::map<ProcessId, std::vector<Reply>> reply_buffer_;
 
   // --- view change ----------------------------------------------------------
   std::map<std::uint64_t, std::set<ProcessId>> stop_votes_;

@@ -68,25 +68,38 @@ Time Client::service_cost(const sim::WireMessage&) const {
 
 void Client::on_message(const sim::WireMessage& msg) {
   if (msg.payload.empty() || !verify(msg)) return;
-  if (bft::peek_type(msg.payload) != bft::MsgType::kReply) return;
+  const bft::MsgType type = bft::peek_type(msg.payload);
+  if (type != bft::MsgType::kReply && type != bft::MsgType::kReplyBatch)
+    return;
 
   Reader r(msg.payload);
   (void)r.u8();
-  bft::Reply rep = bft::Reply::decode(r);
+  if (type == bft::MsgType::kReplyBatch) {
+    // A replica batched the a-deliver acks of several of our multicasts into
+    // one wire message; each counts as an individual reply.
+    for (bft::Reply& rep : bft::ReplyBatch::decode(r).replies) {
+      handle_reply(std::move(rep), msg.from);
+    }
+    return;
+  }
+  handle_reply(bft::Reply::decode(r), msg.from);
+}
+
+void Client::handle_reply(bft::Reply rep, ProcessId from) {
   const auto pit = pending_.find(rep.seq);
   if (pit == pending_.end()) return;
   PendingMsg& p = pit->second;
 
   // The reply must come from a replica of the destination group it claims.
   const auto it = registry_.find(rep.group);
-  if (it == registry_.end() || !it->second.is_member(msg.from)) return;
+  if (it == registry_.end() || !it->second.is_member(from)) return;
   const auto& dst = p.m.dst;
   if (std::find(dst.begin(), dst.end(), rep.group) == dst.end()) return;
   if (p.satisfied.contains(rep.group)) return;
 
   const Digest d = Sha256::hash(rep.result);
   auto& voters = p.votes[rep.group][d];
-  voters.insert(msg.from);
+  voters.insert(from);
   if (voters.size() < static_cast<std::size_t>(it->second.f + 1)) return;
 
   p.satisfied.insert(rep.group);

@@ -52,6 +52,9 @@ class Client final : public sim::Actor {
 
   void transmit(const PendingMsg& p);
   void arm_retry(std::uint64_t uid);
+  /// Applies one reply (standalone or from a kReplyBatch) to the per-group
+  /// f+1 vote of the multicast it answers.
+  void handle_reply(bft::Reply rep, ProcessId from);
 
   struct PendingMsg {
     MulticastMessage m;

@@ -53,6 +53,21 @@ struct Profile {
   // --- protocol knobs ----------------------------------------------------
   /// Maximum requests per consensus batch.
   std::uint32_t batch_max = 400;
+  /// Lower bound for the adaptive batch-size target. The leader grows its
+  /// target (x2, capped at batch_max) whenever the backlog fills a batch
+  /// before the assembly window elapses, and shrinks it (/2, floored here)
+  /// when a window expires underfull — BFT-SMaRt's maxBatchSize behaviour.
+  std::uint32_t batch_min = 1;
+  /// Consensus pipelining: maximum in-flight (proposed, undecided) instances
+  /// per group. 1 reproduces the sequential one-instance-at-a-time protocol;
+  /// deeper windows overlap the leader's proposal assembly with the
+  /// WRITE/ACCEPT rounds of earlier instances. Decisions always apply in
+  /// instance order regardless of depth.
+  std::uint32_t pipeline_depth = 4;
+  /// Upper bound on how long the leader's assembly window waits before
+  /// cutting a partial batch (BFT-SMaRt's batchTimeoutMS). 0 = use
+  /// cpu_propose_fixed as the window, the original behaviour.
+  Time batch_timeout = 0;
   /// Use the keyed fast MAC instead of HMAC-SHA256 for wire authentication.
   /// Does not change any *simulated* cost (crypto CPU is part of the
   /// constants above); cuts the host-side wall-clock of large benchmark

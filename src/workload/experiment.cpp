@@ -173,6 +173,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Identical simulated behaviour, much cheaper host-side authentication
   // for the large sweeps (see Profile::fast_macs).
   profile.fast_macs = true;
+  if (config.pipeline_depth > 0) profile.pipeline_depth = config.pipeline_depth;
+  if (config.batch_max > 0) profile.batch_max = config.batch_max;
+  if (config.batch_min > 0) profile.batch_min = config.batch_min;
+  if (config.batch_timeout > 0) profile.batch_timeout = config.batch_timeout;
 
   std::unique_ptr<sim::Simulation> sim;
   sim::WanLatency* wan_model = nullptr;

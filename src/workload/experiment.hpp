@@ -77,6 +77,15 @@ struct ExperimentConfig {
   bool monitors = false;
   /// Bound for the pending-copies monitor (0 = that check disabled).
   std::size_t monitor_pending_bound = 0;
+  /// Consensus-pipelining / batching overrides applied on top of the
+  /// environment's profile preset; 0 keeps the preset's value. Used by the
+  /// pipeline-depth x batch-timeout sweeps (bench_pipeline).
+  std::uint32_t pipeline_depth = 0;
+  std::uint32_t batch_max = 0;
+  std::uint32_t batch_min = 0;
+  /// Batch assembly window override; 0 keeps the preset (which itself falls
+  /// back to cpu_propose_fixed when its batch_timeout is 0).
+  Time batch_timeout = 0;
 };
 
 struct ExperimentResult {

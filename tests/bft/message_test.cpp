@@ -53,7 +53,10 @@ TEST(BftMessage, BatchDigestSensitivity) {
   const Batch a = {make_request(1, 0, "a"), make_request(2, 0, "b")};
   Batch reordered = {a[1], a[0]};
   Batch tampered = a;
-  tampered[0].op.push_back(0xFF);
+  Bytes raw(tampered[0].op.data(),
+            tampered[0].op.data() + tampered[0].op.size());
+  raw.push_back(0xFF);
+  tampered[0].op = Buffer(std::move(raw));
   EXPECT_NE(batch_digest(a), batch_digest(reordered));
   EXPECT_NE(batch_digest(a), batch_digest(tampered));
   EXPECT_EQ(batch_digest(a), batch_digest(Batch{a}));
@@ -101,32 +104,56 @@ TEST(BftMessage, StopAndStopDataRoundTrip) {
   StopData sd;
   sd.next_view = 9;
   sd.next_instance = 100;
-  sd.has_value = true;
-  sd.value_view = 8;
-  sd.value = {make_request(1, 2, "v")};
+  sd.values = {OpenValue{100, 8, {make_request(1, 2, "v")}},
+               OpenValue{102, 9, {make_request(1, 3, "w")}}};
   const Bytes sd_encoded = sd.encode();
   Reader r(sd_encoded);
   (void)r.u8();
   const StopData out = StopData::decode(r);
   EXPECT_EQ(out.next_view, 9u);
   EXPECT_EQ(out.next_instance, 100u);
-  EXPECT_TRUE(out.has_value);
-  EXPECT_EQ(out.value_view, 8u);
-  EXPECT_EQ(out.value, sd.value);
+  ASSERT_EQ(out.values.size(), 2u);
+  EXPECT_EQ(out.values[0].instance, 100u);
+  EXPECT_EQ(out.values[0].value_view, 8u);
+  EXPECT_EQ(out.values[0].value, sd.values[0].value);
+  EXPECT_EQ(out.values[1].instance, 102u);
+  EXPECT_EQ(out.values[1].value, sd.values[1].value);
 }
 
 TEST(BftMessage, SyncRoundTrip) {
   Sync s;
   s.next_view = 2;
   s.instance = 55;
-  s.batch = {make_request(3, 4, "w")};
+  s.open_from = 56;  // batches[0] is decided history, the rest re-propose
+  s.batches = {{make_request(3, 4, "w")}, {}, {make_request(3, 5, "x")}};
   const Bytes s_encoded = s.encode();
   Reader r(s_encoded);
   (void)r.u8();
   const Sync out = Sync::decode(r);
   EXPECT_EQ(out.next_view, 2u);
   EXPECT_EQ(out.instance, 55u);
-  EXPECT_EQ(out.batch, s.batch);
+  EXPECT_EQ(out.open_from, 56u);
+  ASSERT_EQ(out.batches.size(), 3u);
+  EXPECT_EQ(out.batches[0], s.batches[0]);
+  EXPECT_TRUE(out.batches[1].empty());
+  EXPECT_EQ(out.batches[2], s.batches[2]);
+}
+
+TEST(BftMessage, ReplyBatchRoundTrip) {
+  ReplyBatch b;
+  b.replies = {Reply{GroupId{4}, 77, to_bytes("ack")},
+               Reply{GroupId{4}, 78, to_bytes("ack2")}};
+  const Bytes encoded = b.encode();
+  EXPECT_EQ(peek_type(encoded), MsgType::kReplyBatch);
+  Reader r(encoded);
+  (void)r.u8();
+  const ReplyBatch out = ReplyBatch::decode(r);
+  ASSERT_EQ(out.replies.size(), 2u);
+  EXPECT_EQ(out.replies[0].group, GroupId{4});
+  EXPECT_EQ(out.replies[0].seq, 77u);
+  EXPECT_EQ(out.replies[0].result, to_bytes("ack"));
+  EXPECT_EQ(out.replies[1].seq, 78u);
+  EXPECT_EQ(out.replies[1].result, to_bytes("ack2"));
 }
 
 TEST(BftMessage, StateTransferRoundTrip) {

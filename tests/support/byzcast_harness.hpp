@@ -28,6 +28,9 @@ struct HarnessConfig {
   Observability obs;
   /// When obs.spans is set, clients trace every n-th message (0 = none).
   std::uint32_t trace_sample_every = 0;
+  /// Cost-model/protocol knobs for the simulation (batch sizing, pipeline
+  /// depth, ...).
+  sim::Profile profile = sim::Profile::lan();
 };
 
 /// Auxiliary group ids start at 100 to stay visually distinct from targets.
@@ -57,7 +60,7 @@ class ByzCastHarness {
 
   explicit ByzCastHarness(const HarnessConfig& config)
       : config_(config),
-        sim(config.seed, sim::Profile::lan()),
+        sim(config.seed, config.profile),
         system(sim, make_tree(config.tree, config.num_targets), config.f,
                config.faults, config.routing, config.obs) {}
 

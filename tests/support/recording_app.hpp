@@ -26,8 +26,9 @@ class RecordingApp final : public bft::Application {
       : trace_(trace), reply_(reply) {}
 
   void execute(const bft::Request& req) override {
-    trace_->push_back(
-        ExecutionRecord{req.origin, req.seq, req.op, ctx_->now()});
+    trace_->push_back(ExecutionRecord{
+        req.origin, req.seq,
+        Bytes(req.op.data(), req.op.data() + req.op.size()), ctx_->now()});
     if (reply_) {
       const Digest d = Sha256::hash(req.op);
       ctx_->send_reply(req, Bytes(d.begin(), d.begin() + 8));

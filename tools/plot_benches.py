@@ -215,6 +215,62 @@ def summarize_trace_bench(doc):
     print(f"  knob: {doc.get('knob', '?')}")
 
 
+def summarize_pipeline_bench(doc):
+    """BENCH_pipeline.json: consensus-pipelining depth x batch-timeout sweep
+    against the sequential depth-1 ablation (sim WAN, open loop)."""
+    rate = doc.get("open_loop_rate_msgs_s", 0)
+    print(f"\nBENCH_pipeline.json (pipelining sweep, sim WAN, "
+          f"offered {rate:.0f} msg/s):")
+    for c in doc.get("configs", []):
+        queue = c.get("global", {}).get("queueing_p50_ns", 0) / 1e6
+        bad = c.get("monitor_violations", 0)
+        verdict = "" if bad == 0 else f", {bad} MONITOR VIOLATIONS"
+        print(f"  depth {c.get('pipeline_depth')} window "
+              f"{c.get('batch_timeout_us') or 'preset':>6}: "
+              f"{c.get('throughput_msgs_s', 0):.0f} msg/s, "
+              f"p50 {c.get('latency_p50_ms', 0):.0f} ms, "
+              f"global queueing p50 {queue:.0f} ms{verdict}")
+
+
+def plot_pipeline_bench(doc, dst, plt):
+    """Throughput vs pipeline depth (one line per assembly window), with the
+    global-class queueing p50 on a twin axis — the component the deeper
+    window is supposed to collapse."""
+    series = {}
+    for c in doc.get("configs", []):
+        key = c.get("batch_timeout_us") or "preset"
+        series.setdefault(key, []).append(
+            (c.get("pipeline_depth", 0), c.get("throughput_msgs_s", 0.0),
+             c.get("global", {}).get("queueing_p50_ns", 0) / 1e6))
+    if not series:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax2 = ax.twinx()
+    for key in sorted(series, key=str):
+        points = sorted(series[key])
+        label = f"window {key}" + ("" if key == "preset" else "us")
+        ax.plot([p[0] for p in points], [p[1] for p in points], marker="o",
+                label=label)
+        ax2.plot([p[0] for p in points], [p[2] for p in points], marker="x",
+                 linestyle="--", alpha=0.6)
+    rate = doc.get("open_loop_rate_msgs_s")
+    if rate:
+        ax.axhline(rate, color="gray", linewidth=0.8, linestyle=":")
+        ax.annotate("offered", (1, rate), fontsize=7, va="bottom")
+    ax.set_xscale("log", base=2)
+    ax.set_xlabel("pipeline depth (1 = sequential ablation)")
+    ax.set_ylabel("msg/s")
+    ax2.set_ylabel("global queueing p50 (ms, dashed)")
+    ax.set_title("consensus pipelining: WAN throughput vs depth")
+    ax.legend(fontsize=8, loc="lower right")
+    ax.grid(True, alpha=0.3)
+    out = os.path.join(dst, "pipeline_depth_sweep.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 COMPONENTS = ("queueing", "cpu", "network", "quorum_wait")
 COMPONENT_COLORS = ("#4c72b0", "#dd8452", "#55a868", "#c44e52")
 
@@ -321,6 +377,9 @@ def main():
     trace_bench = find_bench_json(src, "BENCH_trace.json")
     if trace_bench:
         summarize_trace_bench(trace_bench)
+    pipeline_bench = find_bench_json(src, "BENCH_pipeline.json")
+    if pipeline_bench:
+        summarize_pipeline_bench(pipeline_bench)
 
     try:
         import matplotlib
@@ -375,6 +434,8 @@ def main():
         plot_runtime_bench(runtime_bench, src, dst, plt)
     if wire_bench:
         plot_wire_bench(wire_bench, dst, plt)
+    if pipeline_bench:
+        plot_pipeline_bench(pipeline_bench, dst, plt)
     return 0
 
 
