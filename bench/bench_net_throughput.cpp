@@ -1,0 +1,362 @@
+// Net backend vs runtime backend on the same workload: the cost of real TCP.
+//
+// Both backends run the identical 3-target-group tree (root g0 with children
+// g1, g2 — the checked-in deployment shape), f=1, closed-loop clients, 50%
+// global messages. The runtime backend is threads + in-process mailboxes;
+// the net backend is an InProcessCluster — 12 replica processes' worth of
+// ClusterNodes plus a client node, each on its own event loop, talking over
+// real localhost sockets. The delta between the two columns is the wire:
+// framing, syscalls, epoll wakeups.
+//
+// Emits BENCH_net.json with both backends' numbers, the net/runtime ratio,
+// and the verdict of the five atomic-multicast property checkers per run (a
+// throughput figure from a run that broke ordering would be meaningless).
+// Exits nonzero on any incomplete workload or property violation.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/multicast.hpp"
+#include "core/properties.hpp"
+#include "net/cluster.hpp"
+#include "net/config.hpp"
+#include "runtime/parallel_system.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+constexpr int kClients = 2;
+constexpr int kMsgsPerClient = 150;
+constexpr std::size_t kPayload = 64;
+constexpr double kGlobalFraction = 0.5;
+
+struct BackendResult {
+  std::string backend;
+  int completed = 0;
+  double elapsed_ms = 0.0;
+  double throughput = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  std::uint64_t deliveries = 0;
+  bool properties_ok = false;
+  std::string properties_error;
+  // net only
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t reconnects = 0;
+};
+
+net::ClusterConfig cluster_config() {
+  std::string text = R"({"name": "bench", "f": 1, "seed": 29, "groups": [)";
+  for (int g = 0; g < 3; ++g) {
+    if (g > 0) text += ",";
+    text += R"({"id": )" + std::to_string(g) + R"(, "target": true,)";
+    text += g == 0 ? R"( "parent": null,)" : R"( "parent": 0,)";
+    text += R"( "replicas": [)";
+    for (int r = 0; r < 4; ++r) {
+      if (r > 0) text += ",";
+      text += R"({"host": "127.0.0.1", "port": )" +
+              std::to_string(11000 + g * 10 + r) + "}";
+    }
+    text += "]}";
+  }
+  text += "]}";
+  std::string err;
+  auto cfg = net::ClusterConfig::parse(text, &err);
+  if (!cfg) {
+    std::fprintf(stderr, "config: %s\n", err.c_str());
+    std::abort();
+  }
+  return *cfg;
+}
+
+std::vector<GroupId> pick_dst(Rng& rng) {
+  if (rng.next_bool(kGlobalFraction)) {
+    const auto a = static_cast<std::int32_t>(rng.next_below(3));
+    const auto b = static_cast<std::int32_t>(rng.next_below(2));
+    return {GroupId{a}, GroupId{b < a ? b : b + 1}};
+  }
+  return {GroupId{static_cast<std::int32_t>(rng.next_below(3))}};
+}
+
+BackendResult run_runtime(const net::ClusterConfig& cfg) {
+  runtime::ParallelOptions opts;
+  opts.runtime.seed = cfg.seed;
+  runtime::ParallelSystem system(cfg.tree(), cfg.f, opts);
+
+  std::vector<core::Client*> clients;
+  std::vector<Rng> rngs;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(&system.add_client("client" + std::to_string(c)));
+    rngs.push_back(system.env().fork_rng());
+  }
+
+  const Bytes payload(kPayload, std::uint8_t{0xab});
+  const int total = kClients * kMsgsPerClient;
+  std::vector<int> sent(kClients, 0);
+  std::vector<std::vector<std::vector<GroupId>>> issued(kClients);
+  std::atomic<int> done{0};
+  std::mutex lat_mu;
+  LatencyRecorder latency;
+
+  std::function<void(int)> issue = [&](int c) {
+    auto& count = sent[static_cast<std::size_t>(c)];
+    if (count == kMsgsPerClient) return;
+    ++count;
+    std::vector<GroupId> dst = pick_dst(rngs[static_cast<std::size_t>(c)]);
+    core::MulticastMessage canon;
+    canon.dst = dst;
+    canon.canonicalize();
+    issued[static_cast<std::size_t>(c)].push_back(std::move(canon.dst));
+    clients[static_cast<std::size_t>(c)]->a_multicast(
+        std::move(dst), payload,
+        [&, c](const core::MulticastMessage&, Time lat) {
+          {
+            const std::lock_guard<std::mutex> lock(lat_mu);
+            latency.record(system.env().now(), lat);
+          }
+          done.fetch_add(1);
+          issue(c);
+        });
+  };
+
+  system.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    system.env().run_on(clients[static_cast<std::size_t>(c)]->id(),
+                        [&issue, c] { issue(c); });
+  }
+  const auto deadline = t0 + std::chrono::minutes(5);
+  while (done.load() < total && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  system.stop();
+
+  BackendResult r;
+  r.backend = "runtime";
+  r.completed = done.load();
+  r.elapsed_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.throughput = r.completed / (r.elapsed_ms / 1000.0);
+  r.latency_mean_ms = latency.mean_ms();
+  r.latency_p95_ms = latency.percentile_ms(95);
+  r.deliveries = system.delivery_log().total_deliveries();
+
+  core::PropertyInput in;
+  in.log = &system.delivery_log();
+  for (int c = 0; c < kClients; ++c) {
+    const auto& dsts = issued[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < dsts.size(); ++k) {
+      in.sent.push_back(core::SentMessage{
+          MessageId{clients[static_cast<std::size_t>(c)]->id(),
+                    static_cast<std::uint64_t>(k)},
+          dsts[k]});
+    }
+  }
+  for (int g = 0; g < 3; ++g) {
+    auto& grp = system.system().group(GroupId{g});
+    for (const int i : grp.correct_indices()) {
+      in.correct_replicas[GroupId{g}].push_back(grp.replica(i).id());
+    }
+  }
+  const core::PropertyResult verdict = core::check_all_properties(in);
+  r.properties_ok = verdict.ok;
+  r.properties_error = verdict.error;
+  return r;
+}
+
+BackendResult run_net(const net::ClusterConfig& cfg) {
+  net::InProcessCluster cluster(cfg);
+  std::vector<core::Client*> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(&cluster.add_client("client" + std::to_string(c)));
+  }
+  cluster.start();
+
+  const Bytes payload(kPayload, std::uint8_t{0xab});
+  const int total = kClients * kMsgsPerClient;
+  std::vector<int> sent(kClients, 0);
+  std::vector<std::vector<std::vector<GroupId>>> issued(kClients);
+  std::atomic<int> done{0};
+  std::mutex lat_mu;
+  LatencyRecorder latency;
+  Rng rng(cfg.seed);
+
+  // Runs on the client node's loop thread; re-issue from the completion.
+  std::function<void(int)> issue = [&](int c) {
+    auto& count = sent[static_cast<std::size_t>(c)];
+    if (count == kMsgsPerClient) return;
+    ++count;
+    std::vector<GroupId> dst = pick_dst(rng);
+    core::MulticastMessage canon;
+    canon.dst = dst;
+    canon.canonicalize();
+    issued[static_cast<std::size_t>(c)].push_back(std::move(canon.dst));
+    clients[static_cast<std::size_t>(c)]->a_multicast(
+        std::move(dst), payload,
+        [&, c](const core::MulticastMessage&, Time lat) {
+          {
+            const std::lock_guard<std::mutex> lock(lat_mu);
+            latency.record(cluster.client_node().env().now(), lat);
+          }
+          done.fetch_add(1);
+          issue(c);
+        });
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.client_node().env().post([&] {
+    for (int c = 0; c < kClients; ++c) issue(c);
+  });
+  const auto deadline = t0 + std::chrono::minutes(5);
+  while (done.load() < total && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Stragglers catch up via anti-entropy (liveness cadence 1s, state
+  // transfer rate limit 500ms): wait for cluster-wide delivery stability
+  // longer than that cadence before reading the logs.
+  std::uint64_t last = cluster.total_deliveries();
+  auto stable_since = std::chrono::steady_clock::now();
+  const auto drain_deadline = stable_since + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t now = cluster.total_deliveries();
+    if (now != last) {
+      last = now;
+      stable_since = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - stable_since >
+               std::chrono::milliseconds(2500)) {
+      break;
+    }
+  }
+
+  BackendResult r;
+  r.backend = "net";
+  r.completed = done.load();
+  r.elapsed_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.throughput = r.completed / (r.elapsed_ms / 1000.0);
+  r.latency_mean_ms = latency.mean_ms();
+  r.latency_p95_ms = latency.percentile_ms(95);
+  r.deliveries = cluster.total_deliveries();
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 4; ++i) {
+      const auto& ts =
+          cluster.replica_node(GroupId{g}, i).env().transport().stats();
+      r.wire_messages += ts.messages_sent;
+      r.wire_bytes += ts.bytes_sent;
+      r.reconnects += ts.reconnects;
+    }
+  }
+  cluster.stop();
+
+  std::vector<core::SentMessage> sent_msgs;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    for (std::size_t k = 0; k < issued[c].size(); ++k) {
+      sent_msgs.push_back(core::SentMessage{
+          MessageId{clients[c]->id(), static_cast<std::uint64_t>(k)},
+          issued[c][k]});
+    }
+  }
+  core::PropertyResult verdict = cluster.check_properties(sent_msgs);
+  if (verdict.ok && cluster.total_monitor_violations() > 0) {
+    verdict.ok = false;
+    verdict.error = "online monitor violations";
+  }
+  r.properties_ok = verdict.ok;
+  r.properties_error = verdict.error;
+  return r;
+}
+
+void write_bench_json(const std::vector<BackendResult>& results) {
+  std::ofstream out("BENCH_net.json");
+  if (!out) return;
+  out << "{\"bench\":\"net_vs_runtime\",\"groups\":3,\"f\":1,"
+      << "\"clients\":" << kClients
+      << ",\"msgs_per_client\":" << kMsgsPerClient
+      << ",\"global_fraction\":" << kGlobalFraction << ",\"backends\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    if (i > 0) out << ",";
+    out << "{\"backend\":\"" << r.backend << "\",\"completed\":" << r.completed
+        << ",\"elapsed_ms\":" << r.elapsed_ms
+        << ",\"throughput_msgs_s\":" << r.throughput
+        << ",\"latency_mean_ms\":" << r.latency_mean_ms
+        << ",\"latency_p95_ms\":" << r.latency_p95_ms
+        << ",\"a_deliveries\":" << r.deliveries
+        << ",\"properties_ok\":" << (r.properties_ok ? "true" : "false");
+    if (!r.properties_ok) {
+      out << ",\"properties_error\":\"" << r.properties_error << "\"";
+    }
+    if (r.backend == "net") {
+      out << ",\"wire_messages\":" << r.wire_messages
+          << ",\"wire_bytes\":" << r.wire_bytes
+          << ",\"reconnects\":" << r.reconnects;
+    }
+    out << "}";
+  }
+  out << "]";
+  if (results.size() == 2 && results[0].throughput > 0.0) {
+    out << ",\"net_vs_runtime_throughput_ratio\":"
+        << results[1].throughput / results[0].throughput;
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  using workload::fmt;
+  workload::print_header(
+      "Net backend (real TCP) vs runtime backend, 3 groups, f=1, mixed");
+
+  const net::ClusterConfig cfg = cluster_config();
+  std::vector<BackendResult> results;
+  results.push_back(run_runtime(cfg));
+  results.push_back(run_net(cfg));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const BackendResult& r : results) {
+    rows.push_back({r.backend, std::to_string(r.completed), fmt(r.throughput, 0),
+                    fmt(r.latency_mean_ms, 2), fmt(r.latency_p95_ms, 2),
+                    r.properties_ok ? "ok" : "VIOLATED"});
+  }
+  workload::print_table(
+      {"backend", "completed", "msgs/s", "mean ms", "p95 ms", "properties"},
+      rows);
+  const BackendResult& nr = results[1];
+  std::printf(
+      "\nnet run: %llu wire messages, %.1f MiB on the wire, %llu reconnects. "
+      "Wall-clock numbers are host-dependent; the runtime/net delta is the "
+      "cost of framing + syscalls + epoll.\n",
+      (unsigned long long)nr.wire_messages,
+      static_cast<double>(nr.wire_bytes) / (1024.0 * 1024.0),
+      (unsigned long long)nr.reconnects);
+
+  write_bench_json(results);
+
+  int failures = 0;
+  for (const BackendResult& r : results) {
+    if (r.completed != kClients * kMsgsPerClient) {
+      std::printf("FAIL: %s backend completed %d/%d\n", r.backend.c_str(),
+                  r.completed, kClients * kMsgsPerClient);
+      ++failures;
+    }
+    if (!r.properties_ok) {
+      std::printf("FAIL: %s backend violates properties: %s\n",
+                  r.backend.c_str(), r.properties_error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

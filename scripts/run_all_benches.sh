@@ -5,6 +5,13 @@ set -u
 BUILD_DIR="${1:-build}"
 for b in "$BUILD_DIR"/bench/*; do
   if [ -x "$b" ] && [ ! -d "$b" ]; then
+    case "$(basename "$b")" in
+      # Live-cluster binaries need a running byzcastd deployment (or are the
+      # deployment); they are driven by scripts/run_local_cluster.sh, not by
+      # this sweep. bench_net_throughput IS self-contained (it builds its
+      # own in-process cluster) and runs below like any other bench.
+      byzcastd|byzcast-loadgen) continue ;;
+    esac
     echo
     echo "########## $(basename "$b") ##########"
     "$b"

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Boots a full ByzCast cluster as real OS processes on localhost (one
+# byzcastd per replica seat — 12 daemons for the default 3-group f=1
+# config), drives it with byzcast-loadgen, shuts the daemons down
+# gracefully (SIGTERM -> drain -> dump), and verifies the merged per-process
+# dumps against the five atomic-multicast properties with
+# `byzcast-loadgen --check-dumps`.
+#
+# Usage:
+#   scripts/run_local_cluster.sh [BUILD_DIR] [--config FILE] [--out-dir DIR]
+#       [--clients N] [--msgs N] [--global-fraction F] [--kill-one]
+#
+# --kill-one additionally SIGKILLs one non-leader replica (g1:r3) mid-run
+# and passes the seat to the checker as --exclude; with f=1 the run must
+# still complete and the surviving seats must still satisfy the properties.
+#
+# Exit 0 iff the loadgen completed every message, every daemon exited 0
+# (killed seat excepted), and the dump check passed.
+set -u
+
+BUILD_DIR="build"
+CONFIG="configs/lan_local.json"
+OUT_DIR=""
+CLIENTS=2
+MSGS=50
+GLOBAL_FRACTION=0.5
+KILL_ONE=0
+
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  BUILD_DIR="$1"
+  shift
+fi
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --config) CONFIG="$2"; shift 2 ;;
+    --out-dir) OUT_DIR="$2"; shift 2 ;;
+    --clients) CLIENTS="$2"; shift 2 ;;
+    --msgs) MSGS="$2"; shift 2 ;;
+    --global-fraction) GLOBAL_FRACTION="$2"; shift 2 ;;
+    --kill-one) KILL_ONE=1; shift ;;
+    *) echo "run_local_cluster: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+DAEMON="$BUILD_DIR/src/net/byzcastd"
+LOADGEN="$BUILD_DIR/src/net/byzcast-loadgen"
+for bin in "$DAEMON" "$LOADGEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_local_cluster: missing binary $bin (build first)" >&2
+    exit 2
+  fi
+done
+if [ ! -f "$CONFIG" ]; then
+  echo "run_local_cluster: missing config $CONFIG" >&2
+  exit 2
+fi
+
+if [ -z "$OUT_DIR" ]; then
+  OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/byzcast_cluster.XXXXXX")"
+fi
+mkdir -p "$OUT_DIR"
+echo "run_local_cluster: config=$CONFIG out=$OUT_DIR kill_one=$KILL_ONE"
+
+# Group/replica counts straight from the config, so a different topology
+# file needs no script edits.
+GROUPS_N=$(grep -c '"replicas"' "$CONFIG")
+REPLICAS_N=4  # 3f+1; f is fixed at 1 in the checked-in configs
+if grep -q '"f": *2' "$CONFIG"; then REPLICAS_N=7; fi
+
+declare -A DAEMON_PID=()
+cleanup() {
+  for key in "${!DAEMON_PID[@]}"; do
+    kill -9 "${DAEMON_PID[$key]}" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+# --- 1. launch every replica daemon -----------------------------------------
+for ((g = 0; g < GROUPS_N; ++g)); do
+  for ((r = 0; r < REPLICAS_N; ++r)); do
+    "$DAEMON" --config "$CONFIG" --group "$g" --replica "$r" \
+      --out-dir "$OUT_DIR" 2>"$OUT_DIR/byzcastd_g${g}_r${r}.log" &
+    DAEMON_PID["g${g}_r${r}"]=$!
+  done
+done
+echo "run_local_cluster: launched $((GROUPS_N * REPLICAS_N)) daemons"
+
+# --- 2. optionally schedule a mid-run kill ----------------------------------
+EXCLUDE_ARGS=()
+if [ "$KILL_ONE" -eq 1 ]; then
+  VICTIM="g1_r3"
+  (
+    sleep 2
+    kill -9 "${DAEMON_PID[$VICTIM]}" 2>/dev/null || true
+    echo "run_local_cluster: killed $VICTIM" >&2
+  ) &
+  KILLER_PID=$!
+  EXCLUDE_ARGS=(--exclude "g1:r3")
+fi
+
+# --- 3. drive the workload ---------------------------------------------------
+"$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" \
+  --clients "$CLIENTS" --msgs "$MSGS" --global-fraction "$GLOBAL_FRACTION"
+LOADGEN_RC=$?
+if [ "$KILL_ONE" -eq 1 ]; then wait "$KILLER_PID" 2>/dev/null || true; fi
+
+# --- 4. graceful shutdown: SIGTERM, then wait for exit 0 --------------------
+for key in "${!DAEMON_PID[@]}"; do
+  kill -TERM "${DAEMON_PID[$key]}" 2>/dev/null || true
+done
+DAEMON_FAILURES=0
+for key in "${!DAEMON_PID[@]}"; do
+  wait "${DAEMON_PID[$key]}"
+  rc=$?
+  if [ "$KILL_ONE" -eq 1 ] && [ "$key" = "g1_r3" ]; then
+    continue  # SIGKILLed on purpose; no exit-0 obligation
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "run_local_cluster: $key exited $rc" >&2
+    sed 's/^/    /' "$OUT_DIR/byzcastd_${key}.log" >&2 || true
+    DAEMON_FAILURES=$((DAEMON_FAILURES + 1))
+  fi
+done
+DAEMON_PID=()  # all reaped; disarm the cleanup trap's kill -9
+
+# --- 5. merge the dumps and check the properties ----------------------------
+"$LOADGEN" --check-dumps --config "$CONFIG" --dir "$OUT_DIR" \
+  ${EXCLUDE_ARGS[@]+"${EXCLUDE_ARGS[@]}"}
+CHECK_RC=$?
+
+echo "run_local_cluster: loadgen=$LOADGEN_RC daemons_failed=$DAEMON_FAILURES check=$CHECK_RC (artifacts in $OUT_DIR)"
+if [ "$LOADGEN_RC" -ne 0 ] || [ "$DAEMON_FAILURES" -ne 0 ] || \
+   [ "$CHECK_RC" -ne 0 ]; then
+  exit 1
+fi
+exit 0

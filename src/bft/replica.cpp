@@ -722,8 +722,14 @@ void Replica::handle_stop(const sim::WireMessage& msg, Reader& r) {
   send(msg.from, Frontier{view_, next_instance_}.encode());
   if (s.next_view <= view_) {
     // The sender lags behind our view; echo our STOP so it can collect the
-    // f+1 evidence it needs to join the present (idempotent, bounded).
-    if (s.next_view < view_ || stop_requested_for_ >= view_) {
+    // f+1 evidence it needs to join the present. At most once per (peer,
+    // view): the laggard needs one STOP from each of f+1 peers, and an
+    // unconditional echo answers an echo with an echo — two replicas in the
+    // same view with stop evidence for it ping-pong STOPs at wire speed.
+    auto& echoed = stop_echoed_[msg.from];
+    if ((s.next_view < view_ || stop_requested_for_ >= view_) &&
+        echoed < view_) {
+      echoed = view_;
       send(msg.from, Stop{view_}.encode());
     }
     return;

@@ -316,6 +316,11 @@ class Replica final : public sim::Actor, public ReplicaContext {
   // --- view change ----------------------------------------------------------
   std::map<std::uint64_t, std::set<ProcessId>> stop_votes_;
   std::uint64_t stop_requested_for_ = 0;  // highest view we sent STOP for
+  /// Highest view whose STOP we echoed back to each peer (handle_stop's
+  /// help-the-laggard path). One echo per (peer, view) is enough for the
+  /// laggard's f+1 evidence; unbounded echoes ping-pong forever once two
+  /// current replicas both hold stop evidence for the view they occupy.
+  std::unordered_map<ProcessId, std::uint64_t> stop_echoed_;
   std::map<std::uint64_t, std::map<ProcessId, StopData>> stopdata_;
   std::map<std::uint64_t, Sync> sync_sent_;  // leader: SYNC per view led
   Time view_change_started_ = 0;

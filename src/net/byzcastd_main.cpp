@@ -1,0 +1,200 @@
+// byzcastd: one ByzCast replica as an OS process. Loads the shared cluster
+// config, binds its configured endpoint, dials every other replica and runs
+// its event loop until SIGINT/SIGTERM. Shutdown is graceful: the signal
+// handler only sets a flag (async-signal-safe); a periodic loop timer
+// notices it, waits for the delivery log to go quiet (2.5s stable, 15s
+// cap — long enough for a straggler's anti-entropy catch-up), flushes the
+// delivery dump and metrics sidecar to --out-dir, tears the sockets down
+// and exits 0.
+//
+//   byzcastd --config cluster.json --group 2 --replica 1 --out-dir run/
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "net/cluster.hpp"
+#include "net/dump.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::string config;
+  std::string out_dir = ".";
+  int group = -1;
+  int replica = -1;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "byzcastd: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--config") {
+      const char* v = need_value("--config");
+      if (!v) return std::nullopt;
+      args.config = v;
+    } else if (a == "--group") {
+      const char* v = need_value("--group");
+      if (!v) return std::nullopt;
+      args.group = std::atoi(v);
+    } else if (a == "--replica") {
+      const char* v = need_value("--replica");
+      if (!v) return std::nullopt;
+      args.replica = std::atoi(v);
+    } else if (a == "--out-dir") {
+      const char* v = need_value("--out-dir");
+      if (!v) return std::nullopt;
+      args.out_dir = v;
+    } else {
+      std::fprintf(stderr, "byzcastd: unknown argument %s\n", a.c_str());
+      return std::nullopt;
+    }
+  }
+  if (args.config.empty() || args.group < 0 || args.replica < 0) {
+    std::fprintf(stderr,
+                 "usage: byzcastd --config FILE --group N --replica N "
+                 "[--out-dir DIR]\n");
+    return std::nullopt;
+  }
+  return args;
+}
+
+void write_artifacts(const Args& args, net::ClusterNode& node) {
+  const std::string name = node.node_name();
+  net::DeliveryDump dump;
+  dump.node = name;
+  dump.monitor_violations = node.monitors().total_violations();
+  dump.records = node.delivery_log().records();
+  std::string error;
+  if (!net::write_json_file(args.out_dir + "/delivery_" + name + ".json",
+                            net::delivery_dump_to_json(dump), &error)) {
+    std::fprintf(stderr, "byzcastd[%s]: %s\n", name.c_str(), error.c_str());
+  }
+
+  // Metrics sidecar: the registry dumps itself as JSON; transport and env
+  // counters are appended by hand around it.
+  const auto tr = node.env().transport().stats();
+  const auto& es = node.env().stats();
+  std::ofstream out(args.out_dir + "/metrics_" + name + ".json",
+                    std::ios::trunc);
+  if (out) {
+    out << "{\"node\":\"" << name << "\""
+        << ",\"monitor_violations\":" << dump.monitor_violations
+        << ",\"deliveries\":" << dump.records.size()
+        << ",\"transport\":{"
+        << "\"messages_sent\":" << tr.messages_sent
+        << ",\"messages_received\":" << tr.messages_received
+        << ",\"bytes_sent\":" << tr.bytes_sent
+        << ",\"bytes_received\":" << tr.bytes_received
+        << ",\"dropped_no_route\":" << tr.dropped_no_route
+        << ",\"dropped_queue_full\":" << tr.dropped_queue_full
+        << ",\"dropped_decode\":" << tr.dropped_decode
+        << ",\"connect_attempts\":" << tr.connect_attempts
+        << ",\"reconnects\":" << tr.reconnects
+        << ",\"inbound_accepted\":" << tr.inbound_accepted
+        << ",\"inbound_resets\":" << tr.inbound_resets
+        << ",\"send_queue_high_water\":" << tr.send_queue_high_water << "}"
+        << ",\"env\":{"
+        << "\"local_deliveries\":" << es.local_deliveries
+        << ",\"remote_sends\":" << es.remote_sends
+        << ",\"ghost_send_drops\":" << es.ghost_send_drops
+        << ",\"no_actor_drops\":" << es.no_actor_drops << "}"
+        << ",\"registry\":" << node.metrics().to_json() << "}\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) return 2;
+
+  std::string error;
+  const auto cfg = net::ClusterConfig::load_file(args->config, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "byzcastd: %s\n", error.c_str());
+    return 2;
+  }
+  const GroupId group{args->group};
+  if (cfg->group(group) == nullptr ||
+      args->replica >= cfg->replicas_per_group()) {
+    std::fprintf(stderr, "byzcastd: no seat group=%d replica=%d in %s\n",
+                 args->group, args->replica, args->config.c_str());
+    return 2;
+  }
+
+  net::ClusterNode node(*cfg, net::NodeIdentity{group, args->replica});
+  if (!node.listen(&error)) {
+    std::fprintf(stderr, "byzcastd[%s]: %s\n", node.node_name().c_str(),
+                 error.c_str());
+    return 1;
+  }
+  node.connect(*cfg);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Graceful-shutdown poller: a self-rescheduling 50ms timer. Once the
+  // signal flag is up it drains, writes artifacts and stops the loop. The
+  // stability window must exceed the anti-entropy cadence (liveness checks
+  // every leader_timeout/2 plus the 500ms state-transfer rate limit): a
+  // straggler replica catches up on that cadence, and an impatient drain
+  // would dump its log mid-recovery.
+  struct Drain {
+    Time started = -1;
+    Time stable_since = -1;
+    std::uint64_t last = 0;
+  };
+  auto drain = std::make_shared<Drain>();
+  std::function<void()> poll = [&node, &args, drain, &poll] {
+    constexpr Time kPoll = 50 * kMillisecond;
+    constexpr Time kStable = 2500 * kMillisecond;
+    constexpr Time kCap = 15 * kSecond;
+    const Time now = node.env().now();
+    if (g_stop == 0) {
+      node.env().loop().schedule(kPoll, poll);
+      return;
+    }
+    const std::uint64_t cur = node.delivery_log().total_deliveries();
+    if (drain->started < 0) {
+      drain->started = now;
+      drain->stable_since = now;
+      drain->last = cur;
+    } else if (cur != drain->last) {
+      drain->last = cur;
+      drain->stable_since = now;
+    }
+    if (now - drain->stable_since >= kStable ||
+        now - drain->started >= kCap) {
+      write_artifacts(*args, node);
+      node.env().transport().shutdown();
+      node.env().loop().request_stop();
+      return;
+    }
+    node.env().loop().schedule(kPoll, poll);
+  };
+  node.env().loop().schedule(50 * kMillisecond, poll);
+
+  std::fprintf(stderr, "byzcastd[%s]: pid %d listening on %u\n",
+               node.node_name().c_str(), node.self_pid().value,
+               node.listen_port());
+  node.run();  // blocks until the drain poller stops the loop
+  return 0;
+}

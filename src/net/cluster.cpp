@@ -1,0 +1,188 @@
+#include "net/cluster.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::net {
+
+ClusterNode::ClusterNode(ClusterConfig cfg, std::optional<NodeIdentity> self)
+    : cfg_(std::move(cfg)), self_(self) {
+  NetEnvOptions opts;
+  opts.seed = cfg_.seed;
+  opts.profile = cfg_.profile();
+  opts.transport = cfg_.transport;
+  env_ = std::make_unique<NetEnv>(opts);
+
+  std::unordered_set<std::int32_t> local;
+  if (self_) {
+    self_pid_ = cfg_.pid_of(self_->group, self_->replica);
+    local.insert(self_pid_.value);
+  }
+  env_->set_local_pids(std::move(local), cfg_.replica_count());
+
+  monitors_.attach_metrics(&metrics_);
+  Observability obs;
+  obs.metrics = &metrics_;
+  obs.monitors = &monitors_;
+  system_ = std::make_unique<core::ByzCastSystem>(*env_, cfg_.tree(),
+                                                  cfg_.f, core::FaultPlan{},
+                                                  core::Routing::kGenuine,
+                                                  obs);
+
+  // The whole scheme rests on positional pid assignment matching the
+  // config's arithmetic; verify it outright rather than trusting it.
+  for (const GroupSpec& g : cfg_.groups) {
+    for (int i = 0; i < cfg_.replicas_per_group(); ++i) {
+      BZC_ENSURES(system_->group(g.id).replica(i).id() ==
+                  cfg_.pid_of(g.id, i));
+    }
+  }
+}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+bool ClusterNode::listen(std::string* error, bool ephemeral) {
+  BZC_EXPECTS(self_.has_value());
+  const Endpoint* ep = cfg_.endpoint_of(self_pid_);
+  return env_->transport().listen(ep->host, ephemeral ? 0 : ep->port, error);
+}
+
+core::Client& ClusterNode::add_client(const std::string& name) {
+  clients_.push_back(system_->make_client(name));
+  return *clients_.back();
+}
+
+void ClusterNode::connect(const ClusterConfig& resolved) {
+  Transport& tr = env_->transport();
+
+  std::vector<ProcessId> hello;
+  if (self_) hello.push_back(self_pid_);
+  for (const auto& c : clients_) hello.push_back(c->id());
+  tr.set_local_pids(std::move(hello));
+
+  for (const GroupSpec& g : resolved.groups) {
+    for (int i = 0; i < resolved.replicas_per_group(); ++i) {
+      const ProcessId pid = resolved.pid_of(g.id, i);
+      if (env_->is_local(pid)) continue;
+      const Endpoint& ep = g.replicas[static_cast<std::size_t>(i)];
+      tr.add_peer(ep.host, ep.port, {pid});
+    }
+  }
+  if (resolved.wan) {
+    const std::string region = self_
+                                   ? resolved.group(self_->group)->region
+                                   : resolved.client_region;
+    tr.set_delay_fn([cfg = resolved, region](ProcessId to) {
+      return cfg.link_delay(region, to);
+    });
+  }
+  tr.connect_all();
+}
+
+std::string ClusterNode::node_name() const {
+  if (!self_) return "client";
+  return "g" + std::to_string(self_->group.value) + "_r" +
+         std::to_string(self_->replica);
+}
+
+// ---------------------------------------------------------------------------
+
+InProcessCluster::InProcessCluster(ClusterConfig cfg)
+    : resolved_(std::move(cfg)) {
+  for (GroupSpec& g : resolved_.groups) {
+    for (int i = 0; i < resolved_.replicas_per_group(); ++i) {
+      auto node = std::make_unique<ClusterNode>(
+          resolved_, NodeIdentity{g.id, i});
+      std::string error;
+      BZC_ENSURES(node->listen(&error, /*ephemeral=*/true));
+      // Fold the actual port back into the config everyone will dial with.
+      g.replicas[static_cast<std::size_t>(i)].port = node->listen_port();
+      replica_nodes_.push_back(std::move(node));
+    }
+  }
+  client_node_ = std::make_unique<ClusterNode>(resolved_, std::nullopt);
+}
+
+InProcessCluster::~InProcessCluster() { stop(); }
+
+void InProcessCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& node : replica_nodes_) node->connect(resolved_);
+  client_node_->connect(resolved_);
+  for (auto& node : replica_nodes_) node->start();
+  client_node_->start();
+}
+
+void InProcessCluster::stop() {
+  // Client first so no new load flows while replicas drain their loops.
+  if (client_node_) client_node_->stop();
+  for (auto& node : replica_nodes_) node->stop();
+}
+
+std::size_t InProcessCluster::node_index(GroupId g, int replica) const {
+  const ProcessId pid = resolved_.pid_of(g, replica);
+  BZC_EXPECTS(pid.valid());
+  return static_cast<std::size_t>(pid.value);
+}
+
+ClusterNode& InProcessCluster::replica_node(GroupId g, int replica) {
+  return *replica_nodes_[node_index(g, replica)];
+}
+
+void InProcessCluster::kill_replica(GroupId g, int replica) {
+  ClusterNode& node = replica_node(g, replica);
+  node.stop();
+  // The loop is dead; its thread is joined, so tearing the sockets down
+  // from this thread is race-free. Peers observe resets and enter their
+  // reconnect backoff against a port nobody listens on anymore.
+  node.env().transport().shutdown();
+  killed_.insert({g.value, replica});
+}
+
+std::uint64_t InProcessCluster::total_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& node : replica_nodes_) {
+    if (node->self() &&
+        killed_.contains({node->self()->group.value, node->self()->replica}))
+      continue;
+    total += node->system().delivery_log().total_deliveries();
+  }
+  return total;
+}
+
+std::uint64_t InProcessCluster::total_monitor_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& node : replica_nodes_) {
+    total += node->monitors().total_violations();
+  }
+  return total;
+}
+
+core::PropertyResult InProcessCluster::check_properties(
+    const std::vector<core::SentMessage>& sent) const {
+  // Merge per-node logs. Each node's log holds exactly its own replica's
+  // records (ghosts never deliver), so concatenation preserves every
+  // per-replica delivery order — the only order the checkers consume.
+  core::DeliveryLog merged;
+  for (const auto& node : replica_nodes_) {
+    for (const auto& rec : node->system().delivery_log().records()) {
+      merged.record(rec.group, rec.replica, rec.msg, rec.when);
+    }
+  }
+  core::PropertyInput in;
+  in.log = &merged;
+  in.sent = sent;
+  for (const GroupSpec& g : resolved_.groups) {
+    if (!g.is_target) continue;
+    for (int i = 0; i < resolved_.replicas_per_group(); ++i) {
+      if (killed_.contains({g.id.value, i})) continue;
+      in.correct_replicas[g.id].push_back(resolved_.pid_of(g.id, i));
+    }
+  }
+  return core::check_all_properties(in);
+}
+
+}  // namespace byzcast::net

@@ -1,0 +1,439 @@
+#include "net/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace byzcast::net {
+
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+bool fail(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+Time ms_to_ns(double ms) {
+  return static_cast<Time>(std::llround(ms * kNsPerMs));
+}
+
+double ns_to_ms(Time ns) { return static_cast<double>(ns) / kNsPerMs; }
+
+bool parse_groups(const Json& j, ClusterConfig* cfg, std::string* error) {
+  const Json& groups = j.get("groups");
+  if (!groups.is_array() || groups.size() == 0) {
+    return fail(error, "\"groups\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const Json& g = groups.at(i);
+    if (!g.is_object() || !g.get("id").is_number()) {
+      return fail(error, "group " + std::to_string(i) +
+                             ": object with numeric \"id\" required");
+    }
+    GroupSpec spec;
+    spec.id = GroupId(static_cast<std::int32_t>(g.get("id").as_int()));
+    spec.is_target = g.has("target") ? g.get("target").as_bool() : true;
+    if (g.has("parent") && !g.get("parent").is_null()) {
+      if (!g.get("parent").is_number()) {
+        return fail(error, "group " + std::to_string(i) +
+                               ": \"parent\" must be a group id or null");
+      }
+      spec.parent =
+          GroupId(static_cast<std::int32_t>(g.get("parent").as_int()));
+    }
+    if (g.has("region")) {
+      if (!g.get("region").is_string()) {
+        return fail(error,
+                    "group " + std::to_string(i) + ": non-string region");
+      }
+      spec.region = g.get("region").as_string();
+    }
+    const Json& reps = g.get("replicas");
+    if (!reps.is_array()) {
+      return fail(error, "group " + std::to_string(i) +
+                             ": \"replicas\" must be an array");
+    }
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      const Json& ep = reps.at(r);
+      if (!ep.is_object() || !ep.get("host").is_string() ||
+          !ep.get("port").is_number()) {
+        return fail(error, "group " + std::to_string(i) + " replica " +
+                               std::to_string(r) +
+                               ": {host, port} required");
+      }
+      const std::int64_t port = ep.get("port").as_int();
+      if (port < 0 || port > 65535) {
+        return fail(error, "group " + std::to_string(i) + " replica " +
+                               std::to_string(r) + ": port out of range");
+      }
+      spec.replicas.push_back(Endpoint{ep.get("host").as_string(),
+                                       static_cast<std::uint16_t>(port)});
+    }
+    cfg->groups.push_back(std::move(spec));
+  }
+  return true;
+}
+
+bool parse_wan(const Json& j, ClusterConfig* cfg, std::string* error) {
+  if (!j.has("wan")) return true;
+  const Json& w = j.get("wan");
+  if (!w.is_object()) return fail(error, "\"wan\" must be an object");
+  WanModel wan;
+  const Json& regions = w.get("regions");
+  if (!regions.is_array() || regions.size() == 0) {
+    return fail(error, "wan.regions must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (!regions.at(i).is_string()) {
+      return fail(error, "wan.regions entries must be strings");
+    }
+    wan.regions.push_back(regions.at(i).as_string());
+  }
+  const Json& rtt = w.get("rtt_ms");
+  if (!rtt.is_array() || rtt.size() != wan.regions.size()) {
+    return fail(error, "wan.rtt_ms must be a regions x regions matrix");
+  }
+  for (std::size_t a = 0; a < rtt.size(); ++a) {
+    const Json& row = rtt.at(a);
+    if (!row.is_array() || row.size() != wan.regions.size()) {
+      return fail(error, "wan.rtt_ms must be a regions x regions matrix");
+    }
+    std::vector<double> out_row;
+    for (std::size_t b = 0; b < row.size(); ++b) {
+      if (!row.at(b).is_number() || row.at(b).as_double() < 0) {
+        return fail(error, "wan.rtt_ms entries must be numbers >= 0");
+      }
+      out_row.push_back(row.at(b).as_double());
+    }
+    wan.rtt_ms.push_back(std::move(out_row));
+  }
+  wan.intra_region_rtt_ms = w.num_or("intra_region_rtt_ms", 0.0);
+  if (wan.intra_region_rtt_ms < 0) {
+    return fail(error, "wan.intra_region_rtt_ms must be >= 0");
+  }
+  cfg->wan = std::move(wan);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ClusterConfig> ClusterConfig::from_json(const Json& j,
+                                                      std::string* error) {
+  if (!j.is_object()) {
+    fail(error, "config root must be an object");
+    return std::nullopt;
+  }
+  ClusterConfig cfg;
+  cfg.name = j.has("name") ? j.get("name").as_string() : "cluster";
+  cfg.f = static_cast<int>(j.int_or("f", 1));
+  if (cfg.f < 1) {
+    fail(error, "\"f\" must be >= 1");
+    return std::nullopt;
+  }
+  cfg.seed = static_cast<std::uint64_t>(j.int_or("seed", 42));
+
+  const Json& proto = j.get("protocol");
+  if (proto.is_object()) {
+    cfg.pipeline_depth =
+        static_cast<std::uint32_t>(proto.int_or("pipeline_depth", 4));
+    cfg.batch_min = static_cast<std::uint32_t>(proto.int_or("batch_min", 1));
+    cfg.batch_max =
+        static_cast<std::uint32_t>(proto.int_or("batch_max", 400));
+    cfg.batch_timeout = ms_to_ns(proto.num_or("batch_timeout_ms", 0.0));
+    cfg.leader_timeout = ms_to_ns(proto.num_or("leader_timeout_ms", 2000.0));
+    cfg.checkpoint_period =
+        static_cast<std::uint32_t>(proto.int_or("checkpoint_period", 256));
+    if (cfg.pipeline_depth < 1 || cfg.batch_min < 1 ||
+        cfg.batch_max < cfg.batch_min) {
+      fail(error, "protocol knobs out of range");
+      return std::nullopt;
+    }
+  } else if (j.has("protocol")) {
+    fail(error, "\"protocol\" must be an object");
+    return std::nullopt;
+  }
+
+  const Json& tr = j.get("transport");
+  if (tr.is_object()) {
+    cfg.transport.max_frame_bytes = static_cast<std::size_t>(
+        tr.int_or("max_frame_bytes",
+                  static_cast<std::int64_t>(kDefaultMaxFrameBytes)));
+    cfg.transport.send_queue_max_bytes = static_cast<std::size_t>(
+        tr.int_or("send_queue_max_bytes", 8 * 1024 * 1024));
+    cfg.transport.reconnect_backoff_min =
+        ms_to_ns(tr.num_or("reconnect_backoff_min_ms", 50.0));
+    cfg.transport.reconnect_backoff_max =
+        ms_to_ns(tr.num_or("reconnect_backoff_max_ms", 2000.0));
+    if (cfg.transport.max_frame_bytes < kFrameHeaderSize + kWireBodyMetaSize ||
+        cfg.transport.reconnect_backoff_min <= 0 ||
+        cfg.transport.reconnect_backoff_max <
+            cfg.transport.reconnect_backoff_min) {
+      fail(error, "transport knobs out of range");
+      return std::nullopt;
+    }
+  } else if (j.has("transport")) {
+    fail(error, "\"transport\" must be an object");
+    return std::nullopt;
+  }
+
+  if (!parse_wan(j, &cfg, error)) return std::nullopt;
+  if (j.has("client_region")) {
+    if (!j.get("client_region").is_string()) {
+      fail(error, "\"client_region\" must be a string");
+      return std::nullopt;
+    }
+    cfg.client_region = j.get("client_region").as_string();
+  }
+  if (!parse_groups(j, &cfg, error)) return std::nullopt;
+
+  // --- structural validation (non-aborting; OverlayTree::finalize would
+  // assert, so every precondition is checked here first) ------------------
+  std::sort(cfg.groups.begin(), cfg.groups.end(),
+            [](const GroupSpec& a, const GroupSpec& b) {
+              return a.id.value < b.id.value;
+            });
+  std::set<std::int32_t> ids;
+  int roots = 0;
+  for (const GroupSpec& g : cfg.groups) {
+    if (!ids.insert(g.id.value).second) {
+      fail(error, "duplicate group id " + std::to_string(g.id.value));
+      return std::nullopt;
+    }
+    if (!g.parent) ++roots;
+    if (static_cast<int>(g.replicas.size()) != cfg.replicas_per_group()) {
+      fail(error, "group " + std::to_string(g.id.value) + " has " +
+                      std::to_string(g.replicas.size()) +
+                      " replicas, need 3f+1 = " +
+                      std::to_string(cfg.replicas_per_group()));
+      return std::nullopt;
+    }
+  }
+  if (roots != 1) {
+    fail(error, "exactly one group must have parent=null (the tree root)");
+    return std::nullopt;
+  }
+  bool any_target = false;
+  for (const GroupSpec& g : cfg.groups) {
+    any_target = any_target || g.is_target;
+    if (g.parent) {
+      if (!ids.contains(g.parent->value)) {
+        fail(error, "group " + std::to_string(g.id.value) +
+                        " has unknown parent " +
+                        std::to_string(g.parent->value));
+        return std::nullopt;
+      }
+      if (*g.parent == g.id) {
+        fail(error,
+             "group " + std::to_string(g.id.value) + " is its own parent");
+        return std::nullopt;
+      }
+    }
+    // Walk up; more steps than groups means a parent cycle.
+    std::size_t steps = 0;
+    const GroupSpec* cur = &g;
+    while (cur->parent) {
+      if (++steps > cfg.groups.size()) {
+        fail(error, "parent cycle involving group " +
+                        std::to_string(g.id.value));
+        return std::nullopt;
+      }
+      cur = cfg.group(*cur->parent);
+    }
+    if (cfg.wan) {
+      if (!cfg.region_index(g.region)) {
+        fail(error, "group " + std::to_string(g.id.value) +
+                        " region \"" + g.region +
+                        "\" is not in wan.regions");
+        return std::nullopt;
+      }
+    }
+  }
+  if (!any_target) {
+    fail(error, "at least one group must be a target");
+    return std::nullopt;
+  }
+  if (cfg.wan && !cfg.client_region.empty() &&
+      !cfg.region_index(cfg.client_region)) {
+    fail(error, "client_region \"" + cfg.client_region +
+                    "\" is not in wan.regions");
+    return std::nullopt;
+  }
+  return cfg;
+}
+
+std::optional<ClusterConfig> ClusterConfig::parse(const std::string& text,
+                                                 std::string* error) {
+  const auto j = Json::parse(text, error);
+  if (!j) return std::nullopt;
+  return from_json(*j, error);
+}
+
+std::optional<ClusterConfig> ClusterConfig::load_file(const std::string& path,
+                                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str(), error);
+}
+
+Json ClusterConfig::to_json() const {
+  Json j = Json::object();
+  j.set("name", Json::string(name));
+  j.set("f", Json::number(f));
+  j.set("seed", Json::number(static_cast<double>(seed)));
+
+  Json proto = Json::object();
+  proto.set("pipeline_depth", Json::number(pipeline_depth));
+  proto.set("batch_min", Json::number(batch_min));
+  proto.set("batch_max", Json::number(batch_max));
+  proto.set("batch_timeout_ms", Json::number(ns_to_ms(batch_timeout)));
+  proto.set("leader_timeout_ms", Json::number(ns_to_ms(leader_timeout)));
+  proto.set("checkpoint_period", Json::number(checkpoint_period));
+  j.set("protocol", std::move(proto));
+
+  Json tr = Json::object();
+  tr.set("max_frame_bytes",
+         Json::number(static_cast<double>(transport.max_frame_bytes)));
+  tr.set("send_queue_max_bytes",
+         Json::number(static_cast<double>(transport.send_queue_max_bytes)));
+  tr.set("reconnect_backoff_min_ms",
+         Json::number(ns_to_ms(transport.reconnect_backoff_min)));
+  tr.set("reconnect_backoff_max_ms",
+         Json::number(ns_to_ms(transport.reconnect_backoff_max)));
+  j.set("transport", std::move(tr));
+
+  if (wan) {
+    Json w = Json::object();
+    Json regions = Json::array();
+    for (const std::string& r : wan->regions) {
+      regions.push_back(Json::string(r));
+    }
+    w.set("regions", std::move(regions));
+    Json rtt = Json::array();
+    for (const auto& row : wan->rtt_ms) {
+      Json out_row = Json::array();
+      for (const double v : row) out_row.push_back(Json::number(v));
+      rtt.push_back(std::move(out_row));
+    }
+    w.set("rtt_ms", std::move(rtt));
+    w.set("intra_region_rtt_ms", Json::number(wan->intra_region_rtt_ms));
+    j.set("wan", std::move(w));
+  }
+  if (!client_region.empty()) {
+    j.set("client_region", Json::string(client_region));
+  }
+
+  Json groups_json = Json::array();
+  for (const GroupSpec& g : groups) {
+    Json gj = Json::object();
+    gj.set("id", Json::number(g.id.value));
+    gj.set("target", Json::boolean(g.is_target));
+    gj.set("parent",
+           g.parent ? Json::number(g.parent->value) : Json::null());
+    if (!g.region.empty()) gj.set("region", Json::string(g.region));
+    Json reps = Json::array();
+    for (const Endpoint& ep : g.replicas) {
+      Json e = Json::object();
+      e.set("host", Json::string(ep.host));
+      e.set("port", Json::number(ep.port));
+      reps.push_back(std::move(e));
+    }
+    gj.set("replicas", std::move(reps));
+    groups_json.push_back(std::move(gj));
+  }
+  j.set("groups", std::move(groups_json));
+  return j;
+}
+
+ProcessId ClusterConfig::pid_of(GroupId g, int index) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].id == g) {
+      return ProcessId(
+          static_cast<std::int32_t>(i) * replicas_per_group() + index);
+    }
+  }
+  return ProcessId();
+}
+
+std::optional<std::pair<GroupId, int>> ClusterConfig::replica_of(
+    ProcessId pid) const {
+  if (!pid.valid() || pid.value >= replica_count()) return std::nullopt;
+  const int per = replicas_per_group();
+  return std::make_pair(groups[static_cast<std::size_t>(pid.value / per)].id,
+                        pid.value % per);
+}
+
+const GroupSpec* ClusterConfig::group(GroupId g) const {
+  for (const GroupSpec& spec : groups) {
+    if (spec.id == g) return &spec;
+  }
+  return nullptr;
+}
+
+const Endpoint* ClusterConfig::endpoint_of(ProcessId pid) const {
+  const auto loc = replica_of(pid);
+  if (!loc) return nullptr;
+  return &group(loc->first)->replicas[static_cast<std::size_t>(loc->second)];
+}
+
+core::OverlayTree ClusterConfig::tree() const {
+  core::OverlayTree t;
+  for (const GroupSpec& g : groups) t.add_group(g.id, g.is_target);
+  for (const GroupSpec& g : groups) {
+    if (g.parent) t.set_parent(g.id, *g.parent);
+  }
+  t.finalize();
+  return t;
+}
+
+sim::Profile ClusterConfig::profile() const {
+  sim::Profile p = sim::Profile::wallclock();
+  p.pipeline_depth = pipeline_depth;
+  p.batch_min = batch_min;
+  p.batch_max = batch_max;
+  p.batch_timeout = batch_timeout;
+  p.leader_timeout = leader_timeout;
+  p.checkpoint_period = checkpoint_period;
+  return p;
+}
+
+std::string ClusterConfig::region_of(ProcessId pid) const {
+  const auto loc = replica_of(pid);
+  if (!loc) return client_region;
+  return group(loc->first)->region;
+}
+
+Time ClusterConfig::link_delay(const std::string& from_region,
+                               ProcessId to) const {
+  if (!wan) return 0;
+  const auto a = region_index(from_region);
+  const auto b = region_index(region_of(to));
+  if (!a || !b) return 0;
+  const double rtt =
+      *a == *b ? wan->intra_region_rtt_ms : wan->rtt_ms[*a][*b];
+  return ms_to_ns(rtt / 2.0);
+}
+
+std::optional<std::size_t> ClusterConfig::region_index(
+    const std::string& region) const {
+  if (!wan) return std::nullopt;
+  for (std::size_t i = 0; i < wan->regions.size(); ++i) {
+    if (wan->regions[i] == region) return i;
+  }
+  return std::nullopt;
+}
+
+bool operator==(const ClusterConfig& a, const ClusterConfig& b) {
+  return a.to_json() == b.to_json();
+}
+
+}  // namespace byzcast::net

@@ -1,0 +1,139 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace byzcast::net {
+
+namespace {
+constexpr int kMaxEvents = 64;
+}  // namespace
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  BZC_ENSURES(epoll_fd_ >= 0);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  BZC_ENSURES(wake_fd_ >= 0);
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  BZC_ENSURES(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Time EventLoop::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  fd_callbacks_[fd] = std::move(cb);
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  BZC_ENSURES(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  BZC_ENSURES(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0);
+}
+
+void EventLoop::del_fd(int fd) {
+  fd_callbacks_.erase(fd);
+  // The fd may already be gone (closed elsewhere); best effort.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::schedule(Time delay, std::function<void()> fn) {
+  BZC_EXPECTS(!running() || in_loop_thread());
+  if (delay < 0) delay = 0;
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run_due_timers() {
+  const Time t = now();
+  while (!timers_.empty() && timers_.top().deadline <= t) {
+    // priority_queue::top() is const; the function is moved out via the
+    // usual const_cast idiom before pop.
+    auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+    timers_.pop();
+    fn();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 100;  // re-check stop flag periodically
+  const Time delta = timers_.top().deadline - now();
+  if (delta <= 0) return 0;
+  // Round up so timers never fire early; cap to keep stop() responsive.
+  const Time ms = (delta + kMillisecond - 1) / kMillisecond;
+  return static_cast<int>(ms > 100 ? 100 : ms);
+}
+
+void EventLoop::run() {
+  loop_thread_ = std::this_thread::get_id();
+  running_.store(true, std::memory_order_release);
+  struct epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events, kMaxEvents, next_timeout_ms());
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const auto r = ::read(wake_fd_, &drain, sizeof drain);
+        continue;
+      }
+      const auto it = fd_callbacks_.find(fd);
+      // A callback earlier in this batch may have del_fd()'d this one.
+      if (it == fd_callbacks_.end()) continue;
+      // Copy: the callback may del_fd itself (erasing the map entry).
+      const FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+    drain_posted();
+    run_due_timers();
+  }
+  drain_posted();
+  running_.store(false, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+}
+
+void EventLoop::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+}  // namespace byzcast::net

@@ -1,0 +1,104 @@
+// Single-threaded epoll event loop: fd readiness callbacks, a deadline-heap
+// timer queue and a thread-safe task post (eventfd wakeup). One loop hosts
+// one NetEnv: every actor of the process runs on the loop thread, which is
+// what gives the ExecutionEnv contract its "one owner, one thread at a time"
+// serialization for free — the net backend's analogue of the runtime
+// backend's per-worker mailboxes.
+//
+// Thread rules: run() owns the loop on whichever thread calls it. post() and
+// request_stop() are safe from any thread (request_stop also from signal
+// handlers: an atomic store plus an eventfd write, both async-signal-safe).
+// Everything else — add_fd/mod_fd/del_fd, schedule — is loop-thread-only
+// once the loop runs (wiring before run() is fine).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace byzcast::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Monotone ns since loop construction (steady clock).
+  [[nodiscard]] Time now() const;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `cb` runs on the
+  /// loop thread with the ready event mask. The fd stays owned by the
+  /// caller; del_fd() before closing it.
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  /// Enqueues `fn` to run on the loop thread; safe from any thread. Tasks
+  /// run FIFO, after fd events of the current iteration.
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` after `delay` ns on the loop thread. Loop thread (or
+  /// pre-run) only. Sub-millisecond delays round to the epoll tick but
+  /// never fire early.
+  void schedule(Time delay, std::function<void()> fn);
+
+  /// Blocks servicing events until request_stop(). Pending posted tasks run
+  /// before returning; pending timers and fd registrations are dropped.
+  void run();
+
+  /// Stops the loop from any thread or a signal handler.
+  void request_stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool in_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Timer {
+    Time deadline;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    friend bool operator>(const Timer& a, const Timer& b) {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drain_posted();
+  void run_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_;
+};
+
+}  // namespace byzcast::net

@@ -1,0 +1,151 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace byzcast::net {
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), b, b + sizeof v);
+}
+
+void put_i32(Bytes& out, std::int32_t v) {
+  const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), b, b + sizeof v);
+}
+
+/// Bounds-checked little-endian reads off untrusted bytes.
+template <typename T>
+bool get_raw(BytesView data, std::size_t& pos, T* out) {
+  if (pos + sizeof(T) > data.size()) return false;
+  std::memcpy(out, data.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+void append_header(Bytes& out, FrameType type, std::uint32_t body_len) {
+  out.insert(out.end(), kFrameMagic, kFrameMagic + 4);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // flags
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_u32(out, body_len);
+}
+
+}  // namespace
+
+std::vector<Buffer> encode_wire_frame(const sim::WireMessage& msg) {
+  const std::size_t body_len = kWireBodyMetaSize + msg.payload.size();
+  Bytes head;
+  head.reserve(kFrameHeaderSize + kWireBodyMetaSize);
+  append_header(head, FrameType::kWireMessage,
+                static_cast<std::uint32_t>(body_len));
+  put_i32(head, msg.from.value);
+  put_i32(head, msg.to.value);
+  head.insert(head.end(), msg.mac.begin(), msg.mac.end());
+  std::vector<Buffer> chunks;
+  chunks.reserve(2);
+  chunks.emplace_back(std::move(head));
+  if (!msg.payload.empty()) chunks.push_back(msg.payload);
+  return chunks;
+}
+
+Buffer encode_hello_frame(const std::vector<ProcessId>& pids) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + 4 + pids.size() * 4);
+  append_header(out, FrameType::kHello,
+                static_cast<std::uint32_t>(4 + pids.size() * 4));
+  put_u32(out, static_cast<std::uint32_t>(pids.size()));
+  for (const ProcessId p : pids) put_i32(out, p.value);
+  return Buffer(std::move(out));
+}
+
+std::optional<sim::WireMessage> decode_wire_body(BytesView body) {
+  std::size_t pos = 0;
+  sim::WireMessage msg;
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  if (!get_raw(body, pos, &from) || !get_raw(body, pos, &to)) {
+    return std::nullopt;
+  }
+  if (pos + msg.mac.size() > body.size()) return std::nullopt;
+  std::memcpy(msg.mac.data(), body.data() + pos, msg.mac.size());
+  pos += msg.mac.size();
+  msg.from = ProcessId{from};
+  msg.to = ProcessId{to};
+  msg.payload = Buffer::copy_of(
+      BytesView(body.data() + pos, body.size() - pos));
+  return msg;
+}
+
+std::optional<std::vector<ProcessId>> decode_hello_body(BytesView body) {
+  std::size_t pos = 0;
+  std::uint32_t count = 0;
+  if (!get_raw(body, pos, &count)) return std::nullopt;
+  // The exact body length is known from the count; a mismatch means the
+  // frame was corrupted or forged.
+  if (body.size() != 4 + static_cast<std::size_t>(count) * 4) {
+    return std::nullopt;
+  }
+  std::vector<ProcessId> pids;
+  pids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::int32_t v = 0;
+    if (!get_raw(body, pos, &v)) return std::nullopt;
+    pids.push_back(ProcessId{v});
+  }
+  return pids;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (error_ != Error::kNone) return;
+  // Reclaim consumed prefix before growing (bounded memory under streaming).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<DecodedFrame> FrameDecoder::next() {
+  if (error_ != Error::kNone) return std::nullopt;
+  if (buf_.size() - pos_ < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (std::memcmp(h, kFrameMagic, 4) != 0) {
+    error_ = Error::kBadMagic;
+    return std::nullopt;
+  }
+  const std::uint8_t type = h[4];
+  if ((type != static_cast<std::uint8_t>(FrameType::kHello) &&
+       type != static_cast<std::uint8_t>(FrameType::kWireMessage)) ||
+      h[5] != 0 || h[6] != 0 || h[7] != 0) {
+    error_ = Error::kBadType;
+    return std::nullopt;
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, h + 8, sizeof length);
+  if (length > max_frame_) {
+    error_ = Error::kOversized;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderSize + length) return std::nullopt;
+  DecodedFrame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + length);
+  pos_ += kFrameHeaderSize + length;
+  return frame;
+}
+
+const char* to_string(FrameDecoder::Error e) {
+  switch (e) {
+    case FrameDecoder::Error::kNone: return "none";
+    case FrameDecoder::Error::kBadMagic: return "bad_magic";
+    case FrameDecoder::Error::kBadType: return "bad_type";
+    case FrameDecoder::Error::kOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+}  // namespace byzcast::net

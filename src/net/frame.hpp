@@ -1,0 +1,109 @@
+// Length-prefixed framing for the TCP transport. Every frame is
+//
+//   magic  u32  'B''Z''C''1' (desync / garbage detector)
+//   type   u8   FrameType
+//   flags  u8   reserved, must be 0
+//   rsvd   u16  reserved, must be 0
+//   length u32  body bytes following the 12-byte header
+//
+// followed by `length` body bytes. A kWireMessage body is
+//
+//   from i32 | to i32 | mac 32B | payload...
+//
+// i.e. exactly a sim::WireMessage minus the in-memory timing metadata (the
+// receive-side timestamps are stamped locally; clocks are per-process). A
+// kHello body is `count u32 | pid i32 * count` — the dialer announces which
+// ProcessIds live behind the connection so the acceptor can route replies
+// (clients are not in the static cluster config; daemons learn them here).
+//
+// Everything on the inbound path is bounds-checked and never aborts: frames
+// arrive from outside the trust boundary, unlike the simulator's encoders.
+// Decode failures surface as FrameDecoder::Error / nullopt and the transport
+// resets the connection — the Reader::exhausted() discipline, applied one
+// layer down.
+//
+// Fan-out stays zero-copy: encode_wire_frame materializes one small
+// header+meta chunk per recipient and *shares* the payload Buffer, so
+// broadcasting the same logical message to N peers writes the same immutable
+// payload bytes N times without ever re-serializing or copying them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/bytes.hpp"
+#include "sim/wire.hpp"
+
+namespace byzcast::net {
+
+inline constexpr std::uint8_t kFrameMagic[4] = {'B', 'Z', 'C', '1'};
+inline constexpr std::size_t kFrameHeaderSize = 12;
+/// from + to + mac, before the raw payload bytes.
+inline constexpr std::size_t kWireBodyMetaSize = 4 + 4 + 32;
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u * 1024 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kWireMessage = 2,
+};
+
+struct DecodedFrame {
+  FrameType type = FrameType::kWireMessage;
+  Bytes body;
+};
+
+/// Encodes one frame as a chunk sequence for gathered writes: chunk 0 is the
+/// materialized header + wire-meta bytes (per-recipient: to/mac differ),
+/// chunk 1 aliases the shared payload Buffer (absent when payload is empty).
+[[nodiscard]] std::vector<Buffer> encode_wire_frame(
+    const sim::WireMessage& msg);
+
+/// One self-contained HELLO frame (header + body).
+[[nodiscard]] Buffer encode_hello_frame(const std::vector<ProcessId>& pids);
+
+/// Decodes a kWireMessage body; nullopt if truncated. Timing metadata is
+/// left unstamped (-1) — the receive side fills its own clock.
+[[nodiscard]] std::optional<sim::WireMessage> decode_wire_body(BytesView body);
+
+/// Decodes a kHello body; nullopt if malformed (truncated, length
+/// mismatch, or an implausible pid count).
+[[nodiscard]] std::optional<std::vector<ProcessId>> decode_hello_body(
+    BytesView body);
+
+/// Incremental frame parser: feed() raw socket bytes in arbitrary splits,
+/// next() pops complete frames. After the first malformed header the decoder
+/// is poisoned (error() != kNone, next() returns nothing) — a byte stream
+/// that desynchronized cannot be trusted again and the connection must be
+/// reset.
+class FrameDecoder {
+ public:
+  enum class Error : std::uint8_t {
+    kNone = 0,
+    kBadMagic,     // garbage where a header should be
+    kBadType,      // unknown FrameType or nonzero reserved fields
+    kOversized,    // declared length exceeds the configured maximum
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Next complete frame, nullopt when more bytes are needed (or poisoned).
+  [[nodiscard]] std::optional<DecodedFrame> next();
+
+  [[nodiscard]] Error error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  Bytes buf_;
+  std::size_t pos_ = 0;
+  Error error_ = Error::kNone;
+};
+
+[[nodiscard]] const char* to_string(FrameDecoder::Error e);
+
+}  // namespace byzcast::net

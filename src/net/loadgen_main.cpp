@@ -1,0 +1,307 @@
+// byzcast-loadgen: closed-loop client driver for a running byzcastd cluster,
+// plus the offline dump checker that turns per-process artifacts back into
+// a global property verdict.
+//
+// Load mode (default):
+//   byzcast-loadgen --config cluster.json --out-dir run/ \
+//       --clients 2 --msgs 100 --global-fraction 0.5 --payload 64
+// Issues `msgs` messages per client closed-loop (next message from the
+// completion callback), a `global-fraction` share addressed to a random
+// pair of target groups and the rest to a single random target. Writes the
+// sent dump (sent_client.json), a latency/throughput summary
+// (loadgen_summary.json) and a CSV series row (loadgen.csv) to --out-dir.
+// Exit 0 iff every message completed before --timeout-s.
+//
+// Check mode:
+//   byzcast-loadgen --check-dumps --config cluster.json --dir run/ \
+//       [--exclude g0:r1 ...]
+// Merges every delivery_*.json / sent_*.json under --dir and runs the five
+// atomic-multicast property checkers plus the online-monitor violation sum.
+// Exit 0 iff everything holds. --exclude marks seats (killed daemons) whose
+// dumps impose no obligations.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/multicast.hpp"
+#include "net/cluster.hpp"
+#include "net/dump.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+using namespace byzcast;
+
+struct Args {
+  std::string config;
+  std::string out_dir = ".";
+  std::string dir;
+  bool check_dumps = false;
+  int clients = 2;
+  int msgs = 100;
+  double global_fraction = 0.5;
+  std::size_t payload = 64;
+  int timeout_s = 120;
+  std::set<std::pair<std::int32_t, int>> excluded;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "byzcast-loadgen: %s needs a value\n",
+                     a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--check-dumps") {
+      args.check_dumps = true;
+    } else if (a == "--config") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.config = v;
+    } else if (a == "--out-dir") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.out_dir = v;
+    } else if (a == "--dir") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.dir = v;
+    } else if (a == "--clients") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.clients = std::atoi(v);
+    } else if (a == "--msgs") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.msgs = std::atoi(v);
+    } else if (a == "--global-fraction") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.global_fraction = std::atof(v);
+    } else if (a == "--payload") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.payload = static_cast<std::size_t>(std::atol(v));
+    } else if (a == "--timeout-s") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.timeout_s = std::atoi(v);
+    } else if (a == "--exclude") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      int g = -1;
+      int r = -1;
+      if (std::sscanf(v, "g%d:r%d", &g, &r) != 2) {
+        std::fprintf(stderr,
+                     "byzcast-loadgen: --exclude expects gN:rM, got %s\n", v);
+        return std::nullopt;
+      }
+      args.excluded.insert({g, r});
+    } else {
+      std::fprintf(stderr, "byzcast-loadgen: unknown argument %s\n",
+                   a.c_str());
+      return std::nullopt;
+    }
+  }
+  if (args.config.empty() || (args.check_dumps && args.dir.empty())) {
+    std::fprintf(stderr,
+                 "usage: byzcast-loadgen --config FILE [--out-dir DIR "
+                 "--clients N --msgs N --global-fraction F --payload B "
+                 "--timeout-s S]\n"
+                 "       byzcast-loadgen --check-dumps --config FILE "
+                 "--dir DIR [--exclude gN:rM ...]\n");
+    return std::nullopt;
+  }
+  return args;
+}
+
+int run_check(const Args& args, const net::ClusterConfig& cfg) {
+  const net::DumpCheckResult r =
+      net::check_cluster_dumps(cfg, args.dir, args.excluded);
+  std::printf(
+      "check-dumps: %s (%zu delivery files, %zu sent files, %zu "
+      "deliveries, %zu sent, %llu monitor violations)\n",
+      r.ok ? "OK" : "FAIL", r.delivery_files, r.sent_files, r.deliveries,
+      r.sent_messages,
+      static_cast<unsigned long long>(r.monitor_violations));
+  if (!r.ok) std::fprintf(stderr, "check-dumps: %s\n", r.error.c_str());
+  return r.ok ? 0 : 1;
+}
+
+int run_load(const Args& args, const net::ClusterConfig& cfg) {
+  net::ClusterNode node(cfg, std::nullopt);
+
+  std::vector<core::Client*> clients;
+  std::vector<Rng> rngs;
+  for (int c = 0; c < args.clients; ++c) {
+    clients.push_back(&node.add_client("client" + std::to_string(c)));
+    rngs.push_back(node.env().fork_rng());
+  }
+  node.connect(cfg);
+  node.start();
+
+  // Wait for the full mesh before offering load, so the first messages are
+  // not spent discovering which daemons are still booting.
+  const auto connect_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!node.env().transport().all_peers_connected() &&
+         std::chrono::steady_clock::now() < connect_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!node.env().transport().all_peers_connected()) {
+    std::fprintf(stderr,
+                 "byzcast-loadgen: cluster not fully reachable after 30s\n");
+    node.stop();
+    return 1;
+  }
+
+  const auto targets = [&cfg] {
+    std::vector<GroupId> out;
+    for (const net::GroupSpec& g : cfg.groups) {
+      if (g.is_target) out.push_back(g.id);
+    }
+    return out;
+  }();
+  const int ngroups = static_cast<int>(targets.size());
+  const Bytes payload(args.payload, std::uint8_t{0xab});
+  const int total = args.clients * args.msgs;
+
+  std::vector<int> sent_count(static_cast<std::size_t>(args.clients), 0);
+  std::vector<std::vector<std::vector<GroupId>>> issued(
+      static_cast<std::size_t>(args.clients));
+  std::atomic<int> done{0};
+  LatencyRecorder latency;  // loop-thread-only, like the completions
+
+  // Closed loop, entirely on the node's loop thread: the completion
+  // callback issues the next message directly.
+  std::function<void(int)> issue = [&](int c) {
+    auto& count = sent_count[static_cast<std::size_t>(c)];
+    if (count == args.msgs) return;
+    ++count;
+    Rng& rng = rngs[static_cast<std::size_t>(c)];
+    std::vector<GroupId> dst;
+    if (ngroups > 1 && rng.next_bool(args.global_fraction)) {
+      const auto a = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(ngroups)));
+      auto b = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(ngroups - 1)));
+      if (b >= a) ++b;
+      dst = {targets[a], targets[b]};
+    } else {
+      dst = {targets[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(ngroups)))]};
+    }
+    core::MulticastMessage canon;
+    canon.dst = dst;
+    canon.canonicalize();
+    issued[static_cast<std::size_t>(c)].push_back(std::move(canon.dst));
+    clients[static_cast<std::size_t>(c)]->a_multicast(
+        std::move(dst), payload,
+        [&, c](const core::MulticastMessage&, Time lat) {
+          latency.record(node.env().now(), lat);
+          done.fetch_add(1);
+          issue(c);
+        });
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < args.clients; ++c) {
+    node.env().post([&issue, c] { issue(c); });
+  }
+  const auto deadline = t0 + std::chrono::seconds(args.timeout_s);
+  while (done.load() < total &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  node.stop();
+
+  const int completed = done.load();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double throughput = completed / (elapsed_ms / 1000.0);
+
+  // Artifacts. The sent dump is the checker's ground truth for validity.
+  net::SentDump dump;
+  dump.node = "client";
+  for (int c = 0; c < args.clients; ++c) {
+    const auto& dsts = issued[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < dsts.size(); ++k) {
+      dump.sent.push_back(core::SentMessage{
+          MessageId{clients[static_cast<std::size_t>(c)]->id(),
+                    static_cast<std::uint64_t>(k)},
+          dsts[k]});
+    }
+  }
+  std::string error;
+  if (!net::write_json_file(args.out_dir + "/sent_client.json",
+                            net::sent_dump_to_json(dump), &error)) {
+    std::fprintf(stderr, "byzcast-loadgen: %s\n", error.c_str());
+  }
+
+  const auto tr = node.env().transport().stats();
+  net::Json summary = net::Json::object();
+  summary.set("completed", net::Json::number(completed));
+  summary.set("total", net::Json::number(total));
+  summary.set("elapsed_ms", net::Json::number(elapsed_ms));
+  summary.set("throughput_msgs_s", net::Json::number(throughput));
+  summary.set("latency_mean_ms", net::Json::number(latency.mean_ms()));
+  summary.set("latency_p50_ms", net::Json::number(latency.percentile_ms(50)));
+  summary.set("latency_p95_ms", net::Json::number(latency.percentile_ms(95)));
+  summary.set("latency_p99_ms", net::Json::number(latency.percentile_ms(99)));
+  summary.set("bytes_sent",
+              net::Json::number(static_cast<double>(tr.bytes_sent)));
+  summary.set("bytes_received",
+              net::Json::number(static_cast<double>(tr.bytes_received)));
+  summary.set("reconnects",
+              net::Json::number(static_cast<double>(tr.reconnects)));
+  summary.set("dropped_queue_full",
+              net::Json::number(static_cast<double>(tr.dropped_queue_full)));
+  if (!net::write_json_file(args.out_dir + "/loadgen_summary.json", summary,
+                            &error)) {
+    std::fprintf(stderr, "byzcast-loadgen: %s\n", error.c_str());
+  }
+  workload::write_series_csv(
+      args.out_dir + "/loadgen.csv",
+      {"clients", "msgs", "global_fraction", "completed", "elapsed_ms",
+       "throughput_msgs_s", "latency_mean_ms", "latency_p95_ms"},
+      {{std::to_string(args.clients), std::to_string(args.msgs),
+        std::to_string(args.global_fraction), std::to_string(completed),
+        std::to_string(elapsed_ms), std::to_string(throughput),
+        std::to_string(latency.mean_ms()),
+        std::to_string(latency.percentile_ms(95))}});
+
+  std::printf(
+      "loadgen: %d/%d completed in %.1f ms (%.0f msgs/s, mean %.2f ms, "
+      "p95 %.2f ms)\n",
+      completed, total, elapsed_ms, throughput, latency.mean_ms(),
+      latency.percentile_ms(95));
+  return completed == total ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) return 2;
+  std::string error;
+  const auto cfg = net::ClusterConfig::load_file(args->config, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "byzcast-loadgen: %s\n", error.c_str());
+    return 2;
+  }
+  return args->check_dumps ? run_check(*args, *cfg) : run_load(*args, *cfg);
+}

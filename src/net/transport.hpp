@@ -1,0 +1,140 @@
+// TCP transport for one process of a cluster: a listener for inbound
+// connections, one managed outbound connection per configured peer
+// (reconnect-on-failure with exponential backoff), and pid-based routing of
+// sim::WireMessage frames.
+//
+// Routing: pids of configured peers (the cluster's replica daemons) route
+// over the managed outbound connection to that peer — frames sent while the
+// dial is still in flight queue on the connection and flush at
+// establishment. Pids *learned* from an inbound HELLO (clients: the load
+// generator announces its client pids on every connection it dials) route
+// back over that inbound connection and are forgotten when it closes.
+// Anything else is dropped and counted, like a packet with no route.
+//
+// Per-link artificial delay (the Table I WAN emulation): a delay resolver
+// maps a destination pid to a one-way delay; outgoing frames are held on the
+// loop's timer heap for that long before hitting the socket. Zero-delay
+// sends skip the heap entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "sim/wire.hpp"
+
+namespace byzcast::net {
+
+struct TransportOptions {
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::size_t send_queue_max_bytes = 8u * 1024 * 1024;
+  Time reconnect_backoff_min = 50 * kMillisecond;
+  Time reconnect_backoff_max = 2 * kSecond;
+};
+
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t dropped_no_route = 0;
+    std::uint64_t dropped_queue_full = 0;
+    std::uint64_t dropped_decode = 0;   // malformed wire bodies
+    std::uint64_t connect_attempts = 0;
+    std::uint64_t reconnects = 0;       // attempts after a failure
+    std::uint64_t inbound_accepted = 0;
+    std::uint64_t inbound_resets = 0;   // framing violations / errors
+    std::size_t send_queue_high_water = 0;
+  };
+
+  using MessageHandler = std::function<void(sim::WireMessage)>;
+  /// One-way artificial delay to apply before an outgoing frame for `to`
+  /// reaches the socket; null or zero result = no delay.
+  using DelayFn = std::function<Time(ProcessId to)>;
+
+  Transport(EventLoop& loop, TransportOptions opts);
+  ~Transport();
+
+  void set_handler(MessageHandler h) { handler_ = std::move(h); }
+  void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
+  /// Pids hosted by this process, announced via HELLO on every dialed
+  /// connection. Call before connect_all().
+  void set_local_pids(std::vector<ProcessId> pids) {
+    local_pids_ = std::move(pids);
+  }
+
+  /// Binds and listens; port 0 picks an ephemeral port (see listen_port()).
+  /// False (with `error` prose) when bind fails. Pre-run or loop thread.
+  bool listen(const std::string& host, std::uint16_t port,
+              std::string* error = nullptr);
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+
+  /// Declares a peer endpoint hosting `pids`. Pre-connect_all() only.
+  void add_peer(const std::string& host, std::uint16_t port,
+                std::vector<ProcessId> pids);
+
+  /// Starts dialing every declared peer. Loop thread (or posted to it).
+  void connect_all();
+
+  /// Routes one message; loop thread only. Drops (counted) without a route.
+  void send(const sim::WireMessage& msg);
+
+  /// Closes every connection and stops reconnecting. Loop thread.
+  void shutdown();
+
+  [[nodiscard]] Stats stats() const;
+  /// True once every configured peer's outbound connection is established.
+  [[nodiscard]] bool all_peers_connected() const;
+
+ private:
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+    std::vector<ProcessId> pids;
+    std::unique_ptr<Connection> conn;
+    Time backoff = 0;
+    bool ever_connected = false;
+  };
+
+  void dial(std::size_t peer_index);
+  void schedule_redial(std::size_t peer_index);
+  void handle_accept();
+  void reap_inbound();
+  void forget_learned(Connection* conn);
+  void on_frame(Connection& conn, DecodedFrame frame);
+  void send_now(const sim::WireMessage& msg);
+  [[nodiscard]] Connection* route(ProcessId to);
+  [[nodiscard]] static Connection::Stats accumulate(
+      Connection::Stats total, const Connection::Stats& s);
+
+  EventLoop& loop_;
+  TransportOptions opts_;
+  MessageHandler handler_;
+  DelayFn delay_fn_;
+  std::vector<ProcessId> local_pids_;
+
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+
+  std::vector<Peer> peers_;
+  std::unordered_map<ProcessId, std::size_t> pid_peer_;
+  /// Inbound connections, keyed by object identity.
+  std::vector<std::unique_ptr<Connection>> inbound_;
+  /// Learned routes from HELLO frames on inbound connections.
+  std::unordered_map<ProcessId, Connection*> learned_;
+
+  bool shutdown_ = false;
+  Stats stats_;
+  /// Byte/frame counters carried over from connections already destroyed.
+  Connection::Stats retired_;
+};
+
+}  // namespace byzcast::net

@@ -1,0 +1,204 @@
+// ClusterConfig: JSON round-trips, derived pid/endpoint/tree/delay views,
+// rejection of malformed configs (always an error string, never an abort),
+// and validation of the two checked-in deployment files (BZC_CONFIGS_DIR is
+// injected by the build so the test sees the same files operators use).
+#include "net/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace byzcast::net {
+namespace {
+
+std::string minimal_config(const std::string& patch = "") {
+  // f=1, two groups: root 0 (target) and child 1.
+  std::string base = R"({
+    "name": "t", "f": 1, "seed": 7,
+    "groups": [
+      {"id": 0, "target": true, "parent": null, "replicas": [
+        {"host": "127.0.0.1", "port": 9000},
+        {"host": "127.0.0.1", "port": 9001},
+        {"host": "127.0.0.1", "port": 9002},
+        {"host": "127.0.0.1", "port": 9003}]},
+      {"id": 1, "target": true, "parent": 0, "replicas": [
+        {"host": "127.0.0.1", "port": 9010},
+        {"host": "127.0.0.1", "port": 9011},
+        {"host": "127.0.0.1", "port": 9012},
+        {"host": "127.0.0.1", "port": 9013}]}
+    ])";
+  return base + patch + "}";
+}
+
+TEST(ClusterConfig, ParsesMinimalAndDerivesViews) {
+  std::string err;
+  const auto cfg = ClusterConfig::parse(minimal_config(), &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->f, 1);
+  EXPECT_EQ(cfg->replicas_per_group(), 4);
+  EXPECT_EQ(cfg->replica_count(), 8);
+  EXPECT_EQ(cfg->pid_of(GroupId{0}, 0).value, 0);
+  EXPECT_EQ(cfg->pid_of(GroupId{1}, 3).value, 7);
+  const auto loc = cfg->replica_of(ProcessId{6});
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->first, GroupId{1});
+  EXPECT_EQ(loc->second, 2);
+  EXPECT_FALSE(cfg->replica_of(ProcessId{8}).has_value());  // client pid
+  ASSERT_NE(cfg->endpoint_of(ProcessId{5}), nullptr);
+  EXPECT_EQ(cfg->endpoint_of(ProcessId{5})->port, 9011);
+
+  const core::OverlayTree tree = cfg->tree();
+  EXPECT_EQ(tree.root(), GroupId{0});
+  EXPECT_TRUE(tree.is_target(GroupId{0}));
+  EXPECT_EQ(tree.parent(GroupId{1}), GroupId{0});
+
+  const sim::Profile p = cfg->profile();
+  EXPECT_EQ(p.cpu_vote, 0);  // wallclock base
+  EXPECT_TRUE(p.fast_macs);
+  EXPECT_EQ(p.leader_timeout, 2 * kSecond);  // default 2000ms knob
+}
+
+TEST(ClusterConfig, JsonRoundTripIsIdentity) {
+  std::string err;
+  const auto cfg = ClusterConfig::parse(minimal_config(), &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  const auto back = ClusterConfig::from_json(cfg->to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*cfg, *back);
+  // And through text, too.
+  const auto text_back = ClusterConfig::parse(cfg->to_json().dump(), &err);
+  ASSERT_TRUE(text_back.has_value()) << err;
+  EXPECT_EQ(*cfg, *text_back);
+}
+
+TEST(ClusterConfig, ProtocolKnobsReachTheProfile) {
+  std::string err;
+  const auto cfg = ClusterConfig::parse(
+      minimal_config(R"(, "protocol": {"pipeline_depth": 2, "batch_max": 64,
+                        "batch_timeout_ms": 5, "leader_timeout_ms": 750})"),
+      &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  const sim::Profile p = cfg->profile();
+  EXPECT_EQ(p.pipeline_depth, 2u);
+  EXPECT_EQ(p.batch_max, 64u);
+  EXPECT_EQ(p.batch_timeout, 5 * kMillisecond);
+  EXPECT_EQ(p.leader_timeout, 750 * kMillisecond);
+}
+
+TEST(ClusterConfig, WanDelaysFollowTheMatrix) {
+  std::string err;
+  const auto cfg = ClusterConfig::parse(
+      minimal_config(R"(, "wan": {
+         "regions": ["CA", "VA"],
+         "rtt_ms": [[0, 70], [70, 0]],
+         "intra_region_rtt_ms": 0.5},
+       "client_region": "VA")"),
+      &err);
+  // The minimal config's groups carry no region, which must be rejected
+  // once a wan section is present.
+  EXPECT_FALSE(cfg.has_value());
+
+  const auto cfg2 = ClusterConfig::parse(
+      R"({"f": 1, "wan": {"regions": ["CA", "VA"],
+                          "rtt_ms": [[0, 70], [70, 0]],
+                          "intra_region_rtt_ms": 0.5},
+          "client_region": "VA",
+          "groups": [
+            {"id": 0, "parent": null, "region": "CA", "replicas": [
+              {"host": "127.0.0.1", "port": 1}, {"host": "127.0.0.1", "port": 2},
+              {"host": "127.0.0.1", "port": 3}, {"host": "127.0.0.1", "port": 4}]},
+            {"id": 1, "parent": 0, "region": "VA", "replicas": [
+              {"host": "127.0.0.1", "port": 5}, {"host": "127.0.0.1", "port": 6},
+              {"host": "127.0.0.1", "port": 7}, {"host": "127.0.0.1", "port": 8}]}
+          ]})",
+      &err);
+  ASSERT_TRUE(cfg2.has_value()) << err;
+  // CA -> VA replica: one-way 35ms. CA -> CA replica: 0.25ms. CA -> client
+  // (client_region VA): 35ms.
+  EXPECT_EQ(cfg2->link_delay("CA", ProcessId{4}), 35 * kMillisecond);
+  EXPECT_EQ(cfg2->link_delay("CA", ProcessId{0}),
+            kMillisecond / 4);
+  EXPECT_EQ(cfg2->link_delay("CA", ProcessId{100}), 35 * kMillisecond);
+  EXPECT_EQ(cfg2->region_of(ProcessId{100}), "VA");
+}
+
+TEST(ClusterConfig, RejectsMalformedConfigs) {
+  const char* bad[] = {
+      "",                                     // not JSON
+      "[]",                                   // wrong root type
+      R"({"f": 0, "groups": []})",            // f < 1
+      R"({"f": 1, "groups": []})",            // no groups
+      R"({"f": 1, "groups": [{"id": 0}]})",   // no replicas
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(ClusterConfig::parse(text, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(ClusterConfig, RejectsStructuralViolations) {
+  std::string err;
+  // Wrong replica count for f=1.
+  EXPECT_FALSE(ClusterConfig::parse(
+                   R"({"f": 1, "groups": [{"id": 0, "parent": null,
+                       "replicas": [{"host": "h", "port": 1}]}]})",
+                   &err)
+                   .has_value());
+  // Two roots.
+  EXPECT_FALSE(
+      ClusterConfig::parse(minimal_config()
+                               .replace(minimal_config().find("\"parent\": 0"),
+                                        11, "\"parent\": null"),
+                           &err)
+          .has_value());
+  EXPECT_NE(err.find("root"), std::string::npos);
+  // Parent cycle.
+  std::string cyclic = minimal_config();
+  cyclic.replace(cyclic.find("\"parent\": null"), 14, "\"parent\": 1");
+  EXPECT_FALSE(ClusterConfig::parse(cyclic, &err).has_value());
+  // Unknown parent.
+  std::string orphan = minimal_config();
+  orphan.replace(orphan.find("\"parent\": 0"), 11, "\"parent\": 9");
+  EXPECT_FALSE(ClusterConfig::parse(orphan, &err).has_value());
+  // Port out of range.
+  std::string bad_port = minimal_config();
+  bad_port.replace(bad_port.find("9000"), 4, "70000");
+  EXPECT_FALSE(ClusterConfig::parse(bad_port, &err).has_value());
+}
+
+TEST(ClusterConfig, CheckedInConfigsAreValid) {
+  for (const char* name : {"lan_local.json", "wan_table1.json"}) {
+    std::string err;
+    const std::string path = std::string(BZC_CONFIGS_DIR) + "/" + name;
+    const auto cfg = ClusterConfig::load_file(path, &err);
+    ASSERT_TRUE(cfg.has_value()) << path << ": " << err;
+    EXPECT_EQ(cfg->f, 1);
+    EXPECT_EQ(cfg->groups.size(), 3u);
+    EXPECT_EQ(cfg->replica_count(), 12);
+    const auto tree = cfg->tree();
+    EXPECT_EQ(tree.root(), GroupId{0});
+    // Round-trip survives the file form as well.
+    const auto back = ClusterConfig::parse(cfg->to_json().dump(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*cfg, *back);
+  }
+  std::string err;
+  const auto wan = ClusterConfig::load_file(
+      std::string(BZC_CONFIGS_DIR) + "/wan_table1.json", &err);
+  ASSERT_TRUE(wan.has_value()) << err;
+  ASSERT_TRUE(wan->wan.has_value());
+  // Table I: CA <-> EU RTT 165ms -> one-way 82.5ms.
+  EXPECT_EQ(wan->link_delay("CA", wan->pid_of(GroupId{2}, 0)),
+            82'500 * kMicrosecond);
+}
+
+TEST(ClusterConfig, LoadFileReportsMissingFile) {
+  std::string err;
+  EXPECT_FALSE(
+      ClusterConfig::load_file("/nonexistent/x.json", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace byzcast::net
