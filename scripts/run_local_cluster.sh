@@ -9,6 +9,12 @@
 # Usage:
 #   scripts/run_local_cluster.sh [BUILD_DIR] [--config FILE] [--out-dir DIR]
 #       [--clients N] [--msgs N] [--global-fraction F] [--kill-one]
+#       [--workload SPEC.json]
+#
+# --workload switches the loadgen to open-loop workload mode: arrivals are
+# paced by the spec's rate schedule with the spec's destination pattern
+# (Zipf skew, per-class local/global split) instead of the closed-loop
+# --clients/--msgs knobs. See configs/workloads/.
 #
 # --kill-one additionally SIGKILLs one non-leader replica (g1:r3) mid-run
 # and passes the seat to the checker as --exclude; with f=1 the run must
@@ -25,6 +31,7 @@ CLIENTS=2
 MSGS=50
 GLOBAL_FRACTION=0.5
 KILL_ONE=0
+WORKLOAD=""
 
 if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
   BUILD_DIR="$1"
@@ -37,6 +44,7 @@ while [ $# -gt 0 ]; do
     --clients) CLIENTS="$2"; shift 2 ;;
     --msgs) MSGS="$2"; shift 2 ;;
     --global-fraction) GLOBAL_FRACTION="$2"; shift 2 ;;
+    --workload) WORKLOAD="$2"; shift 2 ;;
     --kill-one) KILL_ONE=1; shift ;;
     *) echo "run_local_cluster: unknown argument $1" >&2; exit 2 ;;
   esac
@@ -99,8 +107,12 @@ if [ "$KILL_ONE" -eq 1 ]; then
 fi
 
 # --- 3. drive the workload ---------------------------------------------------
-"$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" \
-  --clients "$CLIENTS" --msgs "$MSGS" --global-fraction "$GLOBAL_FRACTION"
+if [ -n "$WORKLOAD" ]; then
+  "$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" --workload "$WORKLOAD"
+else
+  "$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" \
+    --clients "$CLIENTS" --msgs "$MSGS" --global-fraction "$GLOBAL_FRACTION"
+fi
 LOADGEN_RC=$?
 if [ "$KILL_ONE" -eq 1 ]; then wait "$KILLER_PID" 2>/dev/null || true; fi
 

@@ -228,8 +228,10 @@ void Replica::maybe_start_consensus() {
       const Time residual =
           std::max<Time>(0, window_delay() - (now() - window_armed_at_));
       consume_cpu(residual);
-      batch_target_ = std::min<std::uint32_t>(
-          std::max<std::uint32_t>(1, pr.batch_max), batch_target_ * 2);
+      if (!pr.batch_adapt_off) {
+        batch_target_ = std::min<std::uint32_t>(
+            std::max<std::uint32_t>(1, pr.batch_max), batch_target_ * 2);
+      }
       ++counters_.early_batch_cuts;
       do_propose();
     }
@@ -257,18 +259,23 @@ void Replica::maybe_start_consensus() {
       ++counters_.stale_window_drops;  // armed in a view we no longer lead
       return;
     }
+    const bool adapt = !env().profile().batch_adapt_off;
     if (pending_.size() >= batch_target_) {
       // The window elapsed with a full backlog (the pipeline was saturated,
       // so no intermediate call got to cut early): classify as a full cut
       // and grow, exactly as the early-cut path would.
-      batch_target_ = std::min<std::uint32_t>(
-          std::max<std::uint32_t>(1, env().profile().batch_max),
-          batch_target_ * 2);
+      if (adapt) {
+        batch_target_ = std::min<std::uint32_t>(
+            std::max<std::uint32_t>(1, env().profile().batch_max),
+            batch_target_ * 2);
+      }
       ++counters_.early_batch_cuts;
     } else {
       // Window expired underfull: shrink the target toward the observed
       // backlog so future bursts cut without waiting the full window.
-      if (pending_.size() < batch_target_ / 2) {
+      // Under the batch_adapt_off ablation the target stays frozen at
+      // batch_max, so every cut waits out the full window (fixed batching).
+      if (adapt && pending_.size() < batch_target_ / 2) {
         batch_target_ = std::max<std::uint32_t>(
             std::max<std::uint32_t>(1, env().profile().batch_min),
             batch_target_ / 2);

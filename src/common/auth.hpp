@@ -30,18 +30,24 @@ enum class MacMode { kHmac, kFast };
 /// deterministic simulation).
 class KeyStore {
  public:
-  explicit KeyStore(std::uint64_t master_seed, MacMode mode = MacMode::kHmac);
+  /// `verify_memo` gates the Authenticator's verification cache for every
+  /// process sharing this store (false = the mac_memo_off ablation: each
+  /// verification pays the full HMAC even for already-seen bytes).
+  explicit KeyStore(std::uint64_t master_seed, MacMode mode = MacMode::kHmac,
+                    bool verify_memo = true);
 
   /// Symmetric key shared by the (unordered) pair {a, b}.
   [[nodiscard]] Bytes pair_key(ProcessId a, ProcessId b) const;
 
   [[nodiscard]] MacMode mode() const { return mode_; }
+  [[nodiscard]] bool verify_memo() const { return verify_memo_; }
   /// 64-bit key for the fast mode.
   [[nodiscard]] std::uint64_t pair_key64(ProcessId a, ProcessId b) const;
 
  private:
   std::uint64_t master_seed_;
   MacMode mode_;
+  bool verify_memo_;
 };
 
 /// A per-process capability for creating and checking MACs.

@@ -1,10 +1,10 @@
-#include "net/json.hpp"
+#include "common/json.hpp"
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-namespace byzcast::net {
+namespace byzcast {
 
 namespace {
 
@@ -385,4 +385,4 @@ bool operator==(const Json& a, const Json& b) {
   return false;
 }
 
-}  // namespace byzcast::net
+}  // namespace byzcast

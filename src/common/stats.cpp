@@ -11,6 +11,10 @@ namespace byzcast {
 
 void LatencyRecorder::record(Time when, Time latency) {
   BZC_EXPECTS(latency >= 0);
+  if (max_samples_ > 0 && samples_.size() >= max_samples_) {
+    ++overflow_;
+    return;
+  }
   samples_.push_back(Sample{when, latency});
   cache_valid_ = false;
 }
@@ -83,6 +87,10 @@ std::string LatencyRecorder::summary() const {
 
 void ThroughputMeter::record(Time when) {
   BZC_EXPECTS(events_.empty() || when >= events_.back());
+  if (max_events_ > 0 && events_.size() >= max_events_) {
+    ++overflow_;
+    return;
+  }
   events_.push_back(when);
 }
 

@@ -15,10 +15,28 @@ namespace byzcast {
 /// statistics. Supports an optional warm-up cutoff: samples recorded before
 /// the cutoff are kept but excluded from statistics, mirroring how the
 /// paper's benchmarks discard warm-up.
+///
+/// Sweep-scale runs record millions of samples: call reserve() with the
+/// expected count up front (no mid-run reallocation stalls) and optionally
+/// set_max_samples() to bound memory. Once the bound is hit further samples
+/// are dropped and counted in overflow() instead of silently growing — a
+/// nonzero overflow means the reported percentiles cover only the first
+/// max_samples observations, and callers (the sweep driver, benches) treat
+/// that as a configuration error to surface, not to hide.
 class LatencyRecorder {
  public:
   /// Records a sample taken at `when` with duration `latency`.
   void record(Time when, Time latency);
+
+  /// Pre-allocates storage for `n` samples.
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  /// Caps stored samples at `n` (0 = unbounded, the default). Samples past
+  /// the cap are counted in overflow() and dropped.
+  void set_max_samples(std::size_t n) { max_samples_ = n; }
+
+  /// Samples dropped because the set_max_samples() bound was reached.
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
 
   void set_warmup(Time cutoff) {
     warmup_cutoff_ = cutoff;
@@ -51,6 +69,8 @@ class LatencyRecorder {
   };
   std::vector<Sample> samples_;
   Time warmup_cutoff_ = 0;
+  std::size_t max_samples_ = 0;  // 0 = unbounded
+  std::uint64_t overflow_ = 0;
   mutable std::vector<Time> sorted_cache_;
   mutable bool cache_valid_ = false;
 };
@@ -59,9 +79,24 @@ class LatencyRecorder {
 /// (excluding warm-up and cool-down). Events must be recorded in
 /// nondecreasing time order (simulated time is monotone), which lets every
 /// window query binary-search instead of scanning all events.
+///
+/// Same capacity discipline as LatencyRecorder: reserve() up front for
+/// sweep-scale runs, set_max_events() to bound memory. Overflowed events are
+/// dropped from window queries but still counted in total() and overflow(),
+/// so a degraded meter is loud, not silently wrong.
 class ThroughputMeter {
  public:
   void record(Time when);
+
+  /// Pre-allocates storage for `n` events.
+  void reserve(std::size_t n) { events_.reserve(n); }
+
+  /// Caps stored events at `n` (0 = unbounded, the default).
+  void set_max_events(std::size_t n) { max_events_ = n; }
+
+  /// Events dropped past the set_max_events() bound (excluded from window
+  /// rates — a nonzero value means rate_per_sec underreports).
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
 
   /// Events per second between `from` and `to` (simulated time).
   [[nodiscard]] double rate_per_sec(Time from, Time to) const;
@@ -72,13 +107,18 @@ class ThroughputMeter {
   [[nodiscard]] std::vector<std::pair<Time, double>> timeseries(
       Time from, Time to, Time bucket) const;
 
-  [[nodiscard]] std::size_t total() const { return events_.size(); }
+  /// All recorded events, stored or overflowed.
+  [[nodiscard]] std::size_t total() const {
+    return events_.size() + overflow_;
+  }
 
  private:
   /// Number of events in [from, to), by binary search.
   [[nodiscard]] std::size_t count_in(Time from, Time to) const;
 
   std::vector<Time> events_;  // nondecreasing
+  std::size_t max_events_ = 0;  // 0 = unbounded
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace byzcast

@@ -13,7 +13,8 @@ RuntimeEnv::RuntimeEnv(RuntimeOptions opts)
       network_(executor_, wheel_, opts.net_delay),
       keys_(std::make_shared<KeyStore>(
           opts.seed ^ 0xb7e151628aed2a6aULL,
-          opts.profile.fast_macs ? MacMode::kFast : MacMode::kHmac)),
+          opts.profile.fast_macs ? MacMode::kFast : MacMode::kHmac,
+          /*verify_memo=*/!opts.profile.mac_memo_off)),
       master_rng_(opts.seed) {}
 
 RuntimeEnv::~RuntimeEnv() { stop(); }

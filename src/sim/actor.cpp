@@ -86,7 +86,16 @@ void Actor::stamp_actor_spans(const WireMessage& m) const {
 
 void Actor::send(ProcessId to, Buffer payload) {
   if (crashed_) return;
-  consume_cpu(env_.profile().cpu_send);
+  const Profile& pr = env_.profile();
+  consume_cpu(pr.cpu_send);
+  if (pr.zero_copy_off && !payload.empty()) {
+    // Ablation: resurrect the pre-zero-copy behaviour — every recipient of
+    // a fan-out gets its own deep copy of the payload, and the memcpy is
+    // charged as CPU (it was free when N recipients shared one buffer).
+    payload = Buffer::copy_of(payload.view());
+    consume_cpu(static_cast<Time>((payload.size() + 1023) / 1024) *
+                pr.cpu_copy_per_kb);
+  }
   WireMessage msg;
   msg.from = id_;
   msg.to = to;

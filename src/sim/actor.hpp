@@ -51,6 +51,11 @@ class Actor {
   /// Cumulative CPU time this actor has been busy (service + declared extra
   /// work). Samplers diff successive readings to get a busy fraction.
   [[nodiscard]] Time busy_time() const { return busy_total_; }
+  /// MAC verifications this actor answered from the Authenticator memo
+  /// (always 0 under fast MACs or the mac_memo_off ablation).
+  [[nodiscard]] std::uint64_t mac_memo_hits() const {
+    return auth_.verify_cache_hits();
+  }
 
  protected:
   /// Handles one message, after its service time elapsed. The MAC has NOT

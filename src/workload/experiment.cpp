@@ -1,5 +1,6 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "baseline/baseline.hpp"
@@ -9,6 +10,7 @@
 #include "core/system.hpp"
 #include "sim/sampler.hpp"
 #include "sim/simulation.hpp"
+#include "workload/rate.hpp"
 
 namespace byzcast::workload {
 
@@ -80,19 +82,10 @@ struct CoreClientSlot {
         });
   }
 
-  /// Open loop: fire at exponential inter-arrival times with mean
-  /// 1/`rate_per_sec`, independent of completions.
-  void issue_open_loop(Sinks& sinks, sim::Simulation& sim,
-                       std::size_t payload_size, double rate_per_sec) {
-    if (sim.now() >= sinks.stop_issuing) return;
-    const Time gap = static_cast<Time>(
-        rng.next_exponential(static_cast<double>(kSecond) / rate_per_sec));
-    sim.scheduler().schedule_after(
-        gap, [this, &sinks, &sim, payload_size, rate_per_sec] {
-          issue_open_loop(sinks, sim, payload_size, rate_per_sec);
-        });
-
-    std::vector<GroupId> dst = generator.next(rng);
+  /// Fires exactly one multicast to `dst` (open-loop arrivals; no re-issue
+  /// on completion — the RateController owns the pacing).
+  void fire_one(Sinks& sinks, sim::Simulation& sim, std::size_t payload_size,
+                std::vector<GroupId> dst) {
     const bool is_local = dst.size() == 1;
     client->a_multicast(std::move(dst), Bytes(payload_size, 0xAB),
                         [&sinks, &sim, is_local](const core::MulticastMessage&,
@@ -100,6 +93,48 @@ struct CoreClientSlot {
                           record_completion(sinks, sim.now(), latency,
                                             is_local);
                         });
+  }
+};
+
+/// Central open-loop driver: ONE Poisson arrival process over the whole
+/// client population (statistically the superposition of the old per-client
+/// processes), each arrival fired from the next client round-robin. A class
+/// mode of kLocal/kGlobal forces the destination class — two such drivers at
+/// split rates implement ExperimentConfig::open_loop_local_share.
+struct OpenLoopDriver {
+  enum class Class { kPattern, kLocal, kGlobal };
+
+  std::vector<CoreClientSlot>& clients;
+  Sinks& sinks;
+  sim::Simulation& sim;
+  std::size_t payload_size;
+  RateController controller;
+  Class cls;
+  std::size_t cursor = 0;
+
+  OpenLoopDriver(std::vector<CoreClientSlot>& c, Sinks& s,
+                 sim::Simulation& sm, std::size_t payload, double rate,
+                 Rng rng, Class k)
+      : clients(c), sinks(s), sim(sm), payload_size(payload),
+        controller(rate, rng, sm.now()), cls(k) {}
+
+  void arm() {
+    const Time delay = controller.next_delay(sim.now());
+    sim.scheduler().schedule_after(delay, [this] { fire(); });
+  }
+
+  void fire() {
+    if (sim.now() >= sinks.stop_issuing) return;
+    CoreClientSlot& slot = clients[cursor];
+    cursor = (cursor + 1) % clients.size();
+    std::vector<GroupId> dst;
+    switch (cls) {
+      case Class::kPattern: dst = slot.generator.next(slot.rng); break;
+      case Class::kLocal: dst = slot.generator.next_local(slot.rng); break;
+      case Class::kGlobal: dst = slot.generator.next_global(slot.rng); break;
+    }
+    slot.fire_one(sinks, sim, payload_size, std::move(dst));
+    arm();
   }
 };
 
@@ -153,6 +188,7 @@ void export_run_counters(MetricsRegistry& reg, core::ByzCastSystem& sys,
       const std::string label = replica_label(gid, i);
       reg.counter("replica.executed." + label).inc(rep.executed_requests());
       reg.counter("replica.decided." + label).inc(rep.decided_instances());
+      reg.counter("replica.mac_memo_hits." + label).inc(rep.mac_memo_hits());
       reg.gauge("replica.cpu_busy_mean." + label)
           .set(static_cast<double>(rep.busy_time()) /
                static_cast<double>(horizon));
@@ -171,12 +207,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   const bool wan = config.environment == Environment::kWan;
   sim::Profile profile = wan ? sim::Profile::wan() : sim::Profile::lan();
   // Identical simulated behaviour, much cheaper host-side authentication
-  // for the large sweeps (see Profile::fast_macs).
-  profile.fast_macs = true;
+  // for the large sweeps (see Profile::fast_macs). The MAC ablation pair
+  // needs real HMACs: the verification memo never engages under fast MACs.
+  profile.fast_macs = !(config.real_macs || config.mac_memo_off);
+  profile.mac_memo_off = config.mac_memo_off;
+  profile.zero_copy_off = config.zero_copy_off;
+  profile.batch_adapt_off = config.batch_adapt_off;
   if (config.pipeline_depth > 0) profile.pipeline_depth = config.pipeline_depth;
   if (config.batch_max > 0) profile.batch_max = config.batch_max;
   if (config.batch_min > 0) profile.batch_min = config.batch_min;
   if (config.batch_timeout > 0) profile.batch_timeout = config.batch_timeout;
+  if (config.pipeline_off) profile.pipeline_depth = 1;
 
   std::unique_ptr<sim::Simulation> sim;
   sim::WanLatency* wan_model = nullptr;
@@ -200,6 +241,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.latency_global.set_warmup(config.warmup);
 
   const Time horizon = config.warmup + config.duration;
+
+  if (config.open_loop_total_rate > 0.0) {
+    // Open loop: the offered load bounds the sample count, so pre-reserve
+    // (no mid-run reallocation in the measurement path) and cap at a loose
+    // multiple of the expectation — a runaway shows up as a nonzero
+    // overflow() counter instead of silently eating the host's memory.
+    // Closed-loop runs are completion-paced and self-limiting.
+    const auto expected_completions = static_cast<std::size_t>(
+        config.open_loop_total_rate * to_sec(config.duration));
+    const auto expected_events = static_cast<std::size_t>(
+        config.open_loop_total_rate * to_sec(horizon));
+    const auto with_margin = [](std::size_t n) { return n + n / 4 + 1024; };
+    for (LatencyRecorder* rec :
+         {&result.latency_all, &result.latency_local,
+          &result.latency_global}) {
+      rec->reserve(with_margin(expected_completions));
+      rec->set_max_samples(8 * expected_completions + 8192);
+    }
+    for (ThroughputMeter* meter : {&sinks.all, &sinks.local, &sinks.global}) {
+      meter->reserve(with_margin(expected_events));
+      meter->set_max_events(8 * expected_events + 8192);
+    }
+  }
 
   Observability obs;
   std::unique_ptr<sim::MetricsSampler> sampler;
@@ -336,12 +400,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                               c % wan_model->num_regions())});
       }
     }
+    std::vector<std::unique_ptr<OpenLoopDriver>> drivers;
     if (config.open_loop_total_rate > 0.0) {
-      const double per_client =
-          config.open_loop_total_rate / static_cast<double>(clients.size());
-      for (auto& slot : clients) {
-        slot.issue_open_loop(sinks, *sim, config.payload_size, per_client);
+      Rng driver_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+      const double total = config.open_loop_total_rate;
+      if (config.open_loop_local_share >= 0.0) {
+        const double share =
+            std::min(1.0, std::max(0.0, config.open_loop_local_share));
+        const double local_rate = total * share;
+        const double global_rate = total - local_rate;
+        if (local_rate > 0.0) {
+          drivers.push_back(std::make_unique<OpenLoopDriver>(
+              clients, sinks, *sim, config.payload_size, local_rate,
+              driver_rng.fork(), OpenLoopDriver::Class::kLocal));
+        }
+        if (global_rate > 0.0) {
+          drivers.push_back(std::make_unique<OpenLoopDriver>(
+              clients, sinks, *sim, config.payload_size, global_rate,
+              driver_rng.fork(), OpenLoopDriver::Class::kGlobal));
+        }
+      } else {
+        drivers.push_back(std::make_unique<OpenLoopDriver>(
+            clients, sinks, *sim, config.payload_size, total,
+            driver_rng.fork(), OpenLoopDriver::Class::kPattern));
       }
+      for (auto& d : drivers) d->arm();
     } else {
       for (auto& slot : clients) slot.issue(sinks, *sim, config.payload_size);
     }

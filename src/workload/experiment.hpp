@@ -46,6 +46,14 @@ struct ExperimentConfig {
   /// what exposes an overloaded tree layout in Fig. 3. Not supported for
   /// kBftSmart.
   double open_loop_total_rate = 0.0;
+  /// Per-class rate split for open-loop runs. When in [0,1], the offered
+  /// load is produced by TWO Poisson processes — local at `share * total`,
+  /// global at `(1-share) * total` — and each arrival forces its class via
+  /// the generator's next_local/next_global draws, so the local:global mix
+  /// is a first-class experimental knob instead of a side effect of the
+  /// pattern. < 0 (default) keeps the pattern's own mix under one aggregate
+  /// process.
+  double open_loop_local_share = -1.0;
   std::size_t payload_size = 64;  // the paper's 64-byte messages
   Time warmup = 1 * kSecond;
   Time duration = 4 * kSecond;  // measurement window after warmup
@@ -86,6 +94,26 @@ struct ExperimentConfig {
   /// Batch assembly window override; 0 keeps the preset (which itself falls
   /// back to cpu_propose_fixed when its batch_timeout is 0).
   Time batch_timeout = 0;
+  // --- ablation switches (per-optimization sweeps; see docs/ARCHITECTURE.md,
+  // "Workload engine") ------------------------------------------------------
+  /// Deep-copy every send payload and charge the memcpy as CPU — undoes the
+  /// ref-counted zero-copy fan-out optimization.
+  bool zero_copy_off = false;
+  /// Disable the MAC verification memo. Implies `real_macs`: the memo is a
+  /// host/CPU-side optimization that only exists under real HMACs, so the
+  /// meaningful comparison pair is (real_macs, mac_memo_off) vs
+  /// (real_macs, memo on) — not against the default fast-MAC runs.
+  bool mac_memo_off = false;
+  /// Run with real HMAC-SHA256 MACs instead of the sweep-friendly fast
+  /// mode. Automatically set by `mac_memo_off`; set it alone to get the
+  /// memo-ON companion curve of the MAC ablation pair.
+  bool real_macs = false;
+  /// Force consensus pipeline depth 1 (sequential instances) — undoes the
+  /// pipelining of PR 6 regardless of the preset / pipeline_depth override.
+  bool pipeline_off = false;
+  /// Freeze the adaptive batch target at batch_max — every batch waits out
+  /// the full assembly window (fixed batching, no early cuts growth/decay).
+  bool batch_adapt_off = false;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,73 @@
+// Open-loop arrival pacing for the workload engine. A RateController owns
+// one Poisson arrival process at a target rate: the caller asks "when is the
+// next arrival?" and fires one message at that instant, regardless of
+// completions (open loop — how Table II offers its F(d) rates and what
+// exposes a saturated tree, unlike closed-loop clients whose offered load
+// collapses with latency).
+//
+// Drift correction: the controller advances an *ideal* arrival clock by one
+// Exp(1/rate) gap per arrival and returns the delay from `now` to that ideal
+// instant. If the caller is late (scheduler jitter on the wall-clock
+// backends, coarse timers), the returned delay clamps to 0 and subsequent
+// arrivals catch up, so the achieved rate converges to the target instead of
+// accumulating the lateness — plain `sleep(exp_gap)` loops under-offer by
+// exactly the summed overshoot.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace byzcast::workload {
+
+class RateController {
+ public:
+  /// `rate_per_sec` must be > 0; `origin` anchors the ideal clock (pass the
+  /// current time so the first arrival is ~one gap from now).
+  RateController(double rate_per_sec, Rng rng, Time origin = 0)
+      : rng_(rng), ideal_(origin) {
+    set_rate(rate_per_sec);
+  }
+
+  /// Retargets the process from the next arrival on (step schedules). The
+  /// ideal clock carries over, so no arrivals are lost or doubled at the
+  /// boundary.
+  void set_rate(double rate_per_sec) {
+    BZC_EXPECTS(rate_per_sec > 0.0);
+    mean_gap_ns_ = static_cast<double>(kSecond) / rate_per_sec;
+  }
+
+  [[nodiscard]] double rate_per_sec() const {
+    return static_cast<double>(kSecond) / mean_gap_ns_;
+  }
+
+  /// Advances the ideal arrival clock by one exponential gap and returns
+  /// the (non-negative) delay from `now` until that arrival. A return of 0
+  /// means the caller is behind schedule and should fire immediately.
+  [[nodiscard]] Time next_delay(Time now) {
+    ideal_ += static_cast<Time>(rng_.next_exponential(mean_gap_ns_));
+    ++scheduled_;
+    if (ideal_ <= now) {
+      behind_ns_ += now - ideal_;
+      return 0;
+    }
+    return ideal_ - now;
+  }
+
+  /// Arrivals scheduled so far.
+  [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
+  /// Total lateness absorbed by catch-up (ns); large values relative to the
+  /// run length mean the load generator itself cannot sustain the rate.
+  [[nodiscard]] std::uint64_t behind_ns() const { return behind_ns_; }
+
+ private:
+  Rng rng_;
+  double mean_gap_ns_ = 0.0;
+  Time ideal_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t behind_ns_ = 0;
+};
+
+}  // namespace byzcast::workload

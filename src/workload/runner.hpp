@@ -1,0 +1,33 @@
+// WorkloadRunner: executes a WorkloadSpec on the simulator harness and
+// returns structured results — one measured point for a fixed-rate spec, a
+// point per segment for a step schedule, and full SweepCurves (baseline +
+// one per ablation) for a sweep schedule. Also serializes outcomes to the
+// BENCH_sweep.json schema ("byzcast-sweep-v1") consumed by
+// tools/check_sweep.py and tools/plot_benches.py.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "workload/spec.hpp"
+#include "workload/sweep.hpp"
+
+namespace byzcast::workload {
+
+struct WorkloadOutcome {
+  WorkloadSpec spec;
+  /// Fixed mode: exactly one curve with one point (plus ablation flags
+  /// applied). Step mode: one curve whose points are the segments. Sweep
+  /// mode: baseline curve first, then one curve per spec ablation.
+  std::vector<SweepCurve> curves;
+};
+
+/// Runs the spec to completion on the sim backend (every schedule point is
+/// its own deterministic run; seeds derive from spec.base.seed).
+[[nodiscard]] WorkloadOutcome run_workload(const WorkloadSpec& spec);
+
+/// Serializes an outcome as the "byzcast-sweep-v1" document.
+[[nodiscard]] Json outcome_to_json(const WorkloadOutcome& outcome);
+
+}  // namespace byzcast::workload

@@ -1,0 +1,98 @@
+// Zipf-distributed sampler over {0, ..., n-1} by rejection inversion
+// (Hörmann & Derflinger 1996, the scheme used by Apache commons-rng and
+// FoundationDB's workload generators). P(k) ∝ (k+1)^-s for exponent s ≥ 0.
+// O(1) setup and O(1) expected time per sample for any n and s — unlike the
+// naive CDF table, which is O(n) setup and O(log n) per sample and melts for
+// the million-key populations the workload engine sweeps over.
+//
+// s = 0 is the uniform distribution and is special-cased (the rejection
+// scheme's helper functions degenerate there).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace byzcast::workload {
+
+class ZipfSampler {
+ public:
+  /// Samples ranks 0-based: rank 0 is the hottest element.
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    BZC_EXPECTS(n >= 1);
+    BZC_EXPECTS(s >= 0.0);
+    if (s_ == 0.0 || n_ == 1) return;
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n_) + 0.5);
+    s_div_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double s() const { return s_; }
+
+  /// Draws one rank in [0, n). Expected iterations of the rejection loop
+  /// are < 2 for all (n, s); typically ~1.1.
+  [[nodiscard]] std::uint64_t next(Rng& rng) const {
+    if (s_ == 0.0 || n_ == 1) return rng.next_below(n_);
+    for (;;) {
+      // u uniform in (h_x1_, h_n_]; next_double() is [0,1) so flip it to
+      // (0,1] to keep u > h_x1_ strict.
+      const double u = h_n_ + (1.0 - rng.next_double()) * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      double k = std::floor(x + 0.5);
+      if (k < 1.0) k = 1.0;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_div_ || u >= h_integral(k + 0.5) - h(k)) {
+        return static_cast<std::uint64_t>(k) - 1;  // 0-based rank
+      }
+    }
+  }
+
+  /// Analytic probability of rank k (0-based) — used by the chi-square
+  /// goodness-of-fit tests. O(n) (computes the generalized harmonic number).
+  [[nodiscard]] double pmf(std::uint64_t k) const {
+    BZC_EXPECTS(k < n_);
+    double harmonic = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      harmonic += std::pow(static_cast<double>(i), -s_);
+    }
+    return std::pow(static_cast<double>(k + 1), -s_) / harmonic;
+  }
+
+ private:
+  // H(x) = ∫ t^-s dt with the integration constant chosen so the expressions
+  // stay numerically stable near s = 1 (helper2 handles the removable
+  // singularity via expm1/log1p).
+  [[nodiscard]] double h_integral(double x) const {
+    const double log_x = std::log(x);
+    return helper2((1.0 - s_) * log_x) * log_x;
+  }
+
+  [[nodiscard]] double h(double x) const { return std::pow(x, -s_); }
+
+  [[nodiscard]] double h_integral_inverse(double x) const {
+    double t = x * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // guard rounding below the pole
+    return std::exp(helper1(t) * x);
+  }
+
+  /// log1p(x)/x, continuous at 0.
+  [[nodiscard]] static double helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+  }
+
+  /// expm1(x)/x, continuous at 0.
+  [[nodiscard]] static double helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double s_div_ = 0.0;
+};
+
+}  // namespace byzcast::workload

@@ -83,6 +83,51 @@ TEST(Batching, BatchMaxIsRespected) {
   EXPECT_GE(group.replica(0).decided_instances(), 10u);
 }
 
+TEST(Batching, AdaptiveTargetShrinksUnderLightLoad) {
+  // Control for the freeze test below: with adaptation on, a trickle of
+  // closed-loop clients keeps every assembly window underfull, so the
+  // target decays from batch_max toward the observed backlog.
+  sim::Profile profile = sim::Profile::lan();
+  profile.batch_max = 32;
+  profile.batch_min = 1;
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(84, profile);
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "light");
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client.invoke(to_bytes("x"),
+                  [&issue, left](const Bytes&, Time) { issue(left - 1); });
+  };
+  issue(40);
+  sim.run_until(60 * kSecond);
+  EXPECT_EQ(group.replica(0).executed_requests(), 40u);
+  EXPECT_LT(group.replica(0).batch_target(), 32u);
+}
+
+TEST(Batching, BatchAdaptOffFreezesTargetAtMax) {
+  // The batch_adapt_off ablation (workload engine, per-optimization
+  // sweeps): the same underfull trickle must leave the target pinned at
+  // batch_max — fixed batching, every cut waits out the full window.
+  sim::Profile profile = sim::Profile::lan();
+  profile.batch_max = 32;
+  profile.batch_min = 1;
+  profile.batch_adapt_off = true;
+  std::map<int, ExecutionTrace> traces;
+  sim::Simulation sim(84, profile);
+  Group group(sim, GroupId{0}, 1, recording_factory(traces));
+  ClientProxy client(sim, group.info(), "light");
+  std::function<void(int)> issue = [&](int left) {
+    if (left == 0) return;
+    client.invoke(to_bytes("x"),
+                  [&issue, left](const Bytes&, Time) { issue(left - 1); });
+  };
+  issue(40);
+  sim.run_until(60 * kSecond);
+  EXPECT_EQ(group.replica(0).executed_requests(), 40u);
+  EXPECT_EQ(group.replica(0).batch_target(), 32u);
+}
+
 TEST(Batching, SingleRequestStillDecidesPromptly) {
   std::map<int, ExecutionTrace> traces;
   sim::Simulation sim(83, sim::Profile::lan());

@@ -78,5 +78,23 @@ TEST_F(AuthTest, MemoServesOnlyExactPayload) {
   EXPECT_EQ(b.verify_cache_hits(), 2u);
 }
 
+TEST_F(AuthTest, VerifyMemoGateDisablesTheCache) {
+  // The mac_memo_off ablation: a KeyStore constructed with the memo gated
+  // off must answer every verification with the full HMAC — zero hits even
+  // for byte-identical repeats — while still accepting and rejecting
+  // exactly what the memoized path does.
+  auto gated = std::make_shared<KeyStore>(777, MacMode::kHmac,
+                                          /*verify_memo=*/false);
+  Authenticator a(gated, alice);
+  Authenticator b(gated, bob);
+  const Bytes msg = to_bytes("transfer 100");
+  const Digest mac = a.sign(bob, msg);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(b.verify(alice, msg, mac));
+  EXPECT_EQ(b.verify_cache_hits(), 0u);
+  Bytes forged = msg;
+  forged[0] ^= 0x01;
+  EXPECT_FALSE(b.verify(alice, forged, mac));
+}
+
 }  // namespace
 }  // namespace byzcast

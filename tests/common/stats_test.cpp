@@ -158,5 +158,49 @@ TEST(ThroughputMeter, TimeseriesMatchesWindowQueries) {
   }
 }
 
+// Sweep-scale capacity regression: a bounded recorder fed past its cap must
+// keep exactly max_samples observations, count the rest in overflow(), and
+// still answer percentile queries from the retained prefix — never grow
+// silently and never go quietly wrong.
+TEST(LatencyRecorder, MillionSampleCapOverflowsLoudly) {
+  LatencyRecorder rec;
+  rec.reserve(1'000'000);
+  rec.set_max_samples(1'000'000);
+  for (std::uint64_t i = 0; i < 1'200'000; ++i) {
+    rec.record(static_cast<Time>(i),
+               static_cast<Time>(i % 1000 + 1) * kMillisecond);
+  }
+  EXPECT_EQ(rec.count(), 1'000'000u);
+  EXPECT_EQ(rec.overflow(), 200'000u);
+  // The retained prefix cycles uniformly through 1..1000 ms.
+  EXPECT_NEAR(rec.median_ms(), 500.0, 2.0);
+  EXPECT_NEAR(rec.percentile_ms(99), 990.0, 2.0);
+
+  LatencyRecorder unbounded;
+  for (std::uint64_t i = 0; i < 1'200'000; ++i) {
+    unbounded.record(static_cast<Time>(i),
+                     static_cast<Time>(i % 1000 + 1) * kMillisecond);
+  }
+  EXPECT_EQ(unbounded.count(), 1'200'000u);
+  EXPECT_EQ(unbounded.overflow(), 0u);
+}
+
+TEST(ThroughputMeter, MillionEventCapKeepsTotalHonest) {
+  ThroughputMeter meter;
+  meter.reserve(1'000'000);
+  meter.set_max_events(1'000'000);
+  // 1.2M events, one per microsecond: the last 200k are dropped from
+  // window queries but stay visible in total() and overflow().
+  for (std::uint64_t i = 0; i < 1'200'000; ++i) {
+    meter.record(static_cast<Time>(i) * 1000);
+  }
+  EXPECT_EQ(meter.total(), 1'200'000u);
+  EXPECT_EQ(meter.overflow(), 200'000u);
+  // The first second (1M microseconds) is fully stored...
+  EXPECT_NEAR(meter.rate_per_sec(0, kSecond), 1e6, 1e-6);
+  // ...and the dropped tail reads as zero rate, not fabricated events.
+  EXPECT_NEAR(meter.rate_per_sec(kSecond, 2 * kSecond), 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace byzcast

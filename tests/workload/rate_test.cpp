@@ -1,0 +1,112 @@
+// Open-loop RateController: the arrival process is Poisson (exponential
+// inter-arrival times, CV ~ 1), the achieved rate tracks the target within
+// 2% in simulated time, lateness is absorbed by catch-up rather than
+// accumulated, and step retargeting carries the ideal clock over.
+#include "workload/rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace byzcast::workload {
+namespace {
+
+TEST(RateController, InterArrivalTimesAreExponential) {
+  // A prompt caller fires exactly at the ideal instants, so the gaps are
+  // the controller's raw exponential draws: mean = 1/rate, CV = 1.
+  const double rate = 1000.0;  // mean gap 1 ms
+  RateController ctl(rate, Rng(7));
+  Time now = 0;
+  std::vector<double> gaps;
+  Time prev = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    now += ctl.next_delay(now);
+    gaps.push_back(static_cast<double>(now - prev));
+    prev = now;
+  }
+  double mean = 0.0;
+  for (const double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (const double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(mean, 1e6, 2e4);  // 1 ms +- 2%
+  EXPECT_NEAR(cv, 1.0, 0.03);   // exponential: CV = 1
+  EXPECT_EQ(ctl.behind_ns(), 0u);
+}
+
+TEST(RateController, AchievedRateWithinTwoPercentOfTarget) {
+  for (const double rate : {200.0, 1'000.0, 20'000.0}) {
+    RateController ctl(rate, Rng(21));
+    const Time horizon = 20 * kSecond;
+    Time now = 0;
+    std::uint64_t fired = 0;
+    for (;;) {
+      const Time d = ctl.next_delay(now);
+      now += d;
+      if (now > horizon) break;
+      ++fired;
+    }
+    const double achieved = static_cast<double>(fired) / to_sec(horizon);
+    EXPECT_NEAR(achieved, rate, rate * 0.02) << "rate=" << rate;
+  }
+}
+
+TEST(RateController, LateCallerCatchesUpToTarget) {
+  // The caller stalls 5 ms after every 10th arrival (0.5 ms average extra
+  // per arrival against a 1 ms mean gap). A naive sleep(exp_gap) loop
+  // would under-offer by ~33%; drift correction clamps the next delays to
+  // zero and converges back onto the ideal schedule.
+  const double rate = 1000.0;
+  RateController ctl(rate, Rng(31));
+  const Time horizon = 20 * kSecond;
+  Time now = 0;
+  std::uint64_t fired = 0;
+  for (;;) {
+    now += ctl.next_delay(now);
+    if (now > horizon) break;
+    ++fired;
+    if (fired % 10 == 0) now += 5 * kMillisecond;  // scheduler stall
+  }
+  const double achieved = static_cast<double>(fired) / to_sec(horizon);
+  EXPECT_NEAR(achieved, rate, rate * 0.02);
+  EXPECT_GT(ctl.behind_ns(), 0u);  // the stalls were seen and absorbed
+}
+
+TEST(RateController, SetRateRetargetsFromNextArrival) {
+  RateController ctl(500.0, Rng(41));
+  const Time half = 10 * kSecond;
+  Time now = 0;
+  std::uint64_t first = 0;
+  while (true) {
+    now += ctl.next_delay(now);
+    if (now > half) break;
+    ++first;
+  }
+  ctl.set_rate(2'000.0);
+  EXPECT_NEAR(ctl.rate_per_sec(), 2'000.0, 1e-9);
+  std::uint64_t second = 0;
+  while (true) {
+    now += ctl.next_delay(now);
+    if (now > 2 * half) break;
+    ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / to_sec(half), 500.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(second) / to_sec(half), 2'000.0, 100.0);
+  EXPECT_EQ(ctl.scheduled(), first + second + 2);  // + the two break draws
+}
+
+TEST(RateController, OriginAnchorsTheFirstArrival) {
+  // Anchored at `origin`, the first arrival is ~one gap later — not a
+  // catch-up burst from time zero.
+  const Time origin = 5 * kSecond;
+  RateController ctl(100.0, Rng(51), origin);
+  const Time d = ctl.next_delay(origin);
+  EXPECT_GT(d, 0);
+  EXPECT_EQ(ctl.behind_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace byzcast::workload

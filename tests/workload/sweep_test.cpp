@@ -1,0 +1,112 @@
+// Saturation-knee classification (pure, on synthetic curves) and a small
+// end-to-end sweep in the simulator: healthy rates stay unsaturated, the
+// measured points carry the full record, and a goodput collapse is detected
+// as a knee.
+#include "workload/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace byzcast::workload {
+namespace {
+
+SweepPoint point(double offered, double p99_ms, double goodput) {
+  SweepPoint p;
+  p.offered = offered;
+  p.throughput = offered * goodput;
+  p.goodput_ratio = goodput;
+  p.p50_ms = p99_ms / 2;
+  p.p99_ms = p99_ms;
+  p.completed = static_cast<std::uint64_t>(offered * goodput);
+  return p;
+}
+
+TEST(SweepClassify, HealthyCurveHasNoKnee) {
+  std::vector<SweepPoint> pts = {point(100, 10, 1.0), point(200, 11, 1.0),
+                                 point(400, 12, 0.99)};
+  classify_saturation(pts, 5.0, 0.95);
+  for (const auto& p : pts) EXPECT_FALSE(p.saturated);
+  EXPECT_EQ(first_saturated(pts), kNoKnee);
+}
+
+TEST(SweepClassify, LatencyBlowupPastPlateauIsSaturated) {
+  // Plateau p99 is the lowest-offered point's (10 ms); 5x = 50 ms.
+  std::vector<SweepPoint> pts = {point(100, 10, 1.0), point(200, 20, 1.0),
+                                 point(400, 49, 1.0), point(800, 51, 1.0),
+                                 point(1600, 500, 1.0)};
+  classify_saturation(pts, 5.0, 0.95);
+  EXPECT_FALSE(pts[0].saturated);
+  EXPECT_FALSE(pts[1].saturated);
+  EXPECT_FALSE(pts[2].saturated);  // 49 < 50: still on the healthy side
+  EXPECT_TRUE(pts[3].saturated);
+  EXPECT_TRUE(pts[4].saturated);
+  EXPECT_EQ(first_saturated(pts), 3u);
+}
+
+TEST(SweepClassify, GoodputShortfallIsSaturatedEvenWithFlatLatency) {
+  std::vector<SweepPoint> pts = {point(100, 10, 1.0), point(200, 10, 0.94)};
+  classify_saturation(pts, 5.0, 0.95);
+  EXPECT_FALSE(pts[0].saturated);
+  EXPECT_TRUE(pts[1].saturated);
+  EXPECT_EQ(first_saturated(pts), 1u);
+}
+
+TEST(SweepClassify, FirstPointCanOnlySaturateByGoodput) {
+  // The plateau is defined by the first point, so its own latency can never
+  // classify it — but a goodput collapse at the lowest rate still counts.
+  std::vector<SweepPoint> pts = {point(100, 1000, 1.0)};
+  classify_saturation(pts, 5.0, 0.95);
+  EXPECT_FALSE(pts[0].saturated);
+
+  std::vector<SweepPoint> collapsed = {point(100, 1000, 0.5)};
+  classify_saturation(collapsed, 5.0, 0.95);
+  EXPECT_TRUE(collapsed[0].saturated);
+}
+
+TEST(SweepClassify, ZeroCompletionsIsAlwaysSaturated) {
+  std::vector<SweepPoint> pts = {point(100, 10, 1.0), point(200, 10, 1.0)};
+  pts[1].completed = 0;
+  pts[1].goodput_ratio = 1.0;  // even with a (bogus) healthy ratio
+  classify_saturation(pts, 5.0, 0.95);
+  EXPECT_TRUE(pts[1].saturated);
+}
+
+TEST(Sweep, MeasurePointFillsTheFullRecord) {
+  ExperimentConfig cfg;
+  cfg.num_groups = 2;
+  cfg.clients_per_group = 10;
+  cfg.workload.pattern = Pattern::kMixed;
+  cfg.warmup = 300 * kMillisecond;
+  cfg.duration = 1 * kSecond;
+  cfg.seed = 7;
+  const SweepPoint p = measure_point(cfg, 500.0);
+  EXPECT_DOUBLE_EQ(p.offered, 500.0);
+  EXPECT_GT(p.completed, 0u);
+  EXPECT_GT(p.throughput, 0.0);
+  EXPECT_GT(p.goodput_ratio, 0.9);  // 500/s on a LAN is far from saturation
+  EXPECT_GT(p.p99_ms, 0.0);
+  EXPECT_GE(p.p99_ms, p.p50_ms);
+  EXPECT_EQ(p.sample_overflow, 0u);
+}
+
+TEST(Sweep, HealthyGridReportsNoKneeAndFullCurve) {
+  ExperimentConfig cfg;
+  cfg.num_groups = 2;
+  cfg.clients_per_group = 10;
+  cfg.workload.pattern = Pattern::kLocalOnly;
+  cfg.warmup = 300 * kMillisecond;
+  cfg.duration = 1 * kSecond;
+  cfg.seed = 7;
+  SweepSettings settings;
+  settings.rates = {200.0, 400.0};
+  const SweepCurve curve = run_sweep(cfg, settings, "smoke");
+  EXPECT_EQ(curve.label, "smoke");
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_FALSE(curve.knee_found);
+  EXPECT_DOUBLE_EQ(curve.max_unsaturated_rate, 400.0);
+  EXPECT_LT(curve.points[0].offered, curve.points[1].offered);
+}
+
+}  // namespace
+}  // namespace byzcast::workload

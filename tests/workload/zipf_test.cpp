@@ -1,0 +1,133 @@
+// Statistical validation of the rejection-inversion Zipf sampler: chi-square
+// goodness of fit against the analytic pmf across the exponents the workload
+// engine sweeps (uniform, mild, the classic 0.99, and super-linear skew),
+// plus structural checks on the Zipf destination pattern.
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace byzcast::workload {
+namespace {
+
+/// Pearson chi-square statistic of `draws` samples against the sampler's
+/// analytic pmf over its full support.
+double chi_square_stat(const ZipfSampler& zipf, std::uint64_t draws,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> observed(zipf.n(), 0);
+  for (std::uint64_t i = 0; i < draws; ++i) ++observed[zipf.next(rng)];
+  double stat = 0.0;
+  for (std::uint64_t k = 0; k < zipf.n(); ++k) {
+    const double expected = zipf.pmf(k) * static_cast<double>(draws);
+    const double diff = static_cast<double>(observed[k]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(Zipf, ChiSquareGoodnessOfFitAcrossExponents) {
+  // n = 50 support, 200k draws: df = 49, chi-square critical value at
+  // alpha = 0.001 is 85.4. The seeds are fixed, so this never flakes; a
+  // value past 100 means the sampler's distribution is simply wrong.
+  for (const double s : {0.0, 0.5, 0.99, 1.2}) {
+    const ZipfSampler zipf(50, s);
+    EXPECT_LT(chi_square_stat(zipf, 200'000, 1234), 100.0) << "s=" << s;
+  }
+}
+
+TEST(Zipf, PmfIsANormalizedDistribution) {
+  for (const double s : {0.0, 0.5, 0.99, 1.2}) {
+    const ZipfSampler zipf(50, s);
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < zipf.n(); ++k) total += zipf.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+    EXPECT_GE(zipf.pmf(0), zipf.pmf(49)) << "s=" << s;
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(8, 0.0);
+  Rng rng(5);
+  std::vector<std::uint64_t> counts(8, 0);
+  for (int i = 0; i < 80'000; ++i) ++counts[zipf.next(rng)];
+  for (const auto c : counts) {
+    EXPECT_GT(c, 9'000u);
+    EXPECT_LT(c, 11'000u);
+  }
+}
+
+TEST(Zipf, SingletonSupport) {
+  const ZipfSampler zipf(1, 1.2);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(Zipf, MillionKeyPopulationStaysInRangeAndSkewed) {
+  // The rejection scheme is O(1) in n — a million-key draw must neither
+  // leave the support nor lose its head-heavy shape.
+  const std::uint64_t n = 1'000'000;
+  const ZipfSampler zipf(n, 1.01);
+  Rng rng(77);
+  std::uint64_t head = 0;  // ranks < 10
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t k = zipf.next(rng);
+    ASSERT_LT(k, n);
+    if (k < 10) ++head;
+  }
+  // P(rank < 10) ~ 18% at s = 1.01, n = 1e6; uniform would give 0.001%.
+  EXPECT_GT(head, 5'000u);
+}
+
+TEST(Zipf, GeneratorLocalSkewsTowardHottestGroup) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kZipf;
+  cfg.zipf_s = 1.2;
+  std::vector<GroupId> targets;
+  for (int g = 0; g < 4; ++g) targets.push_back(GroupId{g});
+  DestinationGenerator gen(cfg, targets, /*home=*/2);
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto dst = gen.next_local(rng);
+    ASSERT_EQ(dst.size(), 1u);
+    ++counts[dst[0].value];
+  }
+  // pmf(0)/pmf(3) = 4^1.2 ~ 5.3; leave slack but require the hot group to
+  // dominate and the ordering to be monotone head-to-tail.
+  EXPECT_GT(counts[0], counts[3] * 3);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(Zipf, GeneratorGlobalFanoutIsDistinctAndSkewed) {
+  GeneratorConfig cfg;
+  cfg.pattern = Pattern::kZipf;
+  cfg.zipf_s = 0.99;
+  cfg.global_fanout = 3;
+  std::vector<GroupId> targets;
+  for (int g = 0; g < 6; ++g) targets.push_back(GroupId{g});
+  DestinationGenerator gen(cfg, targets, /*home=*/0);
+  Rng rng(13);
+  int hot_member = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto dst = gen.next_global(rng);
+    ASSERT_EQ(dst.size(), 3u);
+    std::set<GroupId> uniq(dst.begin(), dst.end());
+    ASSERT_EQ(uniq.size(), 3u) << "fanout destinations must be distinct";
+    for (const auto g : dst) {
+      ASSERT_GE(g.value, 0);
+      ASSERT_LT(g.value, 6);
+    }
+    if (uniq.count(GroupId{0}) != 0) ++hot_member;
+  }
+  // Group 0 is the Zipf head: it should sit in far more destination sets
+  // than the uniform 3/6 = 50% baseline.
+  EXPECT_GT(hot_member, 3'500);
+}
+
+}  // namespace
+}  // namespace byzcast::workload

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_sweep.json artifact (schema "byzcast-sweep-v1").
+
+Usage:
+    check_sweep.py BENCH_SWEEP_JSON [--require-knee] [--require-ablation NAME]
+
+The file is written by bench_sweep / workload::outcome_to_json. Checks:
+
+  * the document parses, declares the expected schema, and carries a
+    non-empty curves array;
+  * every curve has points sorted strictly by offered rate, and each point
+    carries the full numeric record (offered, throughput, goodput_ratio,
+    p50_ms, p99_ms, completed, monitor_violations, sample_overflow,
+    saturated);
+  * no point tripped invariant monitors or overflowed its sample capacity;
+  * goodput never exceeds offered by more than rounding (ratio <= 1.05);
+  * saturation classification is consistent: once the sweep grid saturates,
+    the knee (when found) coincides with a saturated measured point and lies
+    strictly above the curve's max_unsaturated_rate;
+  * with --require-knee, every curve must have found a knee;
+  * with --require-ablation NAME, a curve labeled NAME must be present.
+
+Exits nonzero with a message on each failure, so CI can gate on it.
+"""
+
+import json
+import sys
+
+FAILURES = 0
+
+POINT_NUM_FIELDS = (
+    "offered",
+    "throughput",
+    "goodput_ratio",
+    "p50_ms",
+    "p99_ms",
+    "completed",
+    "monitor_violations",
+    "sample_overflow",
+)
+
+
+def fail(msg):
+    global FAILURES
+    FAILURES += 1
+    print(f"FAIL: {msg}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+    return cond
+
+
+def check_point(pt, where):
+    if not require(isinstance(pt, dict), f"{where}: not an object"):
+        return None
+    for key in POINT_NUM_FIELDS:
+        if not require(
+            isinstance(pt.get(key), (int, float)) and not isinstance(pt.get(key), bool),
+            f"{where}.{key}: missing or not a number",
+        ):
+            return None
+    require(isinstance(pt.get("saturated"), bool), f"{where}.saturated: missing or not a bool")
+    require(pt["offered"] > 0, f"{where}: offered rate must be positive")
+    require(pt["completed"] > 0, f"{where}: completed nothing")
+    require(pt["monitor_violations"] == 0, f"{where}: {pt['monitor_violations']} invariant violations")
+    require(pt["sample_overflow"] == 0, f"{where}: {pt['sample_overflow']} samples overflowed capacity")
+    require(pt["goodput_ratio"] <= 1.05, f"{where}: goodput {pt['goodput_ratio']:.3f} exceeds offered")
+    require(pt["p50_ms"] <= pt["p99_ms"] + 1e-9, f"{where}: p50 > p99")
+    return pt
+
+
+def check_curve(curve, where):
+    if not require(isinstance(curve, dict), f"{where}: not an object"):
+        return
+    label = curve.get("label")
+    require(isinstance(label, str) and label, f"{where}.label: missing")
+    points = curve.get("points")
+    if not require(isinstance(points, list) and points, f"{where}.points: missing or empty"):
+        return
+    checked = []
+    for i, pt in enumerate(points):
+        got = check_point(pt, f"{where}.points[{i}]")
+        if got is not None:
+            checked.append(got)
+    offered = [pt["offered"] for pt in checked]
+    require(offered == sorted(offered) and len(set(offered)) == len(offered),
+            f"{where}: points not strictly sorted by offered rate")
+
+    knee_found = curve.get("knee_found")
+    require(isinstance(knee_found, bool), f"{where}.knee_found: missing or not a bool")
+    max_ok = curve.get("max_unsaturated_rate")
+    require(isinstance(max_ok, (int, float)), f"{where}.max_unsaturated_rate: missing")
+    if knee_found:
+        knee = curve.get("knee")
+        if require(isinstance(knee, dict), f"{where}.knee: missing despite knee_found"):
+            check_point(knee, f"{where}.knee")
+            require(knee.get("saturated") is True, f"{where}.knee: knee point not saturated")
+            matches = [pt for pt in checked if abs(pt["offered"] - knee.get("offered", -1)) < 1e-9]
+            require(bool(matches), f"{where}.knee: offered rate not among measured points")
+            if isinstance(max_ok, (int, float)):
+                require(knee.get("offered", 0) > max_ok - 1e-9,
+                        f"{where}.knee: at or below max_unsaturated_rate")
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    require_knee = "--require-knee" in args
+    if require_knee:
+        args.remove("--require-knee")
+    required_ablations = []
+    while "--require-ablation" in args:
+        i = args.index("--require-ablation")
+        if i + 1 >= len(args):
+            print("usage: check_sweep.py BENCH_SWEEP_JSON [--require-knee] [--require-ablation NAME]")
+            return 2
+        required_ablations.append(args[i + 1])
+        del args[i : i + 2]
+    if len(args) != 1:
+        print("usage: check_sweep.py BENCH_SWEEP_JSON [--require-knee] [--require-ablation NAME]")
+        return 2
+
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args[0]}: {e}")
+        return 1
+
+    require(doc.get("schema") == "byzcast-sweep-v1", f"schema: {doc.get('schema')!r}")
+    require(isinstance(doc.get("name"), str) and doc.get("name"), "name: missing")
+    curves = doc.get("curves")
+    if require(isinstance(curves, list) and curves, "curves: missing or empty"):
+        labels = []
+        for i, curve in enumerate(curves):
+            check_curve(curve, f"curves[{i}]")
+            if isinstance(curve, dict) and isinstance(curve.get("label"), str):
+                labels.append(curve["label"])
+                if require_knee:
+                    require(curve.get("knee_found") is True,
+                            f"curves[{i}] ({curve['label']}): no knee found")
+        for name in required_ablations:
+            require(name in labels, f"required ablation curve missing: {name}")
+
+    if FAILURES == 0:
+        print(f"OK: {args[0]} ({len(curves) if isinstance(curves, list) else 0} curves)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

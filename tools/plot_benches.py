@@ -271,6 +271,61 @@ def plot_pipeline_bench(doc, dst, plt):
     print("wrote", out)
 
 
+def summarize_sweep_bench(doc):
+    """BENCH_sweep.json: latency-vs-offered-load curves with the detected
+    saturation knee per curve (baseline + per-optimization ablations)."""
+    print(f"\nBENCH_sweep.json (offered-load sweep '{doc.get('name', '?')}', "
+          f"{doc.get('protocol', '?')} {doc.get('environment', '?')}):")
+    for curve in doc.get("curves", []):
+        points = curve.get("points", [])
+        if curve.get("knee_found") and isinstance(curve.get("knee"), dict):
+            knee = curve["knee"]
+            verdict = (f"knee {knee.get('offered', 0):.0f} msg/s "
+                       f"(p50 {knee.get('p50_ms', 0):.1f} ms, "
+                       f"p99 {knee.get('p99_ms', 0):.1f} ms)")
+        else:
+            verdict = (f"no knee through "
+                       f"{curve.get('max_unsaturated_rate', 0):.0f} msg/s")
+        bad = sum(p.get("monitor_violations", 0) for p in points)
+        extra = "" if bad == 0 else f", {bad} MONITOR VIOLATIONS"
+        print(f"  {curve.get('label', '?'):<16} {len(points)} points, "
+              f"{verdict}{extra}")
+
+
+def plot_sweep_bench(doc, dst, plt):
+    """p99 latency vs offered load, one line per curve, each detected knee
+    annotated — the latency wall that defines sustainable throughput."""
+    curves = [c for c in doc.get("curves", []) if c.get("points")]
+    if not curves:
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for curve in curves:
+        points = sorted(curve["points"], key=lambda p: p.get("offered", 0))
+        xs = [p.get("offered", 0) for p in points]
+        ys = [p.get("p99_ms", 0) for p in points]
+        (line,) = ax.plot(xs, ys, marker="o", markersize=3,
+                          label=curve.get("label", "?"))
+        if curve.get("knee_found") and isinstance(curve.get("knee"), dict):
+            knee = curve["knee"]
+            kx, ky = knee.get("offered", 0), knee.get("p99_ms", 0)
+            ax.scatter([kx], [ky], marker="D", s=45, zorder=5,
+                       color=line.get_color(), edgecolors="black")
+            ax.annotate(f"knee {kx:.0f}/s", (kx, ky), fontsize=7,
+                        xytext=(4, 6), textcoords="offset points")
+    ax.set_yscale("log")
+    ax.set_xlabel("offered load (msg/s)")
+    ax.set_ylabel("p99 latency (ms, log)")
+    ax.set_title(f"offered-load sweep: {doc.get('name', '?')} "
+                 f"({doc.get('environment', '?')})")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    out = os.path.join(dst, "sweep_knee.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 COMPONENTS = ("queueing", "cpu", "network", "quorum_wait")
 COMPONENT_COLORS = ("#4c72b0", "#dd8452", "#55a868", "#c44e52")
 
@@ -342,15 +397,14 @@ def plot_sidecar_timeseries(name, doc, dst, plt):
 def main():
     src = sys.argv[1] if len(sys.argv) > 1 else "bench_csv"
     dst = sys.argv[2] if len(sys.argv) > 2 else "bench_plots"
-    if not os.path.isdir(src):
-        print(f"no {src}/ directory — run the bench binaries first")
-        return 1
-    files = sorted(f for f in os.listdir(src) if f.endswith(".csv"))
-    sidecars = sorted(f for f in os.listdir(src)
-                      if f.endswith("_metrics.json"))
-    if not files and not sidecars:
-        print(f"no CSV or metrics files in {src}/")
-        return 1
+    # The CSV dir is optional: BENCH_*.json artifacts (e.g. bench_sweep's)
+    # are also searched for in the working directory, so a json-only run
+    # still summarizes and plots.
+    files, sidecars = [], []
+    if os.path.isdir(src):
+        files = sorted(f for f in os.listdir(src) if f.endswith(".csv"))
+        sidecars = sorted(f for f in os.listdir(src)
+                          if f.endswith("_metrics.json"))
 
     docs = {}
     for name in sidecars:
@@ -361,7 +415,10 @@ def main():
     for name, doc in docs.items():
         summarize_sidecar(name, doc)
     span_docs = {}
-    for name in sorted(f for f in os.listdir(src) if f.endswith("_spans.json")):
+    span_files = (sorted(f for f in os.listdir(src)
+                         if f.endswith("_spans.json"))
+                  if os.path.isdir(src) else [])
+    for name in span_files:
         try:
             span_docs[name] = load_sidecar(os.path.join(src, name))
         except (json.JSONDecodeError, OSError) as err:
@@ -380,6 +437,15 @@ def main():
     pipeline_bench = find_bench_json(src, "BENCH_pipeline.json")
     if pipeline_bench:
         summarize_pipeline_bench(pipeline_bench)
+    sweep_bench = find_bench_json(src, "BENCH_sweep.json")
+    if sweep_bench:
+        summarize_sweep_bench(sweep_bench)
+
+    benches = [runtime_bench, wire_bench, trace_bench, pipeline_bench,
+               sweep_bench]
+    if not files and not sidecars and not any(benches):
+        print(f"no CSV, metrics or BENCH_*.json inputs in {src}/ or cwd")
+        return 1
 
     try:
         import matplotlib
@@ -436,6 +502,8 @@ def main():
         plot_wire_bench(wire_bench, dst, plt)
     if pipeline_bench:
         plot_pipeline_bench(pipeline_bench, dst, plt)
+    if sweep_bench:
+        plot_sweep_bench(sweep_bench, dst, plt)
     return 0
 
 
