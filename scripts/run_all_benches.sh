@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary (one per paper table/figure, plus ablations
-# and micro-benchmarks) and echoes the combined report.
+# and micro-benchmarks) and echoes the combined report. Fails loudly: a
+# nonzero bench exit or a missing expected BENCH_*.json artifact fails the
+# whole sweep instead of silently shrinking the report.
 set -u
 BUILD_DIR="${1:-build}"
+FAILED=0
 for b in "$BUILD_DIR"/bench/*; do
   if [ -x "$b" ] && [ ! -d "$b" ]; then
     case "$(basename "$b")" in
@@ -14,6 +17,18 @@ for b in "$BUILD_DIR"/bench/*; do
     esac
     echo
     echo "########## $(basename "$b") ##########"
-    "$b"
+    if ! "$b"; then
+      echo "FAILED: $(basename "$b")"
+      FAILED=1
+    fi
   fi
 done
+
+# Gate-carrying artifacts the benches above must have produced in the cwd.
+for artifact in BENCH_sweep.json BENCH_vertical.json; do
+  if [ ! -s "$artifact" ]; then
+    echo "FAILED: expected artifact $artifact was not produced"
+    FAILED=1
+  fi
+done
+exit "$FAILED"

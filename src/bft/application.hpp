@@ -69,6 +69,33 @@ class ReplicaContext {
   }
 };
 
+/// One request's execution split for the execute/reply stage (stage
+/// pipeline, ROADMAP item 5): the ordering-relevant part already ran inside
+/// execute_staged; `deferred` is the pure per-request remainder (application
+/// work on one key + reply building), shardable by `key`.
+///
+/// Contract for `deferred`: it must not read or write shared application or
+/// replica state — only bytes it captured by value (ref-counted Buffers) and
+/// the thread-safe reply path of its ReplicaContext. This is what lets exec
+/// shards run concurrently with the order stage, and lets checkpoints
+/// snapshot the application without fencing the shards. A null `deferred`
+/// means the request was fully executed serially.
+struct StagedExec {
+  std::uint64_t key = 0;
+  std::function<void()> deferred;
+};
+
+/// FNV-1a over the operation bytes: the default destination key for exec
+/// sharding (requests touching the same key land on the same shard).
+[[nodiscard]] inline std::uint64_t stage_key(BytesView op) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto b : op) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 class Application {
  public:
   virtual ~Application() = default;
@@ -78,6 +105,14 @@ class Application {
 
   /// Executes one delivered request.
   virtual void execute(const Request& req) = 0;
+
+  /// Staged execution: runs the ordering-relevant part inline and returns
+  /// the deferrable remainder (see StagedExec). The default keeps everything
+  /// serial — applications opt in by overriding.
+  [[nodiscard]] virtual StagedExec execute_staged(const Request& req) {
+    execute(req);
+    return {};
+  }
 
   /// Serializes application state for checkpoints / state transfer.
   [[nodiscard]] virtual Bytes snapshot() const { return {}; }
@@ -95,6 +130,17 @@ class EchoApplication final : public Application {
   void execute(const Request& req) override {
     const Digest d = Sha256::hash(req.op);
     ctx_->send_reply(req, Bytes(d.begin(), d.begin() + 8));
+  }
+
+  /// The whole echo (digest + reply) is pure per-request work: defer it all.
+  [[nodiscard]] StagedExec execute_staged(const Request& req) override {
+    StagedExec s;
+    s.key = stage_key(req.op.view());
+    s.deferred = [ctx = ctx_, req] {
+      const Digest d = Sha256::hash(req.op);
+      ctx->send_reply(req, Bytes(d.begin(), d.begin() + 8));
+    };
+    return s;
   }
 };
 

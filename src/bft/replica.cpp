@@ -8,6 +8,15 @@
 
 namespace byzcast::bft {
 
+namespace {
+/// Reply sink installed while a deferred exec task runs on a shard thread:
+/// send_reply appends here instead of touching the replica's (order-stage)
+/// reply buffer, and the sends release through the ExecBarrier in delivery
+/// order. Thread-local so shards never contend and the order stage (where
+/// the pointer stays null) is unaffected.
+thread_local std::vector<ExecBarrier::PendingSend>* t_stage_sends = nullptr;
+}  // namespace
+
 Replica::Replica(sim::ExecutionEnv& env, GroupId group, int f, int index,
                  std::unique_ptr<Application> app, FaultSpec faults)
     : Actor(env, to_string(group) + "/r" + std::to_string(index)),
@@ -108,24 +117,96 @@ void Replica::broadcast(const Buffer& payload) {
 Time Replica::service_cost(const sim::WireMessage& msg) const {
   if (msg.payload.empty()) return 0;
   const auto& pr = env().profile();
+  Time base;
   switch (peek_type(msg.payload)) {
     case MsgType::kRequest:
-      return pr.cpu_request_admission;
+      base = pr.cpu_request_admission;
+      break;
     case MsgType::kPropose:
-      return pr.cpu_validate_fixed +
+      base = pr.cpu_validate_fixed +
              pr.cpu_validate_per_msg *
+                 static_cast<Time>(peek_propose_count(msg.payload));
+      break;
+    case MsgType::kWrite:
+    case MsgType::kAccept:
+    default:
+      base = pr.cpu_vote;
+      break;
+  }
+  // A verify-stage verdict means the MAC check + digest work already ran on
+  // a verify worker; the order stage only pays the remainder.
+  if (msg.verify_verdict != 0) {
+    base = std::max<Time>(0, base - stage_verify_cost(msg));
+  }
+  return base;
+}
+
+// --- stage-pipeline hooks ----------------------------------------------------
+
+bool Replica::stage_verifiable(const sim::WireMessage& msg) const {
+  if (!started_ || msg.payload.empty()) return false;
+  switch (peek_type(msg.payload)) {
+    case MsgType::kRequest:
+    case MsgType::kPropose:
+    case MsgType::kWrite:
+    case MsgType::kAccept:
+      return true;
+    default:
+      // Control plane (view change, state transfer) and replies stay on the
+      // serial path: rare, and their handling is entangled with view state.
+      return false;
+  }
+}
+
+Time Replica::stage_verify_cost(const sim::WireMessage& msg) const {
+  if (msg.payload.empty()) return 0;
+  const auto& pr = env().profile();
+  // Each share is clamped by its serial constant so the residual order-stage
+  // cost in service_cost can never go negative, whatever the profile says.
+  switch (peek_type(msg.payload)) {
+    case MsgType::kRequest:
+      return std::min(pr.cpu_verify_request, pr.cpu_request_admission);
+    case MsgType::kPropose:
+      return std::min(pr.cpu_verify_propose_fixed, pr.cpu_validate_fixed) +
+             std::min(pr.cpu_verify_per_msg, pr.cpu_validate_per_msg) *
                  static_cast<Time>(peek_propose_count(msg.payload));
     case MsgType::kWrite:
     case MsgType::kAccept:
-      return pr.cpu_vote;
+      return std::min(pr.cpu_verify_vote, pr.cpu_vote);
     default:
-      return pr.cpu_vote;
+      return 0;
   }
+}
+
+void Replica::stage_precompute(sim::WireMessage& msg) const {
+  // Stamp the PROPOSE batch digest: the wire bytes past the fixed header ARE
+  // the canonical batch encoding (see handle_propose), so the digest is a
+  // pure function of the message — safe on a verify worker.
+  if (msg.payload.size() <= kProposeBatchOffset) return;
+  if (peek_type(msg.payload) != MsgType::kPropose) return;
+  msg.batch_digest =
+      Sha256::hash(msg.payload.view().subspan(kProposeBatchOffset));
+  msg.has_batch_digest = true;
+}
+
+sim::StageBackend* Replica::exec_stage() const {
+  sim::StageBackend* stages = env().stages();
+  return (stages != nullptr && stages->exec_shards() > 0) ? stages : nullptr;
+}
+
+bool Replica::sim_exec_model_on() const {
+  const auto& pr = env().profile();
+  // Pure simulation only: a real backend executes on real shard threads, and
+  // under the wall-clock profile cpu_execute_per_msg is 0 so the model stays
+  // inert even if shards are configured without a StagePool.
+  return env().stages() == nullptr && pr.effective_exec_shards() > 0 &&
+         pr.cpu_execute_per_msg > 0;
 }
 
 void Replica::on_message(const sim::WireMessage& msg) {
   if (!started_ || msg.payload.empty()) return;
   if (!verify(msg)) return;  // unauthenticated traffic is dropped
+  if (msg.verify_verdict != 0) ++counters_.staged_verifies;
   Reader r(msg.payload);
   const auto type = static_cast<MsgType>(r.u8());
   switch (type) {
@@ -363,9 +444,12 @@ void Replica::handle_propose(const sim::WireMessage& msg, Reader& r) {
   if (p.view > view_) max_seen_view_ = std::max(max_seen_view_, p.view);
   // The wire bytes past the fixed header ARE the encoded batch; hashing the
   // slice gives batch_digest(p.batch) without a second serialization (the
-  // codec is canonical: decode∘encode is the identity on encodings).
+  // codec is canonical: decode∘encode is the identity on encodings). The
+  // verify stage precomputes this digest off the critical path when on.
   const Digest digest =
-      Sha256::hash(msg.payload.view().subspan(kProposeBatchOffset));
+      msg.has_batch_digest
+          ? msg.batch_digest
+          : Sha256::hash(msg.payload.view().subspan(kProposeBatchOffset));
   accept_proposal(p.view, p.instance, std::move(p.batch), &digest);
 }
 
@@ -544,7 +628,20 @@ void Replica::execute_batch(const Batch& batch) {
   // executes (including held-back requests that unblock now) is buffered and
   // flushed as one wire message per origin.
   buffer_replies_ = true;
+  if (sim_exec_model_on()) {
+    exec_bucket_.assign(env().profile().effective_exec_shards(), 0);
+    exec_deferred_total_ = 0;
+  }
   for (const auto& req : batch) deliver_fifo(req);
+  if (!exec_bucket_.empty()) {
+    // Shard-makespan model: the deferred work of this batch ran spread over
+    // S buckets (least-loaded-first), so the order stage only stalls for the
+    // longest bucket. Refund the rest of the serially-charged cost.
+    const Time makespan =
+        *std::max_element(exec_bucket_.begin(), exec_bucket_.end());
+    consume_cpu(-(exec_deferred_total_ - makespan));
+    exec_bucket_.clear();
+  }
   buffer_replies_ = false;
   flush_replies();
 }
@@ -598,7 +695,52 @@ void Replica::execute_one(const Request& req) {
 
   consume_cpu(env().profile().cpu_execute_per_msg);
   if (req.reconfig) {
+    // Reconfiguration mutates replica state; always serial.
     apply_reconfig(req);
+  } else if (sim::StageBackend* shards = exec_stage()) {
+    // Runtime exec sharding: the ordering-relevant part ran inside
+    // execute_staged; the deferred remainder goes to a shard keyed by the
+    // request's destination key, and its replies release through the
+    // per-origin FIFO barrier in delivery order (§II-B).
+    StagedExec staged = app_->execute_staged(req);
+    if (staged.deferred) {
+      ++counters_.deferred_execs;
+      if (exec_barrier_ == nullptr) {
+        exec_barrier_ = std::make_unique<ExecBarrier>(
+            [this](ProcessId to, Buffer payload) {
+              send_from_stage(to, std::move(payload));
+            });
+      }
+      const ProcessId origin = req.origin;
+      const std::uint64_t ticket = exec_barrier_->open(origin);
+      shards->submit_exec(
+          staged.key, [this, origin, ticket, work = std::move(staged.deferred)] {
+            std::vector<ExecBarrier::PendingSend> sends;
+            t_stage_sends = &sends;
+            work();
+            t_stage_sends = nullptr;
+            exec_barrier_->complete(origin, ticket, std::move(sends));
+          });
+    }
+  } else if (sim_exec_model_on()) {
+    // Simulated exec sharding: run the deferred part inline (deterministic),
+    // but price it onto the least-loaded shard bucket; execute_batch refunds
+    // the serial sum down to the bucket makespan afterwards.
+    const Time before = consumed_cpu();
+    StagedExec staged = app_->execute_staged(req);
+    if (staged.deferred) {
+      ++counters_.deferred_execs;
+      staged.deferred();
+      // Deferrable cost = the per-request execute constant (charged above)
+      // plus whatever app CPU the deferred part declared while running.
+      const Time cost =
+          consumed_cpu() - before + env().profile().cpu_execute_per_msg;
+      if (!exec_bucket_.empty() && cost > 0) {
+        auto it = std::min_element(exec_bucket_.begin(), exec_bucket_.end());
+        *it += cost;
+        exec_deferred_total_ += cost;
+      }
+    }
   } else {
     app_->execute(req);
   }
@@ -644,6 +786,13 @@ void Replica::send_reply(const Request& req, Bytes result) {
     result.push_back(static_cast<std::uint8_t>(id().value));
   }
   Reply rep{group_, req.seq, std::move(result)};
+  if (t_stage_sends != nullptr) {
+    // Shard thread: collect behind this request's barrier ticket; the
+    // barrier releases the send once every earlier ticket of the same
+    // origin completed.
+    t_stage_sends->emplace_back(req.origin, Buffer(rep.encode()));
+    return;
+  }
   if (buffer_replies_) {
     reply_buffer_[req.origin].push_back(std::move(rep));
   } else {

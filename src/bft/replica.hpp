@@ -29,11 +29,13 @@
 #include <vector>
 
 #include "bft/application.hpp"
+#include "bft/exec_barrier.hpp"
 #include "bft/fault.hpp"
 #include "bft/message.hpp"
 #include "common/metrics.hpp"
 #include "sim/actor.hpp"
 #include "sim/env.hpp"
+#include "sim/stages.hpp"
 
 namespace byzcast::bft {
 
@@ -136,6 +138,8 @@ class Replica final : public sim::Actor, public ReplicaContext {
     std::uint64_t stale_window_drops = 0; // superseded/stale-view timer fires
     std::uint64_t buffered_decisions = 0; // ACCEPT quorums completed out of
                                           // order, applied later
+    std::uint64_t staged_verifies = 0;    // messages pre-verified off-stage
+    std::uint64_t deferred_execs = 0;     // requests sharded to exec stage
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -156,6 +160,21 @@ class Replica final : public sim::Actor, public ReplicaContext {
  protected:
   void on_message(const sim::WireMessage& msg) override;
   [[nodiscard]] Time service_cost(const sim::WireMessage& msg) const override;
+
+  // --- stage-pipeline hooks (sim::Actor) -----------------------------------
+  /// Protocol traffic whose MAC check + digest work is state-independent:
+  /// REQUEST / PROPOSE / WRITE / ACCEPT. Control-plane messages (view
+  /// change, state transfer) stay on the serial path — they are rare and
+  /// their handling is entangled with view state.
+  [[nodiscard]] bool stage_verifiable(
+      const sim::WireMessage& msg) const override;
+  /// The share of service_cost the verify stage absorbs for `msg` (clamped
+  /// so the remaining serial cost never goes negative).
+  [[nodiscard]] Time stage_verify_cost(
+      const sim::WireMessage& msg) const override;
+  /// Stamps the PROPOSE batch digest on the verify worker so handle_propose
+  /// skips its SHA-256 over the batch slice.
+  void stage_precompute(sim::WireMessage& msg) const override;
 
  private:
   struct OpenConsensus {
@@ -244,6 +263,12 @@ class Replica final : public sim::Actor, public ReplicaContext {
   void flush_replies();
   void deliver_fifo(const Request& req);
   void execute_one(const Request& req);
+  /// The runtime exec-shard backend, or null (sim / no shards configured /
+  /// ablated). Non-null means deferred work really runs on shard threads.
+  [[nodiscard]] sim::StageBackend* exec_stage() const;
+  /// True when the *simulated* exec-shard model is on: shards configured,
+  /// not ablated, and no real backend (pure simulation).
+  [[nodiscard]] bool sim_exec_model_on() const;
   void apply_reconfig(const Request& req);
   void maybe_checkpoint();
   [[nodiscard]] Bytes make_snapshot() const;
@@ -312,6 +337,16 @@ class Replica final : public sim::Actor, public ReplicaContext {
   /// flushed as one message each afterwards (return-path batching).
   bool buffer_replies_ = false;
   std::map<ProcessId, std::vector<Reply>> reply_buffer_;
+
+  // --- execute/reply stage (stage pipeline) --------------------------------
+  /// Simulated shard model: per-shard CPU buckets for the current batch. The
+  /// batch's serial execute cost is refunded down to the bucket makespan
+  /// (max over shards) — the modeled wall-clock of parallel shards.
+  std::vector<Time> exec_bucket_;
+  Time exec_deferred_total_ = 0;  // deferred cost accumulated this batch
+  /// Runtime backend: per-origin FIFO barrier releasing shard-produced
+  /// replies in delivery order (lazily created on first deferred request).
+  std::unique_ptr<ExecBarrier> exec_barrier_;
 
   // --- view change ----------------------------------------------------------
   std::map<std::uint64_t, std::set<ProcessId>> stop_votes_;

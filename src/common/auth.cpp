@@ -76,28 +76,44 @@ bool Authenticator::verify(ProcessId from, BytesView data,
   // when this exact (sender, payload, mac) triple was already verified. The
   // slot is matched on the payload's full digest — second-preimage
   // resistance rules out a different payload hitting a stored entry, so the
-  // memo never accepts anything HMAC itself would not.
+  // memo never accepts anything HMAC itself would not. Concurrent verifiers
+  // (the verify-stage worker pool) coordinate through the per-slot try-lock;
+  // losing the lock race degrades to a full HMAC, never to a wrong answer.
   const Digest ph = Sha256::hash(data);
   std::uint64_t fp = 0;
   for (int i = 0; i < 8; ++i) {
     fp |= static_cast<std::uint64_t>(ph[static_cast<std::size_t>(i)])
           << (8 * i);
   }
-  if (cache_.empty()) cache_.resize(kCacheSlots);
+  std::call_once(cache_init_, [this] {
+    cache_ = std::make_unique<CacheSlot[]>(cache_slots_);
+  });
   CacheSlot& slot =
       cache_[(fp ^ static_cast<std::uint64_t>(
                        static_cast<std::uint32_t>(from.value) * 0x9e3779b9U)) %
-             kCacheSlots];
-  if (slot.from == from.value && slot.payload_hash == ph && slot.mac == mac) {
-    ++hits_;
-    return true;
+             cache_slots_];
+  std::uint32_t free_lock = 0;
+  if (slot.busy.compare_exchange_strong(free_lock, 1,
+                                        std::memory_order_acquire)) {
+    const bool hit =
+        slot.from == from.value && slot.payload_hash == ph && slot.mac == mac;
+    slot.busy.store(0, std::memory_order_release);
+    if (hit) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   const Bytes key = keys_->pair_key(from, self_);
   const bool ok = hmac_sha256(key, data) == mac;
   if (ok) {
-    slot.from = from.value;
-    slot.payload_hash = ph;
-    slot.mac = mac;
+    free_lock = 0;
+    if (slot.busy.compare_exchange_strong(free_lock, 1,
+                                          std::memory_order_acquire)) {
+      slot.from = from.value;
+      slot.payload_hash = ph;
+      slot.mac = mac;
+      slot.busy.store(0, std::memory_order_release);
+    }
   }
   return ok;
 }

@@ -6,9 +6,10 @@
 // process's Authenticator).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <mutex>
 
 #include "common/bytes.hpp"
 #include "common/sha256.hpp"
@@ -67,38 +68,55 @@ class KeyStore {
 /// payload, plus the outer hash). kFast mode is not cached: its MAC is
 /// itself one cheap hash pass, cheaper than the digest lookup.
 ///
-/// The cache is not locked: an Authenticator belongs to one actor, and both
-/// backends serialize everything an actor does (the simulator's scheduler /
-/// the runtime's per-actor worker pinning).
+/// The cache is safe for concurrent verifiers: the verify stage fans MAC
+/// checks for one replica out to a worker pool, so several threads may probe
+/// the memo at once. Each direct-mapped slot carries a one-word try-lock —
+/// a thread that cannot take a slot's lock immediately treats the probe as a
+/// miss (reader: pays the full HMAC; writer: skips the store). Verification
+/// therefore never blocks and never observes a torn slot; contention only
+/// costs the optimization, not correctness. `sign` touches no shared state.
 class Authenticator {
  public:
-  Authenticator(std::shared_ptr<const KeyStore> keys, ProcessId self)
-      : keys_(std::move(keys)), self_(self) {}
+  static constexpr std::size_t kDefaultCacheSlots = 1024;  // direct-mapped
+
+  /// `cache_slots` sizes the verify memo (must be > 0; tests shrink it to 1
+  /// to force every verification onto the same slot).
+  Authenticator(std::shared_ptr<const KeyStore> keys, ProcessId self,
+                std::size_t cache_slots = kDefaultCacheSlots)
+      : keys_(std::move(keys)), self_(self), cache_slots_(cache_slots) {}
 
   [[nodiscard]] ProcessId self() const { return self_; }
 
-  /// MAC over `data` for the channel self -> `to`.
+  /// MAC over `data` for the channel self -> `to`. Thread-safe.
   [[nodiscard]] Digest sign(ProcessId to, BytesView data) const;
 
   /// Checks a MAC allegedly produced by `from` for the channel from -> self.
+  /// Thread-safe: callable concurrently from verify-stage workers.
   [[nodiscard]] bool verify(ProcessId from, BytesView data,
                             const Digest& mac) const;
 
   /// Verifications answered from the memo (observability / tests).
-  [[nodiscard]] std::uint64_t verify_cache_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t verify_cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One memo entry. `busy` is the per-slot try-lock: 0 free, 1 held.
   struct CacheSlot {
+    std::atomic<std::uint32_t> busy{0};
     std::int32_t from = -1;
     Digest payload_hash{};
     Digest mac{};
   };
-  static constexpr std::size_t kCacheSlots = 1024;  // direct-mapped, bounded
 
   std::shared_ptr<const KeyStore> keys_;
   ProcessId self_;
-  mutable std::vector<CacheSlot> cache_;  // lazily sized on first verify
-  mutable std::uint64_t hits_ = 0;
+  std::size_t cache_slots_;
+  /// Lazily allocated on the first memoizable verification (client actors
+  /// by the thousand never verify with real HMACs; don't pay 74 KiB each).
+  mutable std::once_flag cache_init_;
+  mutable std::unique_ptr<CacheSlot[]> cache_;
+  mutable std::atomic<std::uint64_t> hits_{0};
 };
 
 }  // namespace byzcast

@@ -142,7 +142,15 @@ void ByzCastNode::execute(const bft::Request& req) {
   handle(m, req.op);
 }
 
-void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op,
+bft::StagedExec ByzCastNode::execute_staged(const bft::Request& req) {
+  staging_ = true;
+  staged_out_ = {};
+  execute(req);
+  staging_ = false;
+  return std::move(staged_out_);
+}
+
+void ByzCastNode::handle(const MulticastMessage& m, const Buffer& raw_op,
                          Time first_seen) {
   handled_.insert(m.id);
   // Any copies counted before the threshold (or before a direct-path
@@ -200,9 +208,19 @@ void ByzCastNode::handle(const MulticastMessage& m, BytesView raw_op,
     synthetic.group = my_group;
     synthetic.origin = m.id.origin;
     synthetic.seq = m.id.seq;
-    Bytes reply =
-        shard_app_ ? shard_app_->apply(my_group, m) : ack_bytes(raw_op);
-    ctx_->send_reply(synthetic, std::move(reply));
+    if (staging_ && shard_app_ == nullptr) {
+      // Defer the pure per-request tail — SHA-256 over the ordered bytes +
+      // reply encode — to an exec shard. Captures only ref-counted bytes
+      // and the thread-safe reply path (the StagedExec contract).
+      staged_out_.key = bft::stage_key(raw_op.view());
+      staged_out_.deferred = [ctx = ctx_, synthetic, op = raw_op] {
+        ctx->send_reply(synthetic, ack_bytes(op.view()));
+      };
+    } else {
+      Bytes reply = shard_app_ ? shard_app_->apply(my_group, m)
+                               : ack_bytes(raw_op.view());
+      ctx_->send_reply(synthetic, std::move(reply));
+    }
   }
 }
 

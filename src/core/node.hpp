@@ -66,6 +66,13 @@ class ByzCastNode final : public bft::Application {
 
   void execute(const bft::Request& req) override;
 
+  /// Stage-pipeline entry: runs everything ordering-relevant (copy counting,
+  /// relay forwarding, a-delivery bookkeeping) inline, and defers only the
+  /// a-deliver ack reply (digest of the ordered bytes + reply encode) to the
+  /// exec shards — and only when no ShardApplication is attached (a shard
+  /// state machine mutates shared state, so it must stay serial).
+  [[nodiscard]] bft::StagedExec execute_staged(const bft::Request& req) override;
+
   /// Attaches the replica-local application state machine (may be null: the
   /// reply is then a digest-based ack). Must be set before messages flow
   /// and must outlive the node.
@@ -90,10 +97,11 @@ class ByzCastNode final : public bft::Application {
 
  private:
   /// `raw_op` is the encoded form of `m` as carried by the triggering
-  /// request; the a-deliver ack hashes it instead of re-encoding `m`.
-  /// `first_seen` is when the first parent copy arrived (-1: direct path,
-  /// no f+1 wait) — the kOrderWait span.
-  void handle(const MulticastMessage& m, BytesView raw_op,
+  /// request (ref-counted: the deferred ack closure shares it); the
+  /// a-deliver ack hashes it instead of re-encoding `m`. `first_seen` is
+  /// when the first parent copy arrived (-1: direct path, no f+1 wait) —
+  /// the kOrderWait span.
+  void handle(const MulticastMessage& m, const Buffer& raw_op,
               Time first_seen = -1);
   void forward(const MulticastMessage& m);
   void send_copy(GroupId child, const MulticastMessage& m,
@@ -134,6 +142,11 @@ class ByzCastNode final : public bft::Application {
   // Fault machinery.
   std::uint64_t fabricate_counter_ = 0;
   std::optional<MulticastMessage> front_run_buffer_;
+
+  // Stage-pipeline state: true while execute_staged drives execute(); the
+  // a-deliver reply path then fills staged_out_ instead of replying inline.
+  bool staging_ = false;
+  bft::StagedExec staged_out_;
 
   // Lazily resolved metric handles (need ctx_ for the group label); stable
   // pointers into obs_.metrics, null when metrics are off.

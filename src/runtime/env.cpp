@@ -15,17 +15,32 @@ RuntimeEnv::RuntimeEnv(RuntimeOptions opts)
           opts.seed ^ 0xb7e151628aed2a6aULL,
           opts.profile.fast_macs ? MacMode::kFast : MacMode::kHmac,
           /*verify_memo=*/!opts.profile.mac_memo_off)),
-      master_rng_(opts.seed) {}
+      master_rng_(opts.seed) {
+  const std::uint32_t vw = opts_.profile.effective_verify_workers();
+  const std::uint32_t es = opts_.profile.effective_exec_shards();
+  if (vw > 0 || es > 0) {
+    stages_ = std::make_unique<StagePool>(
+        vw, es, opts_.mailbox_capacity,
+        [this](ProcessId owner, std::function<void()> fn) {
+          // Verify completions re-enter the owner's executor lane; an owner
+          // detached mid-flight counts as a drop (same as the network).
+          const std::size_t worker = network_.worker_of(owner);
+          if (worker != Executor::npos) executor_.post(worker, std::move(fn));
+        });
+  }
+}
 
 RuntimeEnv::~RuntimeEnv() { stop(); }
 
 void RuntimeEnv::start() {
   executor_.start();
+  if (stages_) stages_->start();
   wheel_.start();
 }
 
 void RuntimeEnv::stop() {
   wheel_.stop();
+  if (stages_) stages_->stop();
   executor_.stop();
 }
 

@@ -8,8 +8,9 @@
 // Lifecycle: construct → wire systems/actors → start() → drive load from the
 // edge with run_on() → wait for quiescence (poll the DeliveryLog) → stop()
 // → destroy actors. stop() halts the wheel first (no new timer fires), then
-// the executor (mailboxes close, workers drain and join), so by the time
-// actors die no thread can touch them. Determinism is NOT preserved on this
+// the stage pool (verify/exec workers drain, completions posted into still-
+// live executor lanes), then the executor (mailboxes close, workers drain
+// and join), so by the time actors die no thread can touch them. Determinism is NOT preserved on this
 // backend — runs are real concurrent executions; the property checkers, not
 // golden traces, are the correctness oracle.
 #pragma once
@@ -25,6 +26,7 @@
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/stage_pool.hpp"
 #include "runtime/thread_network.hpp"
 #include "runtime/timer_wheel.hpp"
 #include "runtime/wall_clock.hpp"
@@ -82,6 +84,9 @@ class RuntimeEnv final : public sim::ExecutionEnv {
   void send_message(sim::WireMessage msg) override {
     network_.send(std::move(msg));
   }
+  [[nodiscard]] sim::StageBackend* stages() const override {
+    return stages_.get();
+  }
   void schedule(ProcessId owner, Time delay,
                 std::function<void()> fn) override;
 
@@ -95,6 +100,9 @@ class RuntimeEnv final : public sim::ExecutionEnv {
   [[nodiscard]] Executor& executor() { return executor_; }
   [[nodiscard]] ThreadNetwork& network() { return network_; }
   [[nodiscard]] const RuntimeOptions& options() const { return opts_; }
+  /// The stage pool, or null when the profile configures no stage threads
+  /// (verify_workers == 0 and exec_shards == 0, or stage_pipeline_off).
+  [[nodiscard]] StagePool* stage_pool() { return stages_.get(); }
 
  private:
   [[nodiscard]] std::size_t worker_for_domain(std::int32_t domain);
@@ -104,6 +112,9 @@ class RuntimeEnv final : public sim::ExecutionEnv {
   Executor executor_;
   TimerWheel wheel_;
   ThreadNetwork network_;
+  /// Verify/exec stage threads (stage pipeline); null at depth 0. Declared
+  /// after the executor/network it posts into, stopped before them.
+  std::unique_ptr<StagePool> stages_;
   std::shared_ptr<KeyStore> keys_;
   Observability obs_;
   std::atomic<std::int32_t> next_pid_{0};

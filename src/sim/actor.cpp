@@ -1,5 +1,7 @@
 #include "sim/actor.hpp"
 
+#include <algorithm>
+
 #include "common/span.hpp"
 
 namespace byzcast::sim {
@@ -24,8 +26,72 @@ Time Actor::service_cost(const WireMessage&) const { return 0; }
 void Actor::enqueue(WireMessage msg) {
   if (crashed_) return;
   msg.enqueued_at = env_.now();
+  if (msg.verify_verdict == 0 && stage_verifiable(msg)) {
+    if (StageBackend* stages = env_.stages();
+        stages != nullptr && stages->verify_workers() > 0) {
+      // Runtime backend: real worker pool. The message re-enters via
+      // enqueue_verified on this actor's executor lane, in submission order.
+      stages->submit_verify(
+          id_, std::move(msg),
+          [this, weak = std::weak_ptr<void>(alive_)](WireMessage& m) {
+            if (weak.expired()) return;
+            stage_preverify(m);
+          },
+          [this, weak = std::weak_ptr<void>(alive_)](WireMessage m) {
+            if (weak.expired()) return;
+            enqueue_verified(std::move(m));
+          });
+      return;
+    }
+    if (const std::uint32_t workers =
+            env_.profile().effective_verify_workers();
+        workers > 0) {
+      // Simulated verify pool. Engages only when this message has a nonzero
+      // offloadable share (the wallclock profile zeroes every share, so the
+      // net backend never takes this path).
+      if (const Time vcost = stage_verify_cost(msg); vcost > 0) {
+        model_stage_verify(std::move(msg), workers, vcost);
+        return;
+      }
+    }
+  }
   inbox_.push_back(std::move(msg));
   maybe_drain();
+}
+
+void Actor::enqueue_verified(WireMessage msg) {
+  if (crashed_) return;
+  if (msg.enqueued_at < 0) msg.enqueued_at = env_.now();
+  inbox_.push_back(std::move(msg));
+  maybe_drain();
+}
+
+void Actor::stage_preverify(WireMessage& msg) const {
+  msg.verify_verdict =
+      (msg.to == id_ && auth_.verify(msg.from, msg.payload, msg.mac)) ? 1 : -1;
+  if (msg.verify_verdict == 1) stage_precompute(msg);
+}
+
+void Actor::model_stage_verify(WireMessage msg, std::uint32_t workers,
+                               Time vcost) {
+  // Host-side the verification really happens (verdict + digests must be
+  // correct); simulated time charges it to the earliest-free pool server.
+  stage_preverify(msg);
+  if (verify_busy_.size() < workers) verify_busy_.resize(workers, 0);
+  auto slot =
+      std::min_element(verify_busy_.begin(), verify_busy_.begin() + workers);
+  const Time done = std::max(env_.now(), *slot) + vcost;
+  *slot = done;
+  // Completion-reorder buffer: a result never overtakes an earlier
+  // submission, so the order stage sees the arrival sequence.
+  const Time ready = std::max(done, verify_frontier_);
+  verify_frontier_ = ready;
+  env_.schedule(id_, ready - env_.now(),
+                [this, weak = std::weak_ptr<void>(alive_),
+                 m = std::move(msg)]() mutable {
+                  if (weak.expired()) return;
+                  enqueue_verified(std::move(m));
+                });
 }
 
 void Actor::maybe_drain() {
@@ -106,7 +172,18 @@ void Actor::send(ProcessId to, Buffer payload) {
 }
 
 bool Actor::verify(const WireMessage& msg) const {
+  if (msg.verify_verdict != 0) return msg.verify_verdict > 0;
   return msg.to == id_ && auth_.verify(msg.from, msg.payload, msg.mac);
+}
+
+void Actor::send_from_stage(ProcessId to, Buffer payload) {
+  WireMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.mac = auth_.sign(to, payload);
+  msg.payload = std::move(payload);
+  msg.sent_at = env_.now();
+  env_.send_message(std::move(msg));
 }
 
 void Actor::schedule_in(Time delay, std::function<void()> fn) {

@@ -27,6 +27,7 @@
 namespace byzcast::sim {
 
 class Actor;
+class StageBackend;
 
 class ExecutionEnv {
  public:
@@ -69,6 +70,12 @@ class ExecutionEnv {
   /// Routes an authenticated message toward msg.to. Unknown destinations
   /// are dropped silently (a real network has no delivery guarantee).
   virtual void send_message(WireMessage msg) = 0;
+
+  /// Stage pipeline backend (sim/stages.hpp), or nullptr when this backend
+  /// runs every stage inline. Only the wall-clock runtime returns one (and
+  /// only when Profile::effective_verify_workers() > 0); the deterministic
+  /// simulator models the verify pool inside Actor instead.
+  [[nodiscard]] virtual StageBackend* stages() const { return nullptr; }
 
   /// Runs `fn` after `delay`, serialized with `owner`'s message handling.
   /// Callers are responsible for guarding `fn` against the owner's

@@ -47,6 +47,20 @@ struct Profile {
   /// Cost of pushing one outgoing message to the NIC.
   Time cpu_send = 8 * kMicrosecond;
 
+  // --- verify-stage offload shares (stage pipeline, ROADMAP item 5) -------
+  // The slice of each admission/validation cost that is pure MAC checking +
+  // digest computation — the part the verify stage can run on a worker pool
+  // off the order stage's critical path. Must not exceed the corresponding
+  // serial constant; the order stage keeps the difference.
+  /// Offloadable share of cpu_request_admission (HMAC over the request).
+  Time cpu_verify_request = 6 * kMicrosecond;
+  /// Offloadable share of cpu_validate_fixed (batch SHA-256 + PROPOSE MAC).
+  Time cpu_verify_propose_fixed = 1300 * kMicrosecond;
+  /// Offloadable share of cpu_validate_per_msg (per-request digest work).
+  Time cpu_verify_per_msg = 2 * kMicrosecond;
+  /// Offloadable share of cpu_vote (vote MAC check).
+  Time cpu_verify_vote = 20 * kMicrosecond;
+
   // --- client CPU --------------------------------------------------------
   Time cpu_client_reply = 5 * kMicrosecond;
 
@@ -77,6 +91,29 @@ struct Profile {
   Time leader_timeout = 2 * kSecond;
   /// Checkpoint period, in decided consensus instances.
   std::uint32_t checkpoint_period = 256;
+
+  // --- stage pipeline (intra-group vertical scaling) ----------------------
+  /// Verify-stage worker pool size per replica. 0 = stage pipeline off:
+  /// every message is verified inline on the order stage, bit-identical to
+  /// the pre-stage behaviour. On the runtime backend this is the number of
+  /// real StagePool worker threads; on the simulator it is the width of the
+  /// modeled W-server verify pool.
+  std::uint32_t verify_workers = 0;
+  /// Execute/reply-stage shard count. 0 = execution stays inline on the
+  /// order stage. Sharding applies only to deferred per-request work
+  /// (application execution of independent keys + reply encoding); ordering,
+  /// relay forwarding and a-delivery bookkeeping always stay serial.
+  std::uint32_t exec_shards = 0;
+  /// Ablation: force both stage knobs to 0 regardless of their values.
+  bool stage_pipeline_off = false;
+
+  /// Stage knobs after the ablation switch.
+  [[nodiscard]] std::uint32_t effective_verify_workers() const {
+    return stage_pipeline_off ? 0 : verify_workers;
+  }
+  [[nodiscard]] std::uint32_t effective_exec_shards() const {
+    return stage_pipeline_off ? 0 : exec_shards;
+  }
 
   // --- ablation switches (workload-engine step experiments) ---------------
   // Each switch turns one optimization back off so a sweep can measure what
@@ -132,6 +169,10 @@ struct Profile {
     p.cpu_duplicate_copy = 0;
     p.cpu_send = 0;
     p.cpu_client_reply = 0;
+    p.cpu_verify_request = 0;
+    p.cpu_verify_propose_fixed = 0;
+    p.cpu_verify_per_msg = 0;
+    p.cpu_verify_vote = 0;
     p.fast_macs = true;
     p.leader_timeout = 2 * kSecond;
     return p;

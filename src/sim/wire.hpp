@@ -29,6 +29,18 @@ struct WireMessage {
   Time sent_at = -1;        // Actor::send at the source
   Time enqueued_at = -1;    // arrival in the destination actor's inbox
   Time svc_start = -1;      // popped from the inbox: service begins
+
+  // --- verify-stage stamps (receive-side only, never encoded or MAC'd) ----
+  /// Result of an off-thread (or modeled) MAC verification performed by the
+  /// verify stage before the message re-enters the serial order stage:
+  /// 0 = not pre-verified, 1 = MAC ok, -1 = MAC bad. The order stage trusts
+  /// a nonzero verdict and skips the inline verification.
+  std::int8_t verify_verdict = 0;
+  /// When true, `batch_digest` carries the SHA-256 of the PROPOSE batch
+  /// slice, precomputed by the verify stage so the order stage does not
+  /// rehash the batch on its critical path.
+  bool has_batch_digest = false;
+  Digest batch_digest{};
 };
 
 }  // namespace byzcast::sim

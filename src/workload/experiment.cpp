@@ -218,6 +218,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.batch_min > 0) profile.batch_min = config.batch_min;
   if (config.batch_timeout > 0) profile.batch_timeout = config.batch_timeout;
   if (config.pipeline_off) profile.pipeline_depth = 1;
+  profile.verify_workers = config.verify_workers;
+  profile.exec_shards = config.exec_shards;
+  profile.stage_pipeline_off = config.stage_pipeline_off;
 
   std::unique_ptr<sim::Simulation> sim;
   sim::WanLatency* wan_model = nullptr;

@@ -114,6 +114,14 @@ struct ExperimentConfig {
   /// Freeze the adaptive batch target at batch_max — every batch waits out
   /// the full assembly window (fixed batching, no early cuts growth/decay).
   bool batch_adapt_off = false;
+  // --- stage pipeline (intra-group vertical scaling) -----------------------
+  /// Verify-stage worker pool size per replica (0 = verification inline on
+  /// the order stage — the pre-stage behaviour, bit-identical).
+  std::uint32_t verify_workers = 0;
+  /// Execute/reply-stage shard count (0 = execution inline).
+  std::uint32_t exec_shards = 0;
+  /// Ablation: force both stage knobs to 0 regardless of their values.
+  bool stage_pipeline_off = false;
 };
 
 struct ExperimentResult {

@@ -48,6 +48,7 @@ bool apply_ablation(ExperimentConfig& config, const std::string& name) {
   else if (name == "mac_memo_on") config.real_macs = true;
   else if (name == "pipeline_off") config.pipeline_off = true;
   else if (name == "batch_adapt_off") config.batch_adapt_off = true;
+  else if (name == "stage_pipeline_off") config.stage_pipeline_off = true;
   else return false;
   return true;
 }
@@ -95,6 +96,10 @@ std::optional<WorkloadSpec> parse_workload_spec(const Json& doc,
     fail(error, "spec has a non-positive population or window field");
     return std::nullopt;
   }
+  cfg.verify_workers = static_cast<std::uint32_t>(
+      doc.int_or("verify_workers", cfg.verify_workers));
+  cfg.exec_shards = static_cast<std::uint32_t>(
+      doc.int_or("exec_shards", cfg.exec_shards));
   if (doc.has("monitors")) cfg.monitors = doc.get("monitors").as_bool();
   if (doc.has("span_tracing")) {
     cfg.span_tracing = doc.get("span_tracing").as_bool();

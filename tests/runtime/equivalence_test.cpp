@@ -5,6 +5,10 @@
 // backend. Both logs must satisfy the §II-B atomic multicast properties and
 // agree on *what* each group delivered; the runtime's interleaving may
 // differ, which is exactly what the property checkers constrain.
+// The stage-pipeline variant repeats the exercise with verify workers and
+// exec shards on: the simulator's stage model must stay deterministic and
+// deliver the same sets, the ablation must restore the serial log bit-for-
+// bit, and the runtime StagePool must not change delivered content.
 // (Suite name matches the ThreadSanitizer CI filter via "RuntimeSystem".)
 #include <gtest/gtest.h>
 
@@ -60,12 +64,14 @@ struct SimRun {
   std::set<DeliveredKey> delivered;     // group-level delivered sets
 };
 
-SimRun run_sim(std::uint64_t seed) {
+SimRun run_sim(std::uint64_t seed,
+               const sim::Profile& profile = sim::Profile::lan()) {
   HarnessConfig config;
   config.tree = TreeKind::kTwoLevel;
   config.num_targets = 2;
   config.f = 1;
   config.seed = seed;
+  config.profile = profile;
   ByzCastHarness h(config);
   h.run_tracked(kClients, static_cast<int>(schedule().size()),
                 [](int, int k, Rng&) {
@@ -95,20 +101,16 @@ SimRun run_sim(std::uint64_t seed) {
   return out;
 }
 
-TEST(RuntimeSystemEquivalence, SimIsDeterministicAndRuntimeDeliversSameSets) {
-  // 1) Determinism: two sim runs with the same seed produce the same
-  //    DeliveryLog record-for-record (order, replicas, timestamps). Shared
-  //    payload buffers must not leak wall-clock state into the simulation.
-  const SimRun sim_a = run_sim(/*seed=*/42);
-  const SimRun sim_b = run_sim(/*seed=*/42);
-  ASSERT_EQ(sim_a.raw.size(), sim_b.raw.size());
-  EXPECT_EQ(sim_a.raw, sim_b.raw);
-
-  // 2) The wall-clock backend, same workload: properties hold and every
-  //    group a-delivers exactly the same message set as the simulator.
+/// The wall-clock backend, same fixed workload: checks the §II-B properties
+/// and returns the delivered sets. `verify_workers`/`exec_shards` > 0 turn
+/// the RuntimeEnv's StagePool on.
+std::set<DeliveredKey> run_runtime(std::uint32_t verify_workers,
+                                   std::uint32_t exec_shards) {
   const std::vector<GroupId> targets{GroupId{0}, GroupId{1}};
   ParallelOptions opts;
   opts.runtime.seed = 42;
+  opts.runtime.profile.verify_workers = verify_workers;
+  opts.runtime.profile.exec_shards = exec_shards;
   ParallelSystem system(core::OverlayTree::two_level(targets, GroupId{100}),
                         /*f=*/1, opts);
   std::vector<core::Client*> clients;
@@ -128,13 +130,13 @@ TEST(RuntimeSystemEquivalence, SimIsDeterministicAndRuntimeDeliversSameSets) {
           MessageId{clients[c]->id(), static_cast<std::uint64_t>(k)},
           canon.dst});
       dsts.push_back(canon.dst);
-      ASSERT_TRUE(system.a_multicast(
+      EXPECT_TRUE(system.a_multicast(
           *clients[c], canon.dst,
           to_bytes("m-" + std::to_string(c) + "-" + std::to_string(k))));
     }
   }
   const std::size_t expected = system.expected_deliveries(dsts);
-  ASSERT_TRUE(
+  EXPECT_TRUE(
       system.await_total_deliveries(expected, std::chrono::minutes(3)))
       << system.delivery_log().total_deliveries() << "/" << expected;
   system.stop();
@@ -154,13 +156,59 @@ TEST(RuntimeSystemEquivalence, SimIsDeterministicAndRuntimeDeliversSameSets) {
   for (std::size_t c = 0; c < clients.size(); ++c) {
     client_index[clients[c]->id().value] = c;
   }
-  std::set<DeliveredKey> runtime_delivered;
+  std::set<DeliveredKey> delivered;
   for (const auto& rec : system.delivery_log().records()) {
     const auto it = client_index.find(rec.msg.origin.value);
-    ASSERT_NE(it, client_index.end());
-    runtime_delivered.emplace(rec.group.value, it->second, rec.msg.seq);
+    EXPECT_NE(it, client_index.end());
+    if (it == client_index.end()) continue;
+    delivered.emplace(rec.group.value, it->second, rec.msg.seq);
   }
-  EXPECT_EQ(runtime_delivered, sim_a.delivered);
+  return delivered;
+}
+
+TEST(RuntimeSystemEquivalence, SimIsDeterministicAndRuntimeDeliversSameSets) {
+  // 1) Determinism: two sim runs with the same seed produce the same
+  //    DeliveryLog record-for-record (order, replicas, timestamps). Shared
+  //    payload buffers must not leak wall-clock state into the simulation.
+  const SimRun sim_a = run_sim(/*seed=*/42);
+  const SimRun sim_b = run_sim(/*seed=*/42);
+  ASSERT_EQ(sim_a.raw.size(), sim_b.raw.size());
+  EXPECT_EQ(sim_a.raw, sim_b.raw);
+
+  // 2) The wall-clock backend, same workload: properties hold and every
+  //    group a-delivers exactly the same message set as the simulator.
+  EXPECT_EQ(run_runtime(/*verify_workers=*/0, /*exec_shards=*/0),
+            sim_a.delivered);
+}
+
+TEST(RuntimeSystemEquivalence, StagePipelineIsDeterministicAndEquivalent) {
+  const SimRun serial = run_sim(/*seed=*/42);
+
+  // 1) The simulator's stage model (verify pool + exec-shard makespan) must
+  //    be exactly as deterministic as the serial pipeline.
+  sim::Profile staged = sim::Profile::lan();
+  staged.verify_workers = 4;
+  staged.exec_shards = 4;
+  const SimRun stage_a = run_sim(/*seed=*/42, staged);
+  const SimRun stage_b = run_sim(/*seed=*/42, staged);
+  ASSERT_EQ(stage_a.raw.size(), stage_b.raw.size());
+  EXPECT_EQ(stage_a.raw, stage_b.raw);
+
+  // 2) Staging moves work between stages; it must not change WHAT each
+  //    group delivers.
+  EXPECT_EQ(stage_a.delivered, serial.delivered);
+
+  // 3) The stage_pipeline_off ablation restores the serial log bit-for-bit
+  //    (order, replicas, virtual timestamps) even with the knobs set.
+  sim::Profile ablated = staged;
+  ablated.stage_pipeline_off = true;
+  const SimRun off = run_sim(/*seed=*/42, ablated);
+  EXPECT_EQ(off.raw, serial.raw);
+
+  // 4) Runtime with a real StagePool (4 verify workers, 2 exec shards):
+  //    properties hold and delivered sets match the simulator's.
+  EXPECT_EQ(run_runtime(/*verify_workers=*/4, /*exec_shards=*/2),
+            serial.delivered);
 }
 
 }  // namespace

@@ -78,6 +78,29 @@ TEST(WorkloadSpec, MinimalDocumentKeepsDefaults) {
   EXPECT_LT(spec->base.open_loop_local_share, 0.0);  // pattern's own mix
 }
 
+TEST(WorkloadSpec, ParsesStagePipelineKnobs) {
+  const auto spec = parse(R"({
+    "name": "vertical",
+    "verify_workers": 4,
+    "exec_shards": 8,
+    "ablations": ["stage_pipeline_off"]
+  })");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->base.verify_workers, 4u);
+  EXPECT_EQ(spec->base.exec_shards, 8u);
+  // The ablation is listed, not applied — sweep mode derives the off-curve.
+  EXPECT_FALSE(spec->base.stage_pipeline_off);
+  ASSERT_EQ(spec->ablations.size(), 1u);
+  EXPECT_EQ(spec->ablations[0], "stage_pipeline_off");
+
+  // Absent knobs default to the serial pipeline.
+  const auto plain = parse(R"({"name": "tiny"})");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->base.verify_workers, 0u);
+  EXPECT_EQ(plain->base.exec_shards, 0u);
+  EXPECT_FALSE(plain->base.stage_pipeline_off);
+}
+
 TEST(WorkloadSpec, ParsesZipfWorkloadAndLocalShare) {
   const auto spec = parse(R"({
     "name": "zipf",
@@ -151,6 +174,10 @@ TEST(WorkloadSpec, ApplyAblationSetsExactlyTheNamedSwitch) {
   cfg = ExperimentConfig{};
   EXPECT_TRUE(apply_ablation(cfg, "batch_adapt_off"));
   EXPECT_TRUE(cfg.batch_adapt_off);
+
+  cfg = ExperimentConfig{};
+  EXPECT_TRUE(apply_ablation(cfg, "stage_pipeline_off"));
+  EXPECT_TRUE(cfg.stage_pipeline_off);
 
   cfg = ExperimentConfig{};
   EXPECT_FALSE(apply_ablation(cfg, "warp_drive_off"));

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_vertical.json artifact (schema "byzcast-vertical-v1").
+
+Usage:
+    check_vertical.py BENCH_VERTICAL_JSON [--min-ratio 1.25]
+                      [--require-breakdown]
+
+The file is written by bench_vertical. Checks:
+
+  * the document parses, declares the expected schema, and carries a
+    non-empty curves array whose FIRST curve is the serial baseline
+    (workers == 0, stage_pipeline_off == true);
+  * every curve's points are sorted strictly by offered rate and carry the
+    full numeric record; no point tripped invariant monitors or overflowed
+    its sample capacity;
+  * the serial curve and the widest staged curve both found a knee, and no
+    staged knee sits below the serial baseline's (beyond one bisection step
+    of slack);
+  * the headline gate: knee(w=4, or the widest staged curve when w=4 is
+    absent) >= --min-ratio x knee(serial), default 1.25;
+  * when the cpu_breakdown block is present (and always with
+    --require-breakdown), the staged p50 cpu component is strictly below
+    the serial one.
+
+Exits nonzero with a message on each failure, so CI can gate on it.
+"""
+
+import json
+import sys
+
+FAILURES = 0
+
+POINT_NUM_FIELDS = (
+    "offered",
+    "throughput",
+    "goodput_ratio",
+    "p50_ms",
+    "p99_ms",
+    "completed",
+    "monitor_violations",
+    "sample_overflow",
+)
+
+
+def fail(msg):
+    global FAILURES
+    FAILURES += 1
+    print(f"FAIL: {msg}")
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+    return cond
+
+
+def check_point(pt, where):
+    if not require(isinstance(pt, dict), f"{where}: not an object"):
+        return None
+    for key in POINT_NUM_FIELDS:
+        if not require(
+            isinstance(pt.get(key), (int, float)) and not isinstance(pt.get(key), bool),
+            f"{where}.{key}: missing or not a number",
+        ):
+            return None
+    require(isinstance(pt.get("saturated"), bool), f"{where}.saturated: missing or not a bool")
+    require(pt["offered"] > 0, f"{where}: offered rate must be positive")
+    require(pt["completed"] > 0, f"{where}: completed nothing")
+    require(pt["monitor_violations"] == 0, f"{where}: {pt['monitor_violations']} invariant violations")
+    require(pt["sample_overflow"] == 0, f"{where}: {pt['sample_overflow']} samples overflowed capacity")
+    require(pt["goodput_ratio"] <= 1.05, f"{where}: goodput {pt['goodput_ratio']:.3f} exceeds offered")
+    return pt
+
+
+def check_curve(curve, where):
+    if not require(isinstance(curve, dict), f"{where}: not an object"):
+        return
+    require(isinstance(curve.get("label"), str) and curve.get("label"), f"{where}.label: missing")
+    require(isinstance(curve.get("workers"), (int, float)), f"{where}.workers: missing")
+    points = curve.get("points")
+    if not require(isinstance(points, list) and points, f"{where}.points: missing or empty"):
+        return
+    checked = [p for i, pt in enumerate(points)
+               if (p := check_point(pt, f"{where}.points[{i}]")) is not None]
+    offered = [pt["offered"] for pt in checked]
+    require(offered == sorted(offered) and len(set(offered)) == len(offered),
+            f"{where}: points not strictly sorted by offered rate")
+    if curve.get("knee_found"):
+        knee = curve.get("knee")
+        if require(isinstance(knee, dict), f"{where}.knee: missing despite knee_found"):
+            check_point(knee, f"{where}.knee")
+            require(knee.get("saturated") is True, f"{where}.knee: knee point not saturated")
+
+
+def knee_of(curve):
+    if curve and curve.get("knee_found") and isinstance(curve.get("knee"), dict):
+        return curve["knee"].get("offered")
+    return None
+
+
+def main():
+    args = list(sys.argv[1:])
+    min_ratio = 1.25
+    if "--min-ratio" in args:
+        i = args.index("--min-ratio")
+        try:
+            min_ratio = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("usage: check_vertical.py BENCH_VERTICAL_JSON [--min-ratio R] [--require-breakdown]")
+            return 2
+        del args[i : i + 2]
+    require_breakdown = "--require-breakdown" in args
+    if require_breakdown:
+        args.remove("--require-breakdown")
+    if len(args) != 1:
+        print("usage: check_vertical.py BENCH_VERTICAL_JSON [--min-ratio R] [--require-breakdown]")
+        return 2
+
+    try:
+        with open(args[0]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args[0]}: {e}")
+        return 1
+
+    require(doc.get("schema") == "byzcast-vertical-v1", f"schema: {doc.get('schema')!r}")
+    require(isinstance(doc.get("name"), str) and doc.get("name"), "name: missing")
+    curves = doc.get("curves")
+    if not require(isinstance(curves, list) and curves, "curves: missing or empty"):
+        return 1
+    for i, curve in enumerate(curves):
+        check_curve(curve, f"curves[{i}]")
+
+    serial = curves[0] if isinstance(curves[0], dict) else {}
+    require(serial.get("workers") == 0, "curves[0]: first curve must be the serial baseline (workers=0)")
+    require(serial.get("stage_pipeline_off") is True,
+            "curves[0]: serial baseline must run the stage_pipeline_off ablation")
+
+    staged = None
+    for curve in curves[1:]:
+        if isinstance(curve, dict) and curve.get("workers") == 4:
+            staged = curve
+    if staged is None and len(curves) > 1 and isinstance(curves[-1], dict):
+        staged = curves[-1]
+
+    base_knee = knee_of(serial)
+    require(base_knee is not None, "serial baseline found no knee")
+    if staged is not None:
+        staged_knee = knee_of(staged)
+        require(staged_knee is not None, f"staged curve {staged.get('label')!r} found no knee")
+        if base_knee is not None and staged_knee is not None:
+            ratio = staged_knee / base_knee
+            require(
+                ratio >= min_ratio,
+                f"vertical scaling gate: knee({staged.get('label')}) / knee(serial) "
+                f"= {staged_knee:.0f}/{base_knee:.0f} = {ratio:.2f}x < {min_ratio}x",
+            )
+            if ratio >= min_ratio:
+                print(f"knee({staged.get('label')}) = {staged_knee:.0f} msg/s, "
+                      f"serial = {base_knee:.0f} msg/s: {ratio:.2f}x")
+    if base_knee is not None:
+        for curve in curves[1:]:
+            k = knee_of(curve)
+            if k is not None:
+                require(k >= base_knee / 1.2,
+                        f"{curve.get('label')}: knee {k:.0f} below serial baseline {base_knee:.0f}")
+
+    breakdown = doc.get("cpu_breakdown")
+    if require_breakdown:
+        require(isinstance(breakdown, dict), "cpu_breakdown: missing (span-traced pair did not run)")
+    if isinstance(breakdown, dict):
+        s = breakdown.get("serial", {})
+        t = breakdown.get("staged", {})
+        if require(
+            isinstance(s.get("cpu_p50_ms"), (int, float)) and isinstance(t.get("cpu_p50_ms"), (int, float)),
+            "cpu_breakdown: serial/staged cpu_p50_ms missing",
+        ):
+            require(s.get("n", 0) > 0 and t.get("n", 0) > 0,
+                    "cpu_breakdown: no complete traced messages")
+            require(
+                t["cpu_p50_ms"] < s["cpu_p50_ms"],
+                f"cpu component did not shrink: serial {s['cpu_p50_ms']:.3f} ms, "
+                f"staged {t['cpu_p50_ms']:.3f} ms",
+            )
+
+    if FAILURES == 0:
+        print(f"OK: {args[0]} ({len(curves)} curves)")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

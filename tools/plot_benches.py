@@ -326,6 +326,92 @@ def plot_sweep_bench(doc, dst, plt):
     print("wrote", out)
 
 
+def summarize_vertical_bench(doc):
+    """BENCH_vertical.json: one group's saturation knee vs stage-pipeline
+    width (serial = stage_pipeline_off ablation), plus the span-traced
+    cpu-component pair."""
+    print(f"\nBENCH_vertical.json (vertical scaling '{doc.get('name', '?')}', "
+          f"{doc.get('protocol', '?')} {doc.get('environment', '?')}, "
+          f"{doc.get('num_groups', '?')} group(s)):")
+    for curve in doc.get("curves", []):
+        points = curve.get("points", [])
+        if curve.get("knee_found") and isinstance(curve.get("knee"), dict):
+            knee = curve["knee"]
+            verdict = (f"knee {knee.get('offered', 0):.0f} msg/s "
+                       f"(p99 {knee.get('p99_ms', 0):.1f} ms)")
+        else:
+            verdict = (f"no knee through "
+                       f"{curve.get('max_unsaturated_rate', 0):.0f} msg/s")
+        bad = sum(p.get("monitor_violations", 0) for p in points)
+        extra = "" if bad == 0 else f", {bad} MONITOR VIOLATIONS"
+        print(f"  {curve.get('label', '?'):<26} {len(points)} points, "
+              f"{verdict}{extra}")
+    bd = doc.get("cpu_breakdown")
+    if isinstance(bd, dict):
+        s, t = bd.get("serial", {}), bd.get("staged", {})
+        print(f"  cpu p50 at {bd.get('rate', 0):.0f} msg/s: serial "
+              f"{s.get('cpu_p50_ms', 0):.3f} ms -> "
+              f"{bd.get('staged_label', 'staged')} "
+              f"{t.get('cpu_p50_ms', 0):.3f} ms")
+
+
+def plot_vertical_bench(doc, dst, plt):
+    """Two panels: p99 vs offered load per stage width (knees annotated),
+    and the span-traced p50 component stack serial vs staged — the cpu
+    share the verify/exec stages are supposed to carve off the order
+    stage's critical path."""
+    curves = [c for c in doc.get("curves", []) if c.get("points")]
+    if not curves:
+        return
+    bd = doc.get("cpu_breakdown") if isinstance(doc.get("cpu_breakdown"),
+                                                dict) else None
+    fig, axes = plt.subplots(1, 2 if bd else 1,
+                             figsize=(10 if bd else 6, 4))
+    ax = axes[0] if bd else axes
+    for curve in curves:
+        points = sorted(curve["points"], key=lambda p: p.get("offered", 0))
+        xs = [p.get("offered", 0) for p in points]
+        ys = [p.get("p99_ms", 0) for p in points]
+        (line,) = ax.plot(xs, ys, marker="o", markersize=3,
+                          label=curve.get("label", "?"))
+        if curve.get("knee_found") and isinstance(curve.get("knee"), dict):
+            knee = curve["knee"]
+            kx, ky = knee.get("offered", 0), knee.get("p99_ms", 0)
+            ax.scatter([kx], [ky], marker="D", s=45, zorder=5,
+                       color=line.get_color(), edgecolors="black")
+            ax.annotate(f"{kx:.0f}/s", (kx, ky), fontsize=7,
+                        xytext=(4, 6), textcoords="offset points")
+    ax.set_yscale("log")
+    ax.set_xlabel("offered load (msg/s)")
+    ax.set_ylabel("p99 latency (ms, log)")
+    ax.set_title("vertical scaling: knee vs stage width")
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+
+    if bd:
+        ax2 = axes[1]
+        cols = [("serial", bd.get("serial", {})),
+                (bd.get("staged_label", "staged"), bd.get("staged", {}))]
+        xs = list(range(len(cols)))
+        bottoms = [0.0] * len(cols)
+        for comp, color in zip(COMPONENTS, COMPONENT_COLORS):
+            heights = [c.get(f"{comp}_p50_ms", 0) for _, c in cols]
+            ax2.bar(xs, heights, 0.55, bottom=bottoms, label=comp,
+                    color=color)
+            bottoms = [b + h for b, h in zip(bottoms, heights)]
+        ax2.set_xticks(xs)
+        ax2.set_xticklabels([name for name, _ in cols])
+        ax2.set_ylabel("critical-path p50 (ms)")
+        ax2.set_title(f"components at {bd.get('rate', 0):.0f} msg/s")
+        ax2.legend(fontsize=8)
+        ax2.grid(True, axis="y", alpha=0.3)
+    out = os.path.join(dst, "vertical_scaling.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print("wrote", out)
+
+
 COMPONENTS = ("queueing", "cpu", "network", "quorum_wait")
 COMPONENT_COLORS = ("#4c72b0", "#dd8452", "#55a868", "#c44e52")
 
@@ -395,8 +481,19 @@ def plot_sidecar_timeseries(name, doc, dst, plt):
 
 
 def main():
-    src = sys.argv[1] if len(sys.argv) > 1 else "bench_csv"
-    dst = sys.argv[2] if len(sys.argv) > 2 else "bench_plots"
+    # --require NAME.json (repeatable): fail loudly when an expected
+    # BENCH_*.json artifact is missing instead of silently plotting less.
+    args = list(sys.argv[1:])
+    required = []
+    while "--require" in args:
+        i = args.index("--require")
+        if i + 1 >= len(args):
+            print("usage: plot_benches.py [src] [dst] [--require BENCH.json]...")
+            return 2
+        required.append(args[i + 1])
+        del args[i : i + 2]
+    src = args[0] if len(args) > 0 else "bench_csv"
+    dst = args[1] if len(args) > 1 else "bench_plots"
     # The CSV dir is optional: BENCH_*.json artifacts (e.g. bench_sweep's)
     # are also searched for in the working directory, so a json-only run
     # still summarizes and plots.
@@ -440,9 +537,25 @@ def main():
     sweep_bench = find_bench_json(src, "BENCH_sweep.json")
     if sweep_bench:
         summarize_sweep_bench(sweep_bench)
+    vertical_bench = find_bench_json(src, "BENCH_vertical.json")
+    if vertical_bench:
+        summarize_vertical_bench(vertical_bench)
 
-    benches = [runtime_bench, wire_bench, trace_bench, pipeline_bench,
-               sweep_bench]
+    by_name = {
+        "BENCH_runtime.json": runtime_bench,
+        "BENCH_wire.json": wire_bench,
+        "BENCH_trace.json": trace_bench,
+        "BENCH_pipeline.json": pipeline_bench,
+        "BENCH_sweep.json": sweep_bench,
+        "BENCH_vertical.json": vertical_bench,
+    }
+    missing = [name for name in required if not by_name.get(name)]
+    if missing:
+        for name in missing:
+            print(f"FAIL: required bench artifact missing or malformed: {name}")
+        return 1
+
+    benches = list(by_name.values())
     if not files and not sidecars and not any(benches):
         print(f"no CSV, metrics or BENCH_*.json inputs in {src}/ or cwd")
         return 1
@@ -504,6 +617,8 @@ def main():
         plot_pipeline_bench(pipeline_bench, dst, plt)
     if sweep_bench:
         plot_sweep_bench(sweep_bench, dst, plt)
+    if vertical_bench:
+        plot_vertical_bench(vertical_bench, dst, plt)
     return 0
 
 
