@@ -174,11 +174,17 @@ BackendResult run_runtime(const net::ClusterConfig& cfg) {
   return r;
 }
 
-BackendResult run_net(const net::ClusterConfig& cfg) {
+/// `trace_sample_every` = 0 runs untraced; N traces every Nth message per
+/// client (the deployment default is 64). The throughput delta between the
+/// two net rows is the tracing overhead at that sampling rate.
+BackendResult run_net(const net::ClusterConfig& cfg,
+                      std::uint32_t trace_sample_every,
+                      const std::string& backend_name) {
   net::InProcessCluster cluster(cfg);
   std::vector<core::Client*> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.push_back(&cluster.add_client("client" + std::to_string(c)));
+    clients.back()->set_trace_sample_every(trace_sample_every);
   }
   cluster.start();
 
@@ -242,7 +248,7 @@ BackendResult run_net(const net::ClusterConfig& cfg) {
   }
 
   BackendResult r;
-  r.backend = "net";
+  r.backend = backend_name;
   r.completed = done.load();
   r.elapsed_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.throughput = r.completed / (r.elapsed_ms / 1000.0);
@@ -298,7 +304,7 @@ void write_bench_json(const std::vector<BackendResult>& results) {
     if (!r.properties_ok) {
       out << ",\"properties_error\":\"" << r.properties_error << "\"";
     }
-    if (r.backend == "net") {
+    if (r.backend != "runtime") {
       out << ",\"wire_messages\":" << r.wire_messages
           << ",\"wire_bytes\":" << r.wire_bytes
           << ",\"reconnects\":" << r.reconnects;
@@ -306,9 +312,24 @@ void write_bench_json(const std::vector<BackendResult>& results) {
     out << "}";
   }
   out << "]";
-  if (results.size() == 2 && results[0].throughput > 0.0) {
+  const auto by_name = [&](const std::string& name) -> const BackendResult* {
+    for (const BackendResult& r : results) {
+      if (r.backend == name) return &r;
+    }
+    return nullptr;
+  };
+  const BackendResult* rt = by_name("runtime");
+  const BackendResult* net = by_name("net");
+  const BackendResult* traced = by_name("net_traced");
+  if (rt != nullptr && net != nullptr && rt->throughput > 0.0) {
     out << ",\"net_vs_runtime_throughput_ratio\":"
-        << results[1].throughput / results[0].throughput;
+        << net->throughput / rt->throughput;
+  }
+  if (net != nullptr && traced != nullptr && net->throughput > 0.0) {
+    // < 1.0 means tracing cost throughput; 1 - ratio is the overhead
+    // fraction at the default 1/64 sampling.
+    out << ",\"traced_vs_untraced_throughput_ratio\":"
+        << traced->throughput / net->throughput;
   }
   out << "}\n";
 }
@@ -323,7 +344,8 @@ int main() {
   const net::ClusterConfig cfg = cluster_config();
   std::vector<BackendResult> results;
   results.push_back(run_runtime(cfg));
-  results.push_back(run_net(cfg));
+  results.push_back(run_net(cfg, /*trace_sample_every=*/0, "net"));
+  results.push_back(run_net(cfg, /*trace_sample_every=*/64, "net_traced"));
 
   std::vector<std::vector<std::string>> rows;
   for (const BackendResult& r : results) {

@@ -6,10 +6,18 @@
 # dumps against the five atomic-multicast properties with
 # `byzcast-loadgen --check-dumps`.
 #
+# When the config carries introspection ports (configs/lan_local.json
+# does), the run also exercises the live observability plane: byzcast-ctl
+# scrapes every daemon's /metrics + /spans mid-run, and during the
+# loadgen's --linger-s window (workload finished, client introspection
+# still up) `byzcast-ctl merge` aligns every process's spans onto one
+# timeline and writes cluster_spans.json + cluster_trace.json to the out
+# dir, validated by tools/check_cluster_obs.py when python3 is present.
+#
 # Usage:
 #   scripts/run_local_cluster.sh [BUILD_DIR] [--config FILE] [--out-dir DIR]
 #       [--clients N] [--msgs N] [--global-fraction F] [--kill-one]
-#       [--workload SPEC.json]
+#       [--workload SPEC.json] [--linger-s S]
 #
 # --workload switches the loadgen to open-loop workload mode: arrivals are
 # paced by the spec's rate schedule with the spec's destination pattern
@@ -19,9 +27,12 @@
 # --kill-one additionally SIGKILLs one non-leader replica (g1:r3) mid-run
 # and passes the seat to the checker as --exclude; with f=1 the run must
 # still complete and the surviving seats must still satisfy the properties.
+# The survivors get a SIGUSR1 right after the kill: each writes its
+# artifacts on demand without exiting — the mid-run survivor snapshot.
 #
 # Exit 0 iff the loadgen completed every message, every daemon exited 0
-# (killed seat excepted), and the dump check passed.
+# (killed seat excepted), the dump check passed, and (when introspection is
+# configured) the mid-run scrape + merge + observability checks passed.
 set -u
 
 BUILD_DIR="build"
@@ -32,6 +43,7 @@ MSGS=50
 GLOBAL_FRACTION=0.5
 KILL_ONE=0
 WORKLOAD=""
+LINGER_S=8
 
 if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
   BUILD_DIR="$1"
@@ -45,6 +57,7 @@ while [ $# -gt 0 ]; do
     --msgs) MSGS="$2"; shift 2 ;;
     --global-fraction) GLOBAL_FRACTION="$2"; shift 2 ;;
     --workload) WORKLOAD="$2"; shift 2 ;;
+    --linger-s) LINGER_S="$2"; shift 2 ;;
     --kill-one) KILL_ONE=1; shift ;;
     *) echo "run_local_cluster: unknown argument $1" >&2; exit 2 ;;
   esac
@@ -52,7 +65,8 @@ done
 
 DAEMON="$BUILD_DIR/src/net/byzcastd"
 LOADGEN="$BUILD_DIR/src/net/byzcast-loadgen"
-for bin in "$DAEMON" "$LOADGEN"; do
+CTL="$BUILD_DIR/src/net/byzcast-ctl"
+for bin in "$DAEMON" "$LOADGEN" "$CTL"; do
   if [ ! -x "$bin" ]; then
     echo "run_local_cluster: missing binary $bin (build first)" >&2
     exit 2
@@ -93,6 +107,11 @@ for ((g = 0; g < GROUPS_N; ++g)); do
 done
 echo "run_local_cluster: launched $((GROUPS_N * REPLICAS_N)) daemons"
 
+# The live observability plane only exists when the config assigns
+# introspection ports (configs/lan_local.json does).
+HAVE_OBS=0
+if grep -q '"introspect_port"' "$CONFIG"; then HAVE_OBS=1; fi
+
 # --- 2. optionally schedule a mid-run kill ----------------------------------
 EXCLUDE_ARGS=()
 if [ "$KILL_ONE" -eq 1 ]; then
@@ -107,13 +126,68 @@ if [ "$KILL_ONE" -eq 1 ]; then
 fi
 
 # --- 3. drive the workload ---------------------------------------------------
+# The loadgen runs in the background with a linger window: after the
+# workload completes it keeps its process (and introspection endpoints)
+# alive for $LINGER_S seconds so the collector can still scrape the
+# client-side end-to-end spans.
+LOADGEN_LOG="$OUT_DIR/loadgen.log"
 if [ -n "$WORKLOAD" ]; then
-  "$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" --workload "$WORKLOAD"
+  "$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" --workload "$WORKLOAD" \
+    --linger-s "$LINGER_S" >"$LOADGEN_LOG" 2>&1 &
 else
   "$LOADGEN" --config "$CONFIG" --out-dir "$OUT_DIR" \
-    --clients "$CLIENTS" --msgs "$MSGS" --global-fraction "$GLOBAL_FRACTION"
+    --clients "$CLIENTS" --msgs "$MSGS" --global-fraction "$GLOBAL_FRACTION" \
+    --linger-s "$LINGER_S" >"$LOADGEN_LOG" 2>&1 &
 fi
+LOADGEN_PID=$!
+
+# --- 3a. mid-run observability: scrape the live cluster ---------------------
+SCRAPE_RC=0
+if [ "$HAVE_OBS" -eq 1 ]; then
+  sleep 3  # after the kill-one victim dies: scrape what a collector sees
+  "$CTL" status --config "$CONFIG" || true
+  "$CTL" scrape --config "$CONFIG" --out "$OUT_DIR"
+  SCRAPE_RC=$?
+fi
+if [ "$KILL_ONE" -eq 1 ]; then
+  # Survivor snapshot on demand: SIGUSR1 makes every live daemon write its
+  # delivery dump + metrics sidecar mid-run without exiting.
+  for key in "${!DAEMON_PID[@]}"; do
+    [ "$key" = "$VICTIM" ] && continue
+    kill -USR1 "${DAEMON_PID[$key]}" 2>/dev/null || true
+  done
+  echo "run_local_cluster: sent SIGUSR1 survivor-snapshot to live daemons"
+fi
+
+# --- 3b. wait for the workload, merge during the linger window --------------
+MERGE_RC=0
+OBS_RC=0
+if [ "$HAVE_OBS" -eq 1 ]; then
+  # The loadgen announces the linger window on stderr once the workload is
+  # done; merging then captures complete client-side spans.
+  for _ in $(seq 1 1200); do
+    if grep -q "lingering" "$LOADGEN_LOG" 2>/dev/null; then break; fi
+    if ! kill -0 "$LOADGEN_PID" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  "$CTL" merge --config "$CONFIG" --out "$OUT_DIR"
+  MERGE_RC=$?
+  if command -v python3 >/dev/null 2>&1; then
+    OBS_CHECK_ARGS=(--spans "$OUT_DIR/cluster_spans.json" \
+                    --expect-zero-violations)
+    if [ "$KILL_ONE" -eq 0 ]; then
+      # 12 daemons + the lingering loadgen.
+      OBS_CHECK_ARGS+=(--expect-nodes $((GROUPS_N * REPLICAS_N + 1)))
+    fi
+    python3 tools/check_cluster_obs.py "${OBS_CHECK_ARGS[@]}" \
+      "$OUT_DIR"/prom_*.txt
+    OBS_RC=$?
+  fi
+fi
+
+wait "$LOADGEN_PID"
 LOADGEN_RC=$?
+sed 's/^/    /' "$LOADGEN_LOG"
 if [ "$KILL_ONE" -eq 1 ]; then wait "$KILLER_PID" 2>/dev/null || true; fi
 
 # --- 4. graceful shutdown: SIGTERM, then wait for exit 0 --------------------
@@ -140,9 +214,10 @@ DAEMON_PID=()  # all reaped; disarm the cleanup trap's kill -9
   ${EXCLUDE_ARGS[@]+"${EXCLUDE_ARGS[@]}"}
 CHECK_RC=$?
 
-echo "run_local_cluster: loadgen=$LOADGEN_RC daemons_failed=$DAEMON_FAILURES check=$CHECK_RC (artifacts in $OUT_DIR)"
+echo "run_local_cluster: loadgen=$LOADGEN_RC daemons_failed=$DAEMON_FAILURES check=$CHECK_RC scrape=$SCRAPE_RC merge=$MERGE_RC obs=$OBS_RC (artifacts in $OUT_DIR)"
 if [ "$LOADGEN_RC" -ne 0 ] || [ "$DAEMON_FAILURES" -ne 0 ] || \
-   [ "$CHECK_RC" -ne 0 ]; then
+   [ "$CHECK_RC" -ne 0 ] || [ "$SCRAPE_RC" -ne 0 ] || \
+   [ "$MERGE_RC" -ne 0 ] || [ "$OBS_RC" -ne 0 ]; then
   exit 1
 fi
 exit 0

@@ -1,0 +1,113 @@
+#include "common/prom.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace byzcast {
+
+namespace {
+
+/// Shortest-ish round-trippable double for sample values and `le` bounds.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+/// Renders `{a="x",b="y"}` (empty string for no labels). `extra` lets the
+/// histogram path append its per-bucket `le` to the shared const labels.
+std::string label_block(const PromLabels& labels, const PromLabels& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&out, &first](const PromLabels& ls) {
+    for (const auto& [key, value] : ls) {
+      if (!first) out += ",";
+      first = false;
+      out += key;
+      out += "=\"";
+      out += prometheus_escape_label(value);
+      out += "\"";
+    }
+  };
+  append(labels);
+  append(extra);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  // A leading digit is illegal; the conventional fix is an underscore.
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry,
+                            const PromLabels& const_labels) {
+  std::string out;
+  const std::string labels = label_block(const_labels, {});
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string metric = prometheus_metric_name(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + labels + " " + fmt_u64(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string metric = prometheus_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + labels + " " + fmt_double(gauge.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const std::string metric = prometheus_metric_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    const std::vector<double>& bounds = histogram.bounds();
+    const std::vector<std::uint64_t> counts = histogram.counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += metric + "_bucket" +
+             label_block(const_labels, {{"le", fmt_double(bounds[i])}}) + " " +
+             fmt_u64(cumulative) + "\n";
+    }
+    // The overflow bucket folds into +Inf, which must equal _count: both
+    // are derived from the same snapshot so the invariant holds even when
+    // scraped mid-run.
+    if (!counts.empty()) cumulative += counts.back();
+    out += metric + "_bucket" + label_block(const_labels, {{"le", "+Inf"}}) +
+           " " + fmt_u64(cumulative) + "\n";
+    out += metric + "_sum" + labels + " " + fmt_double(histogram.sum()) + "\n";
+    out += metric + "_count" + labels + " " + fmt_u64(cumulative) + "\n";
+  }
+  return out;
+}
+
+}  // namespace byzcast

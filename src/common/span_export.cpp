@@ -13,6 +13,13 @@ namespace {
 /// Printing milli-microseconds as a fixed 3-decimal value keeps full
 /// precision and byte-identical output across runs of the same log.
 void json_us(std::ostream& os, Time ns) {
+  // Sign handled up front: C++ integer division truncates toward zero, so
+  // the digit arithmetic below would emit garbage characters for negative
+  // inputs (merged multi-process logs may start before a given epoch).
+  if (ns < 0) {
+    os << '-';
+    ns = -ns;
+  }
   os << (ns / 1000) << '.';
   const Time frac = ns % 1000;
   os << static_cast<char>('0' + frac / 100)

@@ -7,6 +7,13 @@
 // delivery dump and metrics sidecar to --out-dir, tears the sockets down
 // and exits 0.
 //
+// SIGUSR1 writes the artifacts (delivery dump + metrics sidecar) on demand
+// without exiting — the multi-process harness uses it to capture survivor
+// state mid-run. When the config gives this seat an introspect_port, the
+// daemon also serves live HTTP introspection (/metrics, /healthz, /spans,
+// /dump, /clock) on it; see docs/ARCHITECTURE.md "Live cluster
+// observability".
+//
 //   byzcastd --config cluster.json --group 2 --replica 1 --out-dir run/
 #include <csignal>
 #include <cstdio>
@@ -24,8 +31,10 @@ namespace {
 using namespace byzcast;
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void handle_signal(int) { g_stop = 1; }
+void handle_dump_signal(int) { g_dump = 1; }
 
 struct Args {
   std::string config;
@@ -76,6 +85,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
 }
 
 void write_artifacts(const Args& args, net::ClusterNode& node) {
+  node.refresh_net_metrics();  // registry JSON then carries the net.* gauges
   const std::string name = node.node_name();
   net::DeliveryDump dump;
   dump.node = name;
@@ -145,10 +155,18 @@ int main(int argc, char** argv) {
                  error.c_str());
     return 1;
   }
+  const net::Endpoint* self_ep = cfg->endpoint_of(node.self_pid());
+  if (self_ep->introspect_port != 0 &&
+      !node.start_introspect(self_ep->introspect_port, &error)) {
+    std::fprintf(stderr, "byzcastd[%s]: %s\n", node.node_name().c_str(),
+                 error.c_str());
+    return 1;
+  }
   node.connect(*cfg);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
   std::signal(SIGPIPE, SIG_IGN);
 
   // Graceful-shutdown poller: a self-rescheduling 50ms timer. Once the
@@ -169,6 +187,12 @@ int main(int argc, char** argv) {
     constexpr Time kCap = 15 * kSecond;
     const Time now = node.env().now();
     if (g_stop == 0) {
+      if (g_dump != 0) {
+        // SIGUSR1: on-demand snapshot, keep running. Runs on the loop
+        // thread, so the dump sees a consistent state between messages.
+        g_dump = 0;
+        write_artifacts(*args, node);
+      }
       node.env().loop().schedule(kPoll, poll);
       return;
     }
@@ -192,9 +216,9 @@ int main(int argc, char** argv) {
   };
   node.env().loop().schedule(50 * kMillisecond, poll);
 
-  std::fprintf(stderr, "byzcastd[%s]: pid %d listening on %u\n",
+  std::fprintf(stderr, "byzcastd[%s]: pid %d listening on %u (introspect %u)\n",
                node.node_name().c_str(), node.self_pid().value,
-               node.listen_port());
+               node.listen_port(), node.introspect_port());
   node.run();  // blocks until the drain poller stops the loop
   return 0;
 }

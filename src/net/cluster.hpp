@@ -26,11 +26,13 @@
 
 #include "common/metrics.hpp"
 #include "common/monitor.hpp"
+#include "common/span.hpp"
 #include "core/client.hpp"
 #include "core/properties.hpp"
 #include "core/system.hpp"
 #include "net/config.hpp"
 #include "net/env.hpp"
+#include "net/introspect.hpp"
 
 namespace byzcast::net {
 
@@ -62,6 +64,28 @@ class ClusterNode {
   /// and installs the WAN delay model. Before start().
   void connect(const ClusterConfig& resolved);
 
+  /// Starts the HTTP introspection server (net/introspect.hpp) on `port`
+  /// (0 = ephemeral, see introspect_port()), serving the standard endpoint
+  /// set: /metrics (Prometheus text), /healthz (liveness + consensus
+  /// progress JSON), /spans (raw span drain for the collector, ?from=
+  /// cursor), /dump (delivery dump on demand) and /clock (timestamp echo
+  /// for collector-side offset estimation). Call between construction and
+  /// start()/run(); the server shares the node's event loop, so handlers
+  /// read all process state race-free.
+  bool start_introspect(std::uint16_t port, std::string* error);
+  [[nodiscard]] std::uint16_t introspect_port() const {
+    return introspect_ ? introspect_->port() : 0;
+  }
+  [[nodiscard]] IntrospectServer* introspect() { return introspect_.get(); }
+
+  /// Copies the transport / NetEnv / link-clock counters into the metrics
+  /// registry (gauges under net.*). Called by the /metrics handler before
+  /// rendering and by the daemon before writing artifacts.
+  void refresh_net_metrics();
+
+  /// The node's /healthz document (byzcast-healthz-v1).
+  [[nodiscard]] Json healthz_json();
+
   void start() { env_->start(); }  // background loop thread
   void run() { env_->run(); }      // blocking (daemon main)
   void stop() { env_->stop(); }
@@ -77,6 +101,7 @@ class ClusterNode {
   [[nodiscard]] std::string node_name() const;
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] MonitorHub& monitors() { return monitors_; }
+  [[nodiscard]] SpanLog& spans() { return spans_; }
   [[nodiscard]] core::DeliveryLog& delivery_log() {
     return system_->delivery_log();
   }
@@ -91,16 +116,20 @@ class ClusterNode {
   ProcessId self_pid_;
   MetricsRegistry metrics_;
   MonitorHub monitors_;
+  SpanLog spans_;
   std::unique_ptr<NetEnv> env_;
   std::unique_ptr<core::ByzCastSystem> system_;
+  std::unique_ptr<IntrospectServer> introspect_;
   std::vector<std::unique_ptr<core::Client>> clients_;
 };
 
 class InProcessCluster {
  public:
   /// One ClusterNode per replica seat plus one client-only node, each
-  /// listening on an ephemeral port. Add clients (add_client) before
-  /// start().
+  /// listening on an ephemeral port. Every node (client included) also gets
+  /// an ephemeral introspection server; the real ports are folded into
+  /// resolved(), so a collector can scrape the in-process cluster exactly
+  /// like a multi-process one. Add clients (add_client) before start().
   explicit InProcessCluster(ClusterConfig cfg);
   ~InProcessCluster();
 

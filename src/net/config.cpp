@@ -67,12 +67,14 @@ bool parse_groups(const Json& j, ClusterConfig* cfg, std::string* error) {
                                ": {host, port} required");
       }
       const std::int64_t port = ep.get("port").as_int();
-      if (port < 0 || port > 65535) {
+      const std::int64_t introspect = ep.int_or("introspect_port", 0);
+      if (port < 0 || port > 65535 || introspect < 0 || introspect > 65535) {
         return fail(error, "group " + std::to_string(i) + " replica " +
                                std::to_string(r) + ": port out of range");
       }
       spec.replicas.push_back(Endpoint{ep.get("host").as_string(),
-                                       static_cast<std::uint16_t>(port)});
+                                       static_cast<std::uint16_t>(port),
+                                       static_cast<std::uint16_t>(introspect)});
     }
     cfg->groups.push_back(std::move(spec));
   }
@@ -189,6 +191,12 @@ std::optional<ClusterConfig> ClusterConfig::from_json(const Json& j,
     }
     cfg.client_region = j.get("client_region").as_string();
   }
+  const std::int64_t client_introspect = j.int_or("client_introspect_port", 0);
+  if (client_introspect < 0 || client_introspect > 65535) {
+    fail(error, "\"client_introspect_port\" out of range");
+    return std::nullopt;
+  }
+  cfg.client_introspect_port = static_cast<std::uint16_t>(client_introspect);
   if (!parse_groups(j, &cfg, error)) return std::nullopt;
 
   // --- structural validation (non-aborting; OverlayTree::finalize would
@@ -331,6 +339,9 @@ Json ClusterConfig::to_json() const {
   if (!client_region.empty()) {
     j.set("client_region", Json::string(client_region));
   }
+  if (client_introspect_port != 0) {
+    j.set("client_introspect_port", Json::number(client_introspect_port));
+  }
 
   Json groups_json = Json::array();
   for (const GroupSpec& g : groups) {
@@ -345,6 +356,9 @@ Json ClusterConfig::to_json() const {
       Json e = Json::object();
       e.set("host", Json::string(ep.host));
       e.set("port", Json::number(ep.port));
+      if (ep.introspect_port != 0) {
+        e.set("introspect_port", Json::number(ep.introspect_port));
+      }
       reps.push_back(std::move(e));
     }
     gj.set("replicas", std::move(reps));

@@ -25,6 +25,9 @@ namespace byzcast::net {
 struct Endpoint {
   std::string host;
   std::uint16_t port = 0;
+  /// HTTP introspection port of the daemon hosting this replica (0 = the
+  /// introspection server is disabled for this process).
+  std::uint16_t introspect_port = 0;
 };
 
 struct GroupSpec {
@@ -62,6 +65,9 @@ struct ClusterConfig {
   /// Region the load generator's clients live in (WAN emulation only);
   /// empty = replies to clients travel with zero artificial delay.
   std::string client_region;
+  /// Introspection port of the load generator process (0 = disabled). The
+  /// collector scrapes it for the client-side end-to-end spans.
+  std::uint16_t client_introspect_port = 0;
 
   std::vector<GroupSpec> groups;
 

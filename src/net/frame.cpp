@@ -25,10 +25,16 @@ bool get_raw(BytesView data, std::size_t& pos, T* out) {
   return true;
 }
 
-void append_header(Bytes& out, FrameType type, std::uint32_t body_len) {
+void put_i64(Bytes& out, std::int64_t v) {
+  const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), b, b + sizeof v);
+}
+
+void append_header(Bytes& out, FrameType type, std::uint8_t flags,
+                   std::uint32_t body_len) {
   out.insert(out.end(), kFrameMagic, kFrameMagic + 4);
   out.push_back(static_cast<std::uint8_t>(type));
-  out.push_back(0);  // flags
+  out.push_back(flags);
   out.push_back(0);  // reserved
   out.push_back(0);
   put_u32(out, body_len);
@@ -37,14 +43,18 @@ void append_header(Bytes& out, FrameType type, std::uint32_t body_len) {
 }  // namespace
 
 std::vector<Buffer> encode_wire_frame(const sim::WireMessage& msg) {
-  const std::size_t body_len = kWireBodyMetaSize + msg.payload.size();
+  const bool carry_sent = msg.sent_at >= 0;
+  const std::size_t meta_len = kWireBodyMetaSize + (carry_sent ? 8 : 0);
+  const std::size_t body_len = meta_len + msg.payload.size();
   Bytes head;
-  head.reserve(kFrameHeaderSize + kWireBodyMetaSize);
+  head.reserve(kFrameHeaderSize + meta_len);
   append_header(head, FrameType::kWireMessage,
+                carry_sent ? kFlagSentAt : std::uint8_t{0},
                 static_cast<std::uint32_t>(body_len));
   put_i32(head, msg.from.value);
   put_i32(head, msg.to.value);
   head.insert(head.end(), msg.mac.begin(), msg.mac.end());
+  if (carry_sent) put_i64(head, msg.sent_at);
   std::vector<Buffer> chunks;
   chunks.reserve(2);
   chunks.emplace_back(std::move(head));
@@ -55,14 +65,32 @@ std::vector<Buffer> encode_wire_frame(const sim::WireMessage& msg) {
 Buffer encode_hello_frame(const std::vector<ProcessId>& pids) {
   Bytes out;
   out.reserve(kFrameHeaderSize + 4 + pids.size() * 4);
-  append_header(out, FrameType::kHello,
+  append_header(out, FrameType::kHello, 0,
                 static_cast<std::uint32_t>(4 + pids.size() * 4));
   put_u32(out, static_cast<std::uint32_t>(pids.size()));
   for (const ProcessId p : pids) put_i32(out, p.value);
   return Buffer(std::move(out));
 }
 
-std::optional<sim::WireMessage> decode_wire_body(BytesView body) {
+Buffer encode_clock_ping_frame(Time t0) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + 8);
+  append_header(out, FrameType::kClockPing, 0, 8);
+  put_i64(out, t0);
+  return Buffer(std::move(out));
+}
+
+Buffer encode_clock_pong_frame(Time t0, Time t_peer) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + 16);
+  append_header(out, FrameType::kClockPong, 0, 16);
+  put_i64(out, t0);
+  put_i64(out, t_peer);
+  return Buffer(std::move(out));
+}
+
+std::optional<sim::WireMessage> decode_wire_body(BytesView body,
+                                                 std::uint8_t flags) {
   std::size_t pos = 0;
   sim::WireMessage msg;
   std::int32_t from = 0;
@@ -73,11 +101,33 @@ std::optional<sim::WireMessage> decode_wire_body(BytesView body) {
   if (pos + msg.mac.size() > body.size()) return std::nullopt;
   std::memcpy(msg.mac.data(), body.data() + pos, msg.mac.size());
   pos += msg.mac.size();
+  if ((flags & kFlagSentAt) != 0) {
+    std::int64_t sent = 0;
+    if (!get_raw(body, pos, &sent) || sent < 0) return std::nullopt;
+    msg.sent_at = sent;
+  }
   msg.from = ProcessId{from};
   msg.to = ProcessId{to};
   msg.payload = Buffer::copy_of(
       BytesView(body.data() + pos, body.size() - pos));
   return msg;
+}
+
+std::optional<ClockPing> decode_clock_ping_body(BytesView body) {
+  std::size_t pos = 0;
+  ClockPing ping;
+  if (!get_raw(body, pos, &ping.t0) || body.size() != 8) return std::nullopt;
+  return ping;
+}
+
+std::optional<ClockPong> decode_clock_pong_body(BytesView body) {
+  std::size_t pos = 0;
+  ClockPong pong;
+  if (!get_raw(body, pos, &pong.t0) || !get_raw(body, pos, &pong.t_peer) ||
+      body.size() != 16) {
+    return std::nullopt;
+  }
+  return pong;
 }
 
 std::optional<std::vector<ProcessId>> decode_hello_body(BytesView body) {
@@ -118,9 +168,15 @@ std::optional<DecodedFrame> FrameDecoder::next() {
     return std::nullopt;
   }
   const std::uint8_t type = h[4];
-  if ((type != static_cast<std::uint8_t>(FrameType::kHello) &&
-       type != static_cast<std::uint8_t>(FrameType::kWireMessage)) ||
-      h[5] != 0 || h[6] != 0 || h[7] != 0) {
+  const bool known_type =
+      type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+      type <= static_cast<std::uint8_t>(FrameType::kClockPong);
+  // Flags: only kFlagSentAt is defined, and only on wire messages. Unknown
+  // bits mean a protocol we do not speak — poison rather than misparse.
+  const std::uint8_t allowed_flags =
+      type == static_cast<std::uint8_t>(FrameType::kWireMessage) ? kFlagSentAt
+                                                                 : 0;
+  if (!known_type || (h[5] & ~allowed_flags) != 0 || h[6] != 0 || h[7] != 0) {
     error_ = Error::kBadType;
     return std::nullopt;
   }
@@ -133,6 +189,7 @@ std::optional<DecodedFrame> FrameDecoder::next() {
   if (buf_.size() - pos_ < kFrameHeaderSize + length) return std::nullopt;
   DecodedFrame frame;
   frame.type = static_cast<FrameType>(type);
+  frame.flags = h[5];
   frame.body.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + length);
   pos_ += kFrameHeaderSize + length;
   return frame;

@@ -2,19 +2,26 @@
 //
 //   magic  u32  'B''Z''C''1' (desync / garbage detector)
 //   type   u8   FrameType
-//   flags  u8   reserved, must be 0
+//   flags  u8   bit 0: kFlagSentAt (wire messages); other bits must be 0
 //   rsvd   u16  reserved, must be 0
 //   length u32  body bytes following the 12-byte header
 //
 // followed by `length` body bytes. A kWireMessage body is
 //
-//   from i32 | to i32 | mac 32B | payload...
+//   from i32 | to i32 | mac 32B | [sent_at i64 if kFlagSentAt] | payload...
 //
-// i.e. exactly a sim::WireMessage minus the in-memory timing metadata (the
-// receive-side timestamps are stamped locally; clocks are per-process). A
-// kHello body is `count u32 | pid i32 * count` — the dialer announces which
-// ProcessIds live behind the connection so the acceptor can route replies
-// (clients are not in the static cluster config; daemons learn them here).
+// i.e. exactly a sim::WireMessage minus most of the in-memory timing
+// metadata. The receive-side timestamps are stamped locally; `sent_at`
+// crosses the wire in the *sender's* clock domain and the transport
+// translates it into the local domain using the per-connection clock-sync
+// offset (kClockPing/kClockPong below) so cross-process kNetTransit spans
+// work like the single-process backends'. A kHello body is
+// `count u32 | pid i32 * count` — the dialer announces which ProcessIds live
+// behind the connection so the acceptor can route replies (clients are not
+// in the static cluster config; daemons learn them here). A kClockPing body
+// is `t0 i64` (sender's clock); the receiver answers kClockPong
+// `t0 i64 | t_peer i64` echoing t0 and stamping its own clock, from which
+// the pinger derives the peer-clock offset at the RTT midpoint.
 //
 // Everything on the inbound path is bounds-checked and never aborts: frames
 // arrive from outside the trust boundary, unlike the simulator's encoders.
@@ -47,10 +54,16 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 8u * 1024 * 1024;
 enum class FrameType : std::uint8_t {
   kHello = 1,
   kWireMessage = 2,
+  kClockPing = 3,
+  kClockPong = 4,
 };
+
+/// Frame flags (header byte 5). Unknown bits poison the decoder.
+inline constexpr std::uint8_t kFlagSentAt = 0x01;
 
 struct DecodedFrame {
   FrameType type = FrameType::kWireMessage;
+  std::uint8_t flags = 0;
   Bytes body;
 };
 
@@ -63,9 +76,26 @@ struct DecodedFrame {
 /// One self-contained HELLO frame (header + body).
 [[nodiscard]] Buffer encode_hello_frame(const std::vector<ProcessId>& pids);
 
-/// Decodes a kWireMessage body; nullopt if truncated. Timing metadata is
-/// left unstamped (-1) — the receive side fills its own clock.
-[[nodiscard]] std::optional<sim::WireMessage> decode_wire_body(BytesView body);
+/// Self-contained clock-sync frames (header + body).
+[[nodiscard]] Buffer encode_clock_ping_frame(Time t0);
+[[nodiscard]] Buffer encode_clock_pong_frame(Time t0, Time t_peer);
+
+/// Decodes a kWireMessage body; nullopt if truncated. When `flags` carries
+/// kFlagSentAt the body includes the sender-clock `sent_at` (still in the
+/// sender's domain — the transport translates it); all other timing
+/// metadata is left unstamped (-1) for the receive side to fill.
+[[nodiscard]] std::optional<sim::WireMessage> decode_wire_body(
+    BytesView body, std::uint8_t flags = 0);
+
+struct ClockPing {
+  Time t0 = 0;
+};
+struct ClockPong {
+  Time t0 = 0;
+  Time t_peer = 0;
+};
+[[nodiscard]] std::optional<ClockPing> decode_clock_ping_body(BytesView body);
+[[nodiscard]] std::optional<ClockPong> decode_clock_pong_body(BytesView body);
 
 /// Decodes a kHello body; nullopt if malformed (truncated, length
 /// mismatch, or an implausible pid count).

@@ -1,0 +1,89 @@
+// Per-daemon introspection server: a minimal HTTP/1.0 responder living on
+// the process's existing epoll EventLoop, so a running byzcastd (or the
+// load generator) can be scraped without a second thread or any HTTP
+// library. Endpoints are registered as exact-path handlers; the standard
+// set (/metrics, /healthz, /spans, /dump, /clock) is wired up by
+// ClusterNode::start_introspect().
+//
+// Because every actor of a net-backend process runs on the same loop thread
+// and handlers run there too, a handler may read the process's SpanLog,
+// DeliveryLog and replica state mid-run without locks — the scrape sees a
+// consistent snapshot between two messages.
+//
+// Protocol subset: GET only, request line + headers up to 8 KiB, response
+// with Content-Length and Connection: close, then the connection is torn
+// down. That is all a collector or `curl` needs; anything fancier belongs
+// in a real server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/event_loop.hpp"
+
+namespace byzcast::net {
+
+class IntrospectServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// `query` is the raw text after '?' in the request target ("" if none).
+  using Handler = std::function<Response(const std::string& query)>;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bad_requests = 0;  // parse failures / unknown paths
+  };
+
+  explicit IntrospectServer(EventLoop& loop);
+  ~IntrospectServer();
+
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  /// Registers `h` for exact path `path` (e.g. "/metrics"). Pre-listen or
+  /// loop thread.
+  void handle(std::string path, Handler h);
+
+  /// Binds and listens; port 0 picks an ephemeral port (see port()). False
+  /// with `error` prose on failure. Pre-run or loop thread.
+  bool listen(const std::string& host, std::uint16_t port,
+              std::string* error = nullptr);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Closes the listener and every in-flight client. Loop thread.
+  void shutdown();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Client;
+
+  void handle_accept();
+  void on_client_event(Client* client, std::uint32_t events);
+  /// True once the request is complete and a response has been queued.
+  bool maybe_respond(Client* client);
+  void flush(Client* client);
+  void close_client(Client* client);
+
+  EventLoop& loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<std::string, Handler> handlers_;
+  std::map<Client*, std::unique_ptr<Client>> clients_;
+  Stats stats_;
+};
+
+/// Parses "k1=v1&k2=v2" query text; later duplicates win. No %-decoding —
+/// the introspection endpoints only take numeric arguments.
+[[nodiscard]] std::map<std::string, std::string> parse_query(
+    const std::string& query);
+
+}  // namespace byzcast::net

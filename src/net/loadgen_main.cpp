@@ -66,6 +66,13 @@ struct Args {
   double global_fraction = 0.5;
   std::size_t payload = 64;
   int timeout_s = 120;
+  /// Span-tracing sampling period: every n-th message per client is traced.
+  /// -1 = auto: 64 when the config enables client introspection, else off.
+  int trace_sample_every = -1;
+  /// Keep the client process alive (serving its introspection endpoints)
+  /// for this long after the run, so a collector can scrape the
+  /// client-side end-to-end spans before they vanish with the process.
+  int linger_s = 0;
   std::set<std::pair<std::int32_t, int>> excluded;
 };
 
@@ -119,6 +126,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (!v) return std::nullopt;
       args.timeout_s = std::atoi(v);
+    } else if (a == "--trace-sample-every") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.trace_sample_every = std::atoi(v);
+    } else if (a == "--linger-s") {
+      const char* v = value();
+      if (!v) return std::nullopt;
+      args.linger_s = std::atoi(v);
     } else if (a == "--exclude") {
       const char* v = value();
       if (!v) return std::nullopt;
@@ -140,7 +155,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: byzcast-loadgen --config FILE [--out-dir DIR "
                  "--clients N --msgs N --global-fraction F --payload B "
-                 "--timeout-s S]\n"
+                 "--timeout-s S --trace-sample-every N --linger-s S]\n"
                  "       byzcast-loadgen --config FILE --workload SPEC.json "
                  "[--out-dir DIR --timeout-s S]\n"
                  "       byzcast-loadgen --check-dumps --config FILE "
@@ -161,6 +176,40 @@ int run_check(const Args& args, const net::ClusterConfig& cfg) {
       static_cast<unsigned long long>(r.monitor_violations));
   if (!r.ok) std::fprintf(stderr, "check-dumps: %s\n", r.error.c_str());
   return r.ok ? 0 : 1;
+}
+
+/// Client-side observability setup shared by both load modes: starts the
+/// introspection server when the config assigns the load generator one
+/// (client_introspect_port), so a collector can scrape the client's
+/// end-to-end spans, and resolves the span-sampling period (explicit flag
+/// wins; otherwise sampling defaults on at 1/64 exactly when introspection
+/// is on — spans nobody can scrape are wasted memory).
+bool setup_client_observability(const net::ClusterConfig& cfg,
+                                net::ClusterNode& node) {
+  if (cfg.client_introspect_port == 0) return true;
+  std::string error;
+  if (!node.start_introspect(cfg.client_introspect_port, &error)) {
+    std::fprintf(stderr, "byzcast-loadgen: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t effective_sample_every(const Args& args,
+                                     const net::ClusterConfig& cfg) {
+  if (args.trace_sample_every >= 0) {
+    return static_cast<std::uint32_t>(args.trace_sample_every);
+  }
+  return cfg.client_introspect_port != 0 ? 64 : 0;
+}
+
+/// --linger-s: hold the process (and its introspection endpoints) open
+/// after the run so the collector can still scrape /spans.
+void linger(const Args& args) {
+  if (args.linger_s <= 0) return;
+  std::fprintf(stderr, "byzcast-loadgen: lingering %ds for collector scrapes\n",
+               args.linger_s);
+  std::this_thread::sleep_for(std::chrono::seconds(args.linger_s));
 }
 
 /// Shared artifact emission for both load modes: sent dump (the checker's
@@ -245,6 +294,8 @@ int run_workload_load(const Args& args, const net::ClusterConfig& cfg,
   }
 
   net::ClusterNode node(cfg, std::nullopt);
+  if (!setup_client_observability(cfg, node)) return 1;
+  const std::uint32_t sample_every = effective_sample_every(args, cfg);
 
   const auto targets = [&cfg] {
     std::vector<GroupId> out;
@@ -261,6 +312,7 @@ int run_workload_load(const Args& args, const net::ClusterConfig& cfg,
   std::vector<Rng> rngs;
   for (int c = 0; c < nclients; ++c) {
     clients.push_back(&node.add_client("client" + std::to_string(c)));
+    clients.back()->set_trace_sample_every(sample_every);
     generators.emplace_back(spec.base.workload, targets,
                             static_cast<std::size_t>(c % ngroups));
     rngs.push_back(node.env().fork_rng());
@@ -406,6 +458,7 @@ int run_workload_load(const Args& args, const net::ClusterConfig& cfg,
   issued_total = sent.load();
   const double elapsed_ms =
       static_cast<double>(elapsed_ns()) / 1e6;
+  linger(args);
   node.stop();
 
   const int completed = done.load();
@@ -435,11 +488,14 @@ int run_workload_load(const Args& args, const net::ClusterConfig& cfg,
 
 int run_load(const Args& args, const net::ClusterConfig& cfg) {
   net::ClusterNode node(cfg, std::nullopt);
+  if (!setup_client_observability(cfg, node)) return 1;
+  const std::uint32_t sample_every = effective_sample_every(args, cfg);
 
   std::vector<core::Client*> clients;
   std::vector<Rng> rngs;
   for (int c = 0; c < args.clients; ++c) {
     clients.push_back(&node.add_client("client" + std::to_string(c)));
+    clients.back()->set_trace_sample_every(sample_every);
     rngs.push_back(node.env().fork_rng());
   }
   node.connect(cfg);
@@ -519,6 +575,7 @@ int run_load(const Args& args, const net::ClusterConfig& cfg) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   const auto t1 = std::chrono::steady_clock::now();
+  linger(args);
   node.stop();
 
   const int completed = done.load();

@@ -27,6 +27,11 @@ int make_tcp_socket() {
   return fd;
 }
 
+/// Cadence of the per-connection clock-sync pings. Each exchange costs two
+/// ~20-byte frames; the offset estimate keeps improving as lower-RTT samples
+/// arrive, so a sub-second cadence converges quickly without load.
+constexpr Time kClockPingInterval = 500 * kMillisecond;
+
 bool resolve_ipv4(const std::string& host, std::uint16_t port,
                   sockaddr_in* out) {
   ::memset(out, 0, sizeof *out);
@@ -99,6 +104,29 @@ void Transport::add_peer(const std::string& host, std::uint16_t port,
 
 void Transport::connect_all() {
   for (std::size_t i = 0; i < peers_.size(); ++i) dial(i);
+  start_clock_sync();
+}
+
+void Transport::ping_clock(Connection& conn) {
+  if (conn.send_frame({encode_clock_ping_frame(loop_.now())})) {
+    ++stats_.clock_pings_sent;
+  }
+}
+
+void Transport::start_clock_sync() {
+  if (clock_sync_started_ || shutdown_) return;
+  clock_sync_started_ = true;
+  loop_.schedule(kClockPingInterval, [this] {
+    if (shutdown_) return;
+    for (Peer& peer : peers_) {
+      if (peer.conn && peer.conn->established()) ping_clock(*peer.conn);
+    }
+    for (auto& conn : inbound_) {
+      if (!conn->closed()) ping_clock(*conn);
+    }
+    clock_sync_started_ = false;
+    start_clock_sync();
+  });
 }
 
 void Transport::dial(std::size_t peer_index) {
@@ -132,12 +160,14 @@ void Transport::dial(std::size_t peer_index) {
     if (!local_pids_.empty()) {
       c.send_frame({encode_hello_frame(local_pids_)});
     }
+    ping_clock(c);  // first offset sample as soon as the link is up
   });
   conn->set_frame_handler([this](Connection& c, DecodedFrame f) {
     on_frame(c, std::move(f));
   });
   conn->set_close_handler([this, peer_index](Connection& c) {
     forget_learned(&c);
+    clock_.erase(&c);
     retired_ = accumulate(retired_, c.stats());
     schedule_redial(peer_index);
   });
@@ -184,6 +214,7 @@ void Transport::handle_accept() {
         ++stats_.inbound_resets;
       }
       forget_learned(&c);
+      clock_.erase(&c);
       retired_ = accumulate(retired_, c.stats());
       // Destruction is deferred to a posted task: this handler runs inside
       // the connection's own event dispatch.
@@ -191,6 +222,7 @@ void Transport::handle_accept() {
     });
     inbound_.push_back(std::move(conn));
     raw->start();
+    ping_clock(*raw);
   }
 }
 
@@ -228,13 +260,55 @@ void Transport::on_frame(Connection& conn, DecodedFrame frame) {
       return;
     }
     case FrameType::kWireMessage: {
-      auto msg = decode_wire_body(BytesView(frame.body));
+      auto msg = decode_wire_body(BytesView(frame.body), frame.flags);
       if (!msg) {
         ++stats_.dropped_decode;
         return;
       }
+      if (msg->sent_at >= 0) {
+        // The wire carried the sender-clock send timestamp; translate it
+        // into our clock domain via this link's offset estimate. Without a
+        // completed ping/pong exchange the domains are incomparable — leave
+        // the stamp unset rather than produce a garbage transit span.
+        const auto it = clock_.find(&conn);
+        if (it != clock_.end() && it->second.samples > 0) {
+          const Time local = msg->sent_at - it->second.offset;
+          msg->sent_at = local >= 0 ? local : -1;
+        } else {
+          msg->sent_at = -1;
+        }
+      }
       ++stats_.messages_received;
       if (handler_) handler_(std::move(*msg));
+      return;
+    }
+    case FrameType::kClockPing: {
+      const auto ping = decode_clock_ping_body(BytesView(frame.body));
+      if (!ping) {
+        ++stats_.dropped_decode;
+        return;
+      }
+      conn.send_frame({encode_clock_pong_frame(ping->t0, loop_.now())});
+      return;
+    }
+    case FrameType::kClockPong: {
+      const auto pong = decode_clock_pong_body(BytesView(frame.body));
+      if (!pong) {
+        ++stats_.dropped_decode;
+        return;
+      }
+      const Time t3 = loop_.now();
+      if (pong->t0 < 0 || pong->t0 > t3) return;  // stale or forged echo
+      ++stats_.clock_pongs_received;
+      const Time rtt = t3 - pong->t0;
+      ClockSync& sync = clock_[&conn];
+      if (sync.samples == 0 || rtt <= sync.min_rtt) {
+        // RTT-midpoint correction at the lowest RTT observed: the tighter
+        // the exchange, the tighter the bound on the true offset.
+        sync.min_rtt = rtt;
+        sync.offset = pong->t_peer - (pong->t0 + t3) / 2;
+      }
+      ++sync.samples;
       return;
     }
   }
@@ -287,6 +361,7 @@ void Transport::shutdown() {
     listen_fd_ = -1;
   }
   learned_.clear();
+  clock_.clear();
   for (Peer& peer : peers_) {
     if (peer.conn) {
       retired_ = accumulate(retired_, peer.conn->stats());
@@ -327,6 +402,42 @@ Transport::Stats Transport::stats() const {
   out.bytes_sent = conn_total.bytes_out;
   out.bytes_received = conn_total.bytes_in;
   out.send_queue_high_water = conn_total.send_queue_high_water;
+  return out;
+}
+
+std::vector<Transport::LinkClock> Transport::link_clocks() const {
+  std::vector<LinkClock> out;
+  out.reserve(clock_.size());
+  const auto sync_of = [this](const Connection* conn) -> const ClockSync* {
+    const auto it = clock_.find(conn);
+    return it == clock_.end() ? nullptr : &it->second;
+  };
+  for (const Peer& peer : peers_) {
+    const ClockSync* sync = sync_of(peer.conn.get());
+    if (sync == nullptr) continue;
+    LinkClock lc;
+    if (!peer.pids.empty()) lc.pid = peer.pids.front();
+    lc.outbound = true;
+    lc.offset = sync->offset;
+    lc.min_rtt = sync->min_rtt;
+    lc.samples = sync->samples;
+    out.push_back(lc);
+  }
+  for (const auto& conn : inbound_) {
+    const ClockSync* sync = sync_of(conn.get());
+    if (sync == nullptr) continue;
+    LinkClock lc;
+    for (const auto& [pid, learned_conn] : learned_) {
+      if (learned_conn == conn.get() &&
+          (!lc.pid.valid() || pid.value < lc.pid.value)) {
+        lc.pid = pid;
+      }
+    }
+    lc.offset = sync->offset;
+    lc.min_rtt = sync->min_rtt;
+    lc.samples = sync->samples;
+    out.push_back(lc);
+  }
   return out;
 }
 

@@ -53,6 +53,21 @@ class Transport {
     std::uint64_t inbound_accepted = 0;
     std::uint64_t inbound_resets = 0;   // framing violations / errors
     std::size_t send_queue_high_water = 0;
+    std::uint64_t clock_pings_sent = 0;
+    std::uint64_t clock_pongs_received = 0;
+  };
+
+  /// Clock-sync state of one live connection: `offset` maps the peer's clock
+  /// into ours (local = peer_time - offset), taken at the RTT midpoint of
+  /// the best (lowest-RTT) ping/pong exchange so far. `pid` identifies the
+  /// link: the first configured pid for outbound peers, the first learned
+  /// pid for inbound connections (invalid before any HELLO).
+  struct LinkClock {
+    ProcessId pid{};
+    bool outbound = false;
+    Time offset = 0;
+    Time min_rtt = -1;
+    std::uint64_t samples = 0;
   };
 
   using MessageHandler = std::function<void(sim::WireMessage)>;
@@ -91,6 +106,8 @@ class Transport {
   void shutdown();
 
   [[nodiscard]] Stats stats() const;
+  /// Per-connection clock-sync snapshots (loop thread only).
+  [[nodiscard]] std::vector<LinkClock> link_clocks() const;
   /// True once every configured peer's outbound connection is established.
   [[nodiscard]] bool all_peers_connected() const;
 
@@ -104,6 +121,12 @@ class Transport {
     bool ever_connected = false;
   };
 
+  struct ClockSync {
+    Time offset = 0;
+    Time min_rtt = -1;
+    std::uint64_t samples = 0;
+  };
+
   void dial(std::size_t peer_index);
   void schedule_redial(std::size_t peer_index);
   void handle_accept();
@@ -111,6 +134,8 @@ class Transport {
   void forget_learned(Connection* conn);
   void on_frame(Connection& conn, DecodedFrame frame);
   void send_now(const sim::WireMessage& msg);
+  void ping_clock(Connection& conn);
+  void start_clock_sync();
   [[nodiscard]] Connection* route(ProcessId to);
   [[nodiscard]] static Connection::Stats accumulate(
       Connection::Stats total, const Connection::Stats& s);
@@ -132,6 +157,9 @@ class Transport {
   std::unordered_map<ProcessId, Connection*> learned_;
 
   bool shutdown_ = false;
+  bool clock_sync_started_ = false;
+  /// Peer-clock offsets per live connection; erased when it closes.
+  std::unordered_map<const Connection*, ClockSync> clock_;
   Stats stats_;
   /// Byte/frame counters carried over from connections already destroyed.
   Connection::Stats retired_;

@@ -71,6 +71,36 @@ TEST(ClusterConfig, JsonRoundTripIsIdentity) {
   EXPECT_EQ(*cfg, *text_back);
 }
 
+TEST(ClusterConfig, IntrospectPortsParseAndRoundTrip) {
+  // Per-seat and client introspection ports are optional (0 = disabled) and
+  // must survive to_json — tooling rewrites ports through that path.
+  std::string text = minimal_config(R"(, "client_introspect_port": 7590)");
+  const std::string needle = R"("port": 9000)";
+  text.replace(text.find(needle), needle.size(),
+               R"("port": 9000, "introspect_port": 7500)");
+  std::string err;
+  const auto cfg = ClusterConfig::parse(text, &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->groups[0].replicas[0].introspect_port, 7500);
+  EXPECT_EQ(cfg->groups[0].replicas[1].introspect_port, 0);
+  EXPECT_EQ(cfg->client_introspect_port, 7590);
+  ASSERT_NE(cfg->endpoint_of(ProcessId{0}), nullptr);
+  EXPECT_EQ(cfg->endpoint_of(ProcessId{0})->introspect_port, 7500);
+
+  const auto back = ClusterConfig::from_json(cfg->to_json(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*cfg, *back);
+  // Disabled ports stay omitted from the emitted JSON (sparse configs stay
+  // sparse through rewrites).
+  const std::string dumped = cfg->to_json().dump();
+  EXPECT_EQ(dumped.find("\"introspect_port\": 0"), std::string::npos);
+
+  // Out-of-range ports are operator input errors, not aborts.
+  EXPECT_FALSE(ClusterConfig::parse(
+                   minimal_config(R"(, "client_introspect_port": 70000)"), &err)
+                   .has_value());
+}
+
 TEST(ClusterConfig, ProtocolKnobsReachTheProfile) {
   std::string err;
   const auto cfg = ClusterConfig::parse(

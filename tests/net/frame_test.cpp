@@ -200,5 +200,86 @@ TEST(Frame, HelloBodyLengthMustMatchCount) {
   EXPECT_FALSE(decode_hello_body(BytesView(body)).has_value());
 }
 
+TEST(Frame, SentAtTravelsOnTheWireWhenStamped) {
+  sim::WireMessage m = make_message();
+  m.sent_at = 123456789;
+  const Bytes wire = flatten(encode_wire_frame(m));
+
+  FrameDecoder dec(kDefaultMaxFrameBytes);
+  dec.feed(wire.data(), wire.size());
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->flags, kFlagSentAt);
+  const auto back = decode_wire_body(BytesView(frame->body), frame->flags);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sent_at, 123456789);
+  // Without the flag the same body bytes must not be misread as a
+  // timestamp (the 8 extra bytes would corrupt the payload instead — the
+  // decode simply treats them as payload prefix, which the MAC check
+  // upstream would reject; here we only assert no timestamp appears).
+  const auto unflagged = decode_wire_body(BytesView(frame->body), 0);
+  ASSERT_TRUE(unflagged.has_value());
+  EXPECT_EQ(unflagged->sent_at, -1);
+}
+
+TEST(Frame, ClockPingPongRoundTrip) {
+  const Buffer ping = encode_clock_ping_frame(987654321);
+  const Buffer pong = encode_clock_pong_frame(987654321, 1111111);
+
+  FrameDecoder dec(kDefaultMaxFrameBytes);
+  dec.feed(ping.data(), ping.size());
+  dec.feed(pong.data(), pong.size());
+
+  const auto f1 = dec.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, FrameType::kClockPing);
+  const auto p = decode_clock_ping_body(BytesView(f1->body));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->t0, 987654321);
+
+  const auto f2 = dec.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, FrameType::kClockPong);
+  const auto q = decode_clock_pong_body(BytesView(f2->body));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->t0, 987654321);
+  EXPECT_EQ(q->t_peer, 1111111);
+}
+
+TEST(Frame, ClockBodiesRejectWrongSizes) {
+  const Buffer ping = encode_clock_ping_frame(1);
+  FrameDecoder dec(kDefaultMaxFrameBytes);
+  dec.feed(ping.data(), ping.size());
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(decode_clock_ping_body(
+                   BytesView(frame->body.data(), frame->body.size() - 1))
+                   .has_value());
+  // A ping body is half a pong body; neither parses as the other.
+  EXPECT_FALSE(decode_clock_pong_body(BytesView(frame->body)).has_value());
+}
+
+TEST(Frame, UnknownFlagBitsPoisonTheStream) {
+  const Bytes wire = flatten(encode_wire_frame(make_message()));
+  Bytes tampered = wire;
+  tampered[5] |= 0x80;  // header byte 5 = flags; 0x80 is undefined
+  FrameDecoder dec(kDefaultMaxFrameBytes);
+  dec.feed(tampered.data(), tampered.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadType);
+}
+
+TEST(Frame, FlagsAreRejectedOnFramesThatCannotCarryThem) {
+  // kFlagSentAt is defined for kWireMessage only; on a clock ping it is an
+  // unknown bit and must poison, not be ignored.
+  const Buffer ping = encode_clock_ping_frame(42);
+  Bytes tampered(ping.data(), ping.data() + ping.size());
+  tampered[5] |= kFlagSentAt;
+  FrameDecoder dec(kDefaultMaxFrameBytes);
+  dec.feed(tampered.data(), tampered.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.error(), FrameDecoder::Error::kBadType);
+}
+
 }  // namespace
 }  // namespace byzcast::net

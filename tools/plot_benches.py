@@ -451,6 +451,76 @@ def plot_span_breakdown(name, doc, dst, plt):
     print("wrote", out)
 
 
+def summarize_cluster_section(name, doc):
+    """Per-node scrape health of a merged cluster sidecar (byzcast-ctl
+    merge): clock offsets, span counts, unreachable daemons."""
+    cluster = doc.get("cluster")
+    if not isinstance(cluster, dict):
+        return
+    nodes = cluster.get("nodes", [])
+    up = [n for n in nodes if n.get("ok")]
+    down = [n for n in nodes if not n.get("ok")]
+    print(f"  cluster: {len(up)}/{len(nodes)} daemons scraped, "
+          f"{sum(n.get('spans', 0) for n in up)} raw spans")
+    offsets = [n.get("clock_offset_ns", 0) for n in up
+               if n.get("clock_samples", 0) > 0]
+    if offsets:
+        spread = (max(offsets) - min(offsets)) / 1e6
+        print(f"  clock offsets: spread {spread:.1f} ms over "
+              f"{len(offsets)} nodes")
+    for n in down:
+        print(f"  DOWN {n.get('node', '?')}: {n.get('error', '?')}")
+
+
+def plot_cluster_hops(name, doc, dst, plt):
+    """Stacked per-hop latency breakdown from a merged cluster trace: one
+    bar per hop position along the critical path (entry group first), each
+    stacked by component p50 across the complete messages of that class.
+    This is the cross-process view: every hop ran in a different OS process,
+    aligned by the collector's clock-offset estimates."""
+    if not isinstance(doc.get("cluster"), dict):
+        return  # per-hop detail is only plotted for merged cluster traces
+    for cls, is_global in (("local", False), ("global", True)):
+        msgs = [m for m in doc.get("messages", [])
+                if m.get("complete") and bool(m.get("global")) == is_global
+                and m.get("hops")]
+        if not msgs:
+            continue
+        depth = max(len(m["hops"]) for m in msgs)
+        # Hop i of every message, entry group first; label by modal group.
+        per_hop = []
+        for i in range(depth):
+            hops = [m["hops"][i] for m in msgs if len(m["hops"]) > i]
+            groups = sorted(h.get("group") for h in hops)
+            modal = groups[len(groups) // 2] if groups else "?"
+            comps = {}
+            for comp in COMPONENTS:
+                vals = sorted(h.get("components", {}).get(f"{comp}_ns", 0)
+                              for h in hops)
+                comps[comp] = vals[len(vals) // 2] / 1e6 if vals else 0.0
+            per_hop.append((f"hop {i}\n(g{modal}, n={len(hops)})", comps))
+        fig, ax = plt.subplots(figsize=(1.8 + 1.6 * depth, 4))
+        xs = list(range(depth))
+        bottoms = [0.0] * depth
+        for comp, color in zip(COMPONENTS, COMPONENT_COLORS):
+            heights = [comps[comp] for _, comps in per_hop]
+            ax.bar(xs, heights, 0.55, bottom=bottoms, label=comp,
+                   color=color)
+            bottoms = [b + h for b, h in zip(bottoms, heights)]
+        ax.set_xticks(xs)
+        ax.set_xticklabels([label for label, _ in per_hop], fontsize=8)
+        ax.set_ylabel("per-hop p50 (ms)")
+        ax.set_title(f"cross-process hop breakdown: {cls} "
+                     f"(n={len(msgs)} complete)")
+        ax.legend(fontsize=8)
+        ax.grid(True, axis="y", alpha=0.3)
+        out = os.path.join(dst, name.replace(".json", f"_hops_{cls}.png"))
+        fig.tight_layout()
+        fig.savefig(out, dpi=120)
+        plt.close(fig)
+        print("wrote", out)
+
+
 def plot_sidecar_timeseries(name, doc, dst, plt):
     """One PNG per sidecar: CPU-busy (top) and queue-depth (bottom) samples."""
     ts = doc.get("metrics", {}).get("timeseries", {})
@@ -522,6 +592,7 @@ def main():
             print(f"skipping malformed span sidecar {name}: {err}")
     for name, doc in span_docs.items():
         summarize_span_sidecar(name, doc)
+        summarize_cluster_section(name, doc)
     runtime_bench = find_bench_json(src, "BENCH_runtime.json")
     if runtime_bench:
         summarize_runtime_bench(runtime_bench)
@@ -549,14 +620,18 @@ def main():
         "BENCH_sweep.json": sweep_bench,
         "BENCH_vertical.json": vertical_bench,
     }
-    missing = [name for name in required if not by_name.get(name)]
+    # --require also accepts span sidecars (e.g. cluster_spans.json from
+    # byzcast-ctl merge) and *_metrics.json sidecars by filename.
+    missing = [name for name in required
+               if not (by_name.get(name) or span_docs.get(name)
+                       or docs.get(name))]
     if missing:
         for name in missing:
             print(f"FAIL: required bench artifact missing or malformed: {name}")
         return 1
 
     benches = list(by_name.values())
-    if not files and not sidecars and not any(benches):
+    if not files and not sidecars and not span_docs and not any(benches):
         print(f"no CSV, metrics or BENCH_*.json inputs in {src}/ or cwd")
         return 1
 
@@ -609,6 +684,7 @@ def main():
         plot_sidecar_timeseries(name, doc, dst, plt)
     for name, doc in span_docs.items():
         plot_span_breakdown(name, doc, dst, plt)
+        plot_cluster_hops(name, doc, dst, plt)
     if runtime_bench:
         plot_runtime_bench(runtime_bench, src, dst, plt)
     if wire_bench:
